@@ -1,0 +1,169 @@
+//! CryptoPAN prefix-preserving anonymization.
+//!
+//! The construction of Fan, Xu, Ammar & Moon: the anonymized address is
+//! `addr XOR otp`, where bit `i` of the one-time pad is a pseudo-random
+//! function of the *first `i` bits* of the address. Because bit `i` of the
+//! output depends only on bits `0..=i` of the input, the map preserves
+//! prefixes: inputs agreeing on their first `k` bits produce outputs
+//! agreeing on their first `k` bits (and is a bijection, since bit `i` of
+//! the output differs whenever bit `i` of the input differs under the same
+//! prefix).
+
+use crate::aes::Aes128;
+
+/// A keyed prefix-preserving anonymizer for IPv4 addresses.
+pub struct CryptoPan {
+    aes: Aes128,
+    /// The encrypted padding block used to fill the unknown low bits.
+    pad: [u8; 16],
+}
+
+impl CryptoPan {
+    /// Initialize from a 32-byte key: the first 16 bytes key the AES PRF,
+    /// the second 16 bytes form the padding block (as in the reference
+    /// implementation).
+    pub fn new(key: &[u8; 32]) -> Self {
+        let aes = Aes128::new(key[..16].try_into().expect("16-byte AES key"));
+        let mut pad: [u8; 16] = key[16..].try_into().expect("16-byte pad");
+        aes.encrypt_block(&mut pad);
+        Self { aes, pad }
+    }
+
+    /// Compute the one-time pad for `addr`: bit `i` (from the MSB) depends
+    /// only on the first `i` bits of `addr`.
+    fn one_time_pad(&self, addr: u32) -> u32 {
+        let pad_u32 = u32::from_be_bytes([self.pad[0], self.pad[1], self.pad[2], self.pad[3]]);
+        let mut otp = 0u32;
+        let mut block = [0u8; 16];
+        block[4..].copy_from_slice(&self.pad[4..]);
+        for pos in 0..32 {
+            // First `pos` bits from the address, remaining bits from the pad.
+            let mask = if pos == 0 { 0u32 } else { u32::MAX << (32 - pos) };
+            let input = (addr & mask) | (pad_u32 & !mask);
+            block[..4].copy_from_slice(&input.to_be_bytes());
+            let out = self.aes.encrypt(&block);
+            otp = (otp << 1) | u32::from(out[0] >> 7);
+        }
+        otp
+    }
+
+    /// Anonymize one address.
+    pub fn anonymize(&self, addr: u32) -> u32 {
+        addr ^ self.one_time_pad(addr)
+    }
+
+    /// Invert the anonymization bit-sequentially: since pad bit `i`
+    /// depends only on *real* bits `0..i`, the real address can be
+    /// recovered MSB-first.
+    pub fn deanonymize(&self, anon: u32) -> u32 {
+        let pad_u32 = u32::from_be_bytes([self.pad[0], self.pad[1], self.pad[2], self.pad[3]]);
+        let mut real = 0u32;
+        let mut block = [0u8; 16];
+        block[4..].copy_from_slice(&self.pad[4..]);
+        for pos in 0..32 {
+            let mask = if pos == 0 { 0u32 } else { u32::MAX << (32 - pos) };
+            let input = (real & mask) | (pad_u32 & !mask);
+            block[..4].copy_from_slice(&input.to_be_bytes());
+            let out = self.aes.encrypt(&block);
+            let pad_bit = u32::from(out[0] >> 7);
+            let anon_bit = (anon >> (31 - pos)) & 1;
+            let real_bit = anon_bit ^ pad_bit;
+            real |= real_bit << (31 - pos);
+        }
+        real
+    }
+
+    /// Anonymize a batch in place.
+    pub fn anonymize_slice(&self, addrs: &mut [u32]) {
+        for a in addrs.iter_mut() {
+            *a = self.anonymize(*a);
+        }
+    }
+}
+
+/// Length of the common prefix of two addresses, in bits.
+pub fn common_prefix_len(a: u32, b: u32) -> u32 {
+    (a ^ b).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(seed: u8) -> CryptoPan {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = seed.wrapping_mul(31).wrapping_add(i as u8);
+        }
+        CryptoPan::new(&key)
+    }
+
+    #[test]
+    fn anonymize_deanonymize_round_trip() {
+        let c = cp(1);
+        for addr in [0u32, 1, 0xC0A80001, 0x0A000001, u32::MAX, 16843009] {
+            assert_eq!(c.deanonymize(c.anonymize(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn prefix_preservation_exact() {
+        let c = cp(2);
+        let pairs = [
+            (0x0A010203u32, 0x0A010999u32), // same /16
+            (0x0A010203, 0x0A010204),       // same /30
+            (0x0A010203, 0xC0000001),       // differ at bit 0
+            (0x80000000, 0x80000001),       // same /31
+        ];
+        for (a, b) in pairs {
+            let k = common_prefix_len(a, b);
+            let (ea, eb) = (c.anonymize(a), c.anonymize(b));
+            assert_eq!(
+                common_prefix_len(ea, eb),
+                k,
+                "common prefix must be exactly preserved for {a:#x},{b:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_injective_on_a_sample() {
+        let c = cp(3);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u32 {
+            let addr = i.wrapping_mul(0x9E3779B9);
+            assert!(seen.insert(c.anonymize(addr)), "collision at input {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_maps() {
+        let (c1, c2) = (cp(4), cp(5));
+        let addr = 0x08080808;
+        assert_ne!(c1.anonymize(addr), c2.anonymize(addr));
+    }
+
+    #[test]
+    fn anonymize_slice_matches_scalar() {
+        let c = cp(6);
+        let mut v = vec![1u32, 2, 3, 0xFFFF0000];
+        let expect: Vec<u32> = v.iter().map(|&a| c.anonymize(a)).collect();
+        c.anonymize_slice(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn anonymization_actually_changes_addresses() {
+        let c = cp(7);
+        let changed = (0..256u32).filter(|&a| c.anonymize(a << 24) != a << 24).count();
+        assert!(changed > 250, "only {changed}/256 first-octets changed");
+    }
+
+    #[test]
+    fn common_prefix_len_basics() {
+        assert_eq!(common_prefix_len(0, 0), 32);
+        assert_eq!(common_prefix_len(0, 1), 31);
+        assert_eq!(common_prefix_len(0, 0x80000000), 0);
+        assert_eq!(common_prefix_len(0xFF00FF00, 0xFF00FF00), 32);
+    }
+}

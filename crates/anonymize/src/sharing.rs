@@ -1,0 +1,227 @@
+//! Trusted-sharing correlation workflows for anonymized data.
+//!
+//! The paper (§I) lists three ways subsets of anonymized data from
+//! multiple sources can be correlated within a trusted-sharing framework:
+//!
+//! 1. **Send-back deanonymization** — for small, low-risk subsets the data
+//!    holder deanonymizes the subset on request (the approach this paper's
+//!    study used),
+//! 2. **Common scheme** — each holder deanonymizes its subset and
+//!    re-anonymizes under a third, shared scheme,
+//! 3. **Transformation table** — for larger sets, a holder publishes a
+//!    mapping from its anonymized identifiers directly to the common
+//!    scheme, so recipients never see raw addresses.
+//!
+//! All three are modeled here around [`CryptoPan`] so that integration
+//! tests can verify the central soundness property: *correlating two data
+//! sets through any workflow yields exactly the correlations of the raw
+//! data*.
+
+use crate::cryptopan::CryptoPan;
+use std::collections::HashMap;
+
+/// A data holder: owns a CryptoPAN key and publishes data anonymized
+/// under it.
+pub struct Holder {
+    cp: CryptoPan,
+    /// Human-readable name used in audit records.
+    pub name: String,
+}
+
+impl Holder {
+    /// Create a holder with its private 32-byte key.
+    pub fn new(name: impl Into<String>, key: &[u8; 32]) -> Self {
+        Self { cp: CryptoPan::new(key), name: name.into() }
+    }
+
+    /// Anonymize raw addresses for publication.
+    pub fn publish(&self, raw: &[u32]) -> Vec<u32> {
+        raw.iter().map(|&a| self.cp.anonymize(a)).collect()
+    }
+
+    /// Workflow 1: deanonymize a small subset sent back by a researcher.
+    /// Enforces the "small and low-risk" condition with an explicit cap.
+    pub fn deanonymize_subset(
+        &self,
+        subset: &[u32],
+        max_subset: usize,
+    ) -> Result<Vec<u32>, SharingError> {
+        if subset.len() > max_subset {
+            return Err(SharingError::SubsetTooLarge { requested: subset.len(), max: max_subset });
+        }
+        Ok(subset.iter().map(|&a| self.cp.deanonymize(a)).collect())
+    }
+
+    /// Workflow 2: re-anonymize a subset of *this holder's* anonymized
+    /// addresses under a common third scheme, without revealing raw
+    /// addresses to the caller.
+    pub fn reanonymize_subset(
+        &self,
+        subset: &[u32],
+        common: &CryptoPan,
+        max_subset: usize,
+    ) -> Result<Vec<u32>, SharingError> {
+        if subset.len() > max_subset {
+            return Err(SharingError::SubsetTooLarge { requested: subset.len(), max: max_subset });
+        }
+        Ok(subset.iter().map(|&a| common.anonymize(self.cp.deanonymize(a))).collect())
+    }
+
+    /// Workflow 3: produce a transformation table mapping this holder's
+    /// anonymized identifiers to the common scheme for a (possibly large)
+    /// address universe.
+    pub fn transformation_table(&self, own_anon: &[u32], common: &CryptoPan) -> TransformTable {
+        let map = own_anon
+            .iter()
+            .map(|&a| (a, common.anonymize(self.cp.deanonymize(a))))
+            .collect();
+        TransformTable { map }
+    }
+}
+
+/// A published mapping from one anonymization scheme to a common one.
+#[derive(Debug, Clone, Default)]
+pub struct TransformTable {
+    map: HashMap<u32, u32>,
+}
+
+impl TransformTable {
+    /// Translate one identifier; `None` if it was not in the published set.
+    pub fn translate(&self, anon: u32) -> Option<u32> {
+        self.map.get(&anon).copied()
+    }
+
+    /// Translate a data set, dropping identifiers outside the table.
+    pub fn translate_all(&self, anon: &[u32]) -> Vec<u32> {
+        anon.iter().filter_map(|&a| self.translate(a)).collect()
+    }
+
+    /// Number of published mappings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Errors from the sharing workflows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharingError {
+    /// A send-back request exceeded the agreed subset cap.
+    SubsetTooLarge {
+        /// Size of the rejected request.
+        requested: usize,
+        /// The agreed maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for SharingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharingError::SubsetTooLarge { requested, max } => {
+                write!(f, "subset of {requested} exceeds trusted-sharing cap of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SharingError {}
+
+/// Count the overlap of two *raw* address sets — the ground truth every
+/// workflow must reproduce.
+pub fn raw_overlap(a: &[u32], b: &[u32]) -> usize {
+    let set: std::collections::HashSet<u32> = a.iter().copied().collect();
+    b.iter().filter(|x| set.contains(x)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u8) -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = seed.wrapping_add(i as u8).wrapping_mul(13);
+        }
+        k
+    }
+
+    fn raw_sets() -> (Vec<u32>, Vec<u32>) {
+        // Two observatories with a 3-address overlap.
+        let a = vec![0x0A000001, 0x0A000002, 0x0A000003, 0xC0A80001, 0x08080808];
+        let b = vec![0x0A000002, 0x0A000003, 0x08080808, 0x01010101];
+        (a, b)
+    }
+
+    #[test]
+    fn workflow1_send_back() {
+        let (raw_a, raw_b) = raw_sets();
+        let holder_a = Holder::new("caida", &key(1));
+        let pub_a = holder_a.publish(&raw_a);
+        // Researcher sends the anonymized subset back for deanonymization.
+        let returned = holder_a.deanonymize_subset(&pub_a, 10).unwrap();
+        assert_eq!(returned, raw_a);
+        assert_eq!(raw_overlap(&returned, &raw_b), 3);
+    }
+
+    #[test]
+    fn workflow1_enforces_cap() {
+        let holder = Holder::new("caida", &key(1));
+        let err = holder.deanonymize_subset(&[1, 2, 3], 2).unwrap_err();
+        assert_eq!(err, SharingError::SubsetTooLarge { requested: 3, max: 2 });
+    }
+
+    #[test]
+    fn workflow2_common_scheme_preserves_overlap() {
+        let (raw_a, raw_b) = raw_sets();
+        let holder_a = Holder::new("caida", &key(1));
+        let holder_b = Holder::new("greynoise", &key(2));
+        let common = CryptoPan::new(&key(3));
+        let pub_a = holder_a.publish(&raw_a);
+        let pub_b = holder_b.publish(&raw_b);
+        let common_a = holder_a.reanonymize_subset(&pub_a, &common, 100).unwrap();
+        let common_b = holder_b.reanonymize_subset(&pub_b, &common, 100).unwrap();
+        assert_eq!(raw_overlap(&common_a, &common_b), raw_overlap(&raw_a, &raw_b));
+        // But the common identifiers never equal raw addresses en masse.
+        assert_ne!(common_a, raw_a);
+    }
+
+    #[test]
+    fn workflow3_transformation_table_preserves_overlap() {
+        let (raw_a, raw_b) = raw_sets();
+        let holder_a = Holder::new("caida", &key(1));
+        let holder_b = Holder::new("greynoise", &key(2));
+        let common = CryptoPan::new(&key(3));
+        let pub_a = holder_a.publish(&raw_a);
+        let pub_b = holder_b.publish(&raw_b);
+        let table_a = holder_a.transformation_table(&pub_a, &common);
+        let table_b = holder_b.transformation_table(&pub_b, &common);
+        let common_a = table_a.translate_all(&pub_a);
+        let common_b = table_b.translate_all(&pub_b);
+        assert_eq!(table_a.len(), raw_a.len());
+        assert_eq!(raw_overlap(&common_a, &common_b), raw_overlap(&raw_a, &raw_b));
+    }
+
+    #[test]
+    fn table_misses_return_none() {
+        let holder = Holder::new("x", &key(9));
+        let table = holder.transformation_table(&[], &CryptoPan::new(&key(4)));
+        assert!(table.is_empty());
+        assert_eq!(table.translate(42), None);
+        assert_eq!(table.translate_all(&[1, 2, 3]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn different_holders_disagree_pre_translation() {
+        let (raw_a, _) = raw_sets();
+        let a = Holder::new("a", &key(1)).publish(&raw_a);
+        let b = Holder::new("b", &key(2)).publish(&raw_a);
+        // Identical raw data appears disjoint across schemes — why naive
+        // cross-observatory correlation fails without these workflows.
+        assert_eq!(raw_overlap(&a, &b), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for CryptoPAN and the sharing workflows.
+
+use obscor_anonymize::cryptopan::{common_prefix_len, CryptoPan};
+use obscor_anonymize::sharing::{raw_overlap, Holder};
+use proptest::prelude::*;
+
+fn cp_from(key_seed: u64) -> CryptoPan {
+    let mut key = [0u8; 32];
+    let mut x = key_seed | 1;
+    for b in key.iter_mut() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *b = (x >> 56) as u8;
+    }
+    CryptoPan::new(&key)
+}
+
+proptest! {
+    /// Anonymization is invertible for every address.
+    #[test]
+    fn round_trip(addr in any::<u32>(), seed in any::<u64>()) {
+        let cp = cp_from(seed);
+        prop_assert_eq!(cp.deanonymize(cp.anonymize(addr)), addr);
+    }
+
+    /// The defining CryptoPAN property: common prefixes are preserved
+    /// *exactly* — no longer, no shorter.
+    #[test]
+    fn prefix_preservation(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        let cp = cp_from(seed);
+        prop_assert_eq!(
+            common_prefix_len(cp.anonymize(a), cp.anonymize(b)),
+            common_prefix_len(a, b)
+        );
+    }
+
+    /// Distinct inputs map to distinct outputs (injectivity on samples).
+    #[test]
+    fn injective(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        prop_assume!(a != b);
+        let cp = cp_from(seed);
+        prop_assert_ne!(cp.anonymize(a), cp.anonymize(b));
+    }
+
+    /// Every sharing workflow preserves the overlap of two address sets.
+    #[test]
+    fn workflows_preserve_overlap(
+        mut set_a in prop::collection::vec(any::<u32>(), 1..50),
+        mut set_b in prop::collection::vec(any::<u32>(), 1..50),
+        ka in any::<u64>(),
+        kb in any::<u64>(),
+        kc in any::<u64>(),
+    ) {
+        set_a.sort_unstable();
+        set_a.dedup();
+        set_b.sort_unstable();
+        set_b.dedup();
+        let truth = raw_overlap(&set_a, &set_b);
+
+        let mut key = [0u8; 32];
+        let fill = |seed: u64, key: &mut [u8; 32]| {
+            let mut x = seed | 1;
+            for b in key.iter_mut() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+                *b = (x >> 48) as u8;
+            }
+        };
+        fill(ka, &mut key);
+        let holder_a = Holder::new("a", &key);
+        fill(kb, &mut key);
+        let holder_b = Holder::new("b", &key);
+        fill(kc, &mut key);
+        let common = CryptoPan::new(&key);
+
+        let (pub_a, pub_b) = (holder_a.publish(&set_a), holder_b.publish(&set_b));
+
+        // Workflow 1.
+        let ra = holder_a.deanonymize_subset(&pub_a, pub_a.len()).unwrap();
+        let rb = holder_b.deanonymize_subset(&pub_b, pub_b.len()).unwrap();
+        prop_assert_eq!(raw_overlap(&ra, &rb), truth);
+
+        // Workflow 2.
+        let ca = holder_a.reanonymize_subset(&pub_a, &common, pub_a.len()).unwrap();
+        let cb = holder_b.reanonymize_subset(&pub_b, &common, pub_b.len()).unwrap();
+        prop_assert_eq!(raw_overlap(&ca, &cb), truth);
+
+        // Workflow 3.
+        let ta = holder_a.transformation_table(&pub_a, &common);
+        let tb = holder_b.transformation_table(&pub_b, &common);
+        prop_assert_eq!(
+            raw_overlap(&ta.translate_all(&pub_a), &tb.translate_all(&pub_b)),
+            truth
+        );
+    }
+
+    /// Anonymizing a sorted set preserves relative order of shared-prefix
+    /// groups: membership counts per /8 are permuted, never merged.
+    #[test]
+    fn slash8_group_sizes_preserved(
+        addrs in prop::collection::vec(any::<u32>(), 1..80),
+        seed in any::<u64>(),
+    ) {
+        let cp = cp_from(seed);
+        let count_groups = |v: &[u32]| {
+            let mut octets: Vec<u8> = v.iter().map(|a| (a >> 24) as u8).collect();
+            octets.sort_unstable();
+            octets.dedup();
+            octets.len()
+        };
+        let anon: Vec<u32> = addrs.iter().map(|&a| cp.anonymize(a)).collect();
+        prop_assert_eq!(count_groups(&addrs), count_groups(&anon));
+    }
+}

@@ -1,0 +1,96 @@
+//! TSV import/export for associative arrays.
+//!
+//! D4M's interchange format is triple-per-line TSV (`row<TAB>col<TAB>val`),
+//! which is also how curated repositories publish enriched products in the
+//! paper's trusted-sharing framework.
+
+use crate::Assoc;
+
+/// Errors from TSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsvError {
+    /// A line had fewer than three tab-separated fields.
+    BadLine { line_no: usize },
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsvError::BadLine { line_no } => write!(f, "malformed TSV triple at line {line_no}"),
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+/// Serialize to triple-per-line TSV, rows in key order.
+pub fn to_tsv(a: &Assoc<String>) -> String {
+    let mut out = String::new();
+    for (r, c, v) in a.iter() {
+        out.push_str(r);
+        out.push('\t');
+        out.push_str(c);
+        out.push('\t');
+        out.push_str(v);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse triple-per-line TSV; blank lines are skipped, later duplicates win.
+/// Values may themselves contain tabs (everything after the second tab).
+pub fn from_tsv(text: &str) -> Result<Assoc<String>, TsvError> {
+    let mut triples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (r, c, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(r), Some(c), Some(v)) => (r, c, v),
+            _ => return Err(TsvError::BadLine { line_no: i + 1 }),
+        };
+        triples.push((r.to_string(), c.to_string(), v.to_string()));
+    }
+    Ok(Assoc::from_triples_last(triples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let a = Assoc::from_triples_last(vec![
+            ("r1".into(), "c1".into(), "v1".into()),
+            ("r1".into(), "c2".into(), "v2".into()),
+            ("r2".into(), "c1".into(), "v3".into()),
+        ]);
+        let text = to_tsv(&a);
+        assert_eq!(from_tsv(&text).unwrap(), a);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let a = from_tsv("r\tc\tv\n\nr2\tc\tv2\n").unwrap();
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = from_tsv("r\tc\tv\nbad line\n").unwrap_err();
+        assert_eq!(err, TsvError::BadLine { line_no: 2 });
+    }
+
+    #[test]
+    fn value_may_contain_tabs() {
+        let a = from_tsv("r\tc\tv with\ttab\n").unwrap();
+        assert_eq!(a.get("r", "c"), Some(&"v with\ttab".to_string()));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_array() {
+        assert!(from_tsv("").unwrap().is_empty());
+        assert_eq!(to_tsv(&Assoc::new()), "");
+    }
+}

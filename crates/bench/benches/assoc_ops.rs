@@ -1,0 +1,50 @@
+//! Substrate bench: D4M associative-array operations at honeyfarm-month
+//! scale — key-set intersection is the paper's core correlation primitive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obscor_assoc::convert::ip_key;
+use obscor_assoc::{Assoc, KeySet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_keys(n: usize, seed: u64) -> KeySet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| ip_key(rng.random())).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000;
+    let a = random_keys(n, 1);
+    let b2 = random_keys(n, 2);
+
+    let mut g = c.benchmark_group("assoc_ops");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_function("keyset_intersect", |b| b.iter(|| black_box(a.intersect(&b2))));
+    g.bench_function("keyset_union", |b| b.iter(|| black_box(a.union(&b2))));
+    g.bench_function("keyset_minus", |b| b.iter(|| black_box(a.minus(&b2))));
+    g.bench_function("overlap_fraction", |b| {
+        b.iter(|| black_box(a.overlap_fraction(&b2)))
+    });
+
+    // Assoc construction + row selection at month scale.
+    let triples: Vec<(String, String, String)> = a
+        .iter()
+        .map(|k| (k.to_string(), "class".to_string(), "scanner".to_string()))
+        .collect();
+    g.bench_function("assoc_from_triples", |b| {
+        b.iter(|| black_box(Assoc::from_triples_last(triples.clone())))
+    });
+    let assoc = Assoc::from_triples_last(triples.clone());
+    let keep = random_keys(n / 10, 3);
+    g.bench_function("assoc_row_select", |b| b.iter(|| black_box(assoc.rows(&keep))));
+    g.bench_function("assoc_prefix_select", |b| {
+        b.iter(|| black_box(assoc.rows_with_prefix("044.")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Substrate bench: AES-128, CryptoPAN anonymization/deanonymization,
+//! and the trusted-sharing transformation-table workflow.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obscor_anonymize::aes::Aes128;
+use obscor_anonymize::sharing::Holder;
+use obscor_anonymize::CryptoPan;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    let cp = CryptoPan::new(&[9u8; 32]);
+    let mut rng = StdRng::seed_from_u64(3);
+    let addrs: Vec<u32> = (0..10_000).map(|_| rng.random()).collect();
+
+    c.bench_function("cryptopan/aes_block", |b| {
+        let mut block = [0x42u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            black_box(block[0])
+        })
+    });
+
+    c.bench_function("cryptopan/anonymize_one", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            black_box(cp.anonymize(addrs[i]))
+        })
+    });
+
+    c.bench_function("cryptopan/deanonymize_one", |b| {
+        let anon = cp.anonymize(addrs[0]);
+        b.iter(|| black_box(cp.deanonymize(anon)))
+    });
+
+    let mut g = c.benchmark_group("cryptopan_batch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("anonymize_10k", |b| {
+        b.iter(|| {
+            let mut v = addrs.clone();
+            cp.anonymize_slice(&mut v);
+            black_box(v)
+        })
+    });
+    let holder = Holder::new("bench", &[1u8; 32]);
+    let published = holder.publish(&addrs);
+    let common = CryptoPan::new(&[2u8; 32]);
+    g.bench_function("transformation_table_10k", |b| {
+        b.iter(|| black_box(holder.transformation_table(&published, &common)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

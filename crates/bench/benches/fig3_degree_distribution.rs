@@ -1,0 +1,54 @@
+//! Fig 3: log2-binned source packet degree distributions for all five
+//! windows with Zipf–Mandelbrot fits, printed in the paper's series
+//! shape; benchmarks the binning and the grid fit separately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obscor_bench::{bench_nv, fixture};
+use obscor_core::distribution::degree_distribution;
+use obscor_core::AnalysisConfig;
+use obscor_stats::binning::differential_cumulative;
+use obscor_stats::zipf::fit_zipf_mandelbrot;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(bench_nv(), 42);
+    let config = AnalysisConfig::default();
+
+    eprintln!("\n=== FIG 3 (regenerated) ===");
+    for wd in &f.degrees {
+        let dist = degree_distribution(wd, &config);
+        let fit = dist.fit.expect("windows are nonempty");
+        eprintln!(
+            "window {}: ZM alpha={:.2} delta={:.2} residual={:.3}; D(d_i):",
+            wd.label, fit.alpha, fit.delta, fit.residual
+        );
+        let series: Vec<String> =
+            dist.binned.iter().map(|(d, v)| format!("2^{}:{:.2e}", (d as f64).log2() as u32, v)).collect();
+        eprintln!("  {}", series.join(" "));
+    }
+
+    let h = f.degrees[0].histogram();
+    let binned = differential_cumulative(&h);
+    let d_max = h.d_max();
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(20);
+    g.bench_function("histogram", |b| b.iter(|| black_box(f.degrees[0].histogram())));
+    g.bench_function("log2_binning", |b| {
+        b.iter(|| black_box(differential_cumulative(&h)))
+    });
+    g.bench_function("zm_grid_fit", |b| {
+        b.iter(|| {
+            black_box(fit_zipf_mandelbrot(
+                &binned,
+                d_max,
+                &config.zm_alphas,
+                &config.zm_deltas,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Fig 5: temporal correlation of the first window's knee bin over the
+//! 15-month span, with the Gaussian / Cauchy / modified-Cauchy model
+//! comparison (including the 1/2-norm vs 2-norm objective ablation from
+//! DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obscor_bench::{bench_nv, fixture};
+use obscor_core::temporal::{fig5_curve, temporal_curves};
+use obscor_stats::fit::{
+    default_mc_alpha_grid, default_mc_beta_grid, fit_cauchy, fit_gaussian,
+    fit_modified_cauchy_grid,
+};
+use obscor_stats::norms::residual_pnorm;
+use obscor_stats::TemporalModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(bench_nv(), 42);
+    let curves = temporal_curves(&f.degrees[0], &f.monthly_sources, 5);
+    let curve = fig5_curve(&curves, &f.degrees[0].label, f.scenario.bright_log2())
+        .or_else(|| curves.iter().max_by_key(|c| c.n_sources))
+        .expect("at least one curve");
+
+    let mc = fit_modified_cauchy_grid(
+        &curve.lags,
+        &curve.fractions,
+        &default_mc_alpha_grid(),
+        &default_mc_beta_grid(),
+    )
+    .expect("fittable curve");
+    let g_fit = fit_gaussian(&curve.lags, &curve.fractions).unwrap();
+    let c_fit = fit_cauchy(&curve.lags, &curve.fractions).unwrap();
+
+    eprintln!("\n=== FIG 5 (regenerated) ===");
+    eprintln!(
+        "window {} bin d=2^{} ({} sources)",
+        curve.window_label, curve.bin, curve.n_sources
+    );
+    eprintln!("  lag(mo)  fraction");
+    for (lag, frac) in curve.lags.iter().zip(&curve.fractions) {
+        eprintln!("  {lag:>7.2} {frac:>9.3}");
+    }
+    eprintln!(
+        "modified Cauchy alpha={:.2} beta={:.2} residual={:.3}",
+        mc.alpha, mc.beta, mc.residual
+    );
+    eprintln!("Cauchy          gamma={:.2} residual={:.3}", c_fit.param, c_fit.residual);
+    eprintln!("Gaussian        sigma={:.2} residual={:.3}", g_fit.param, g_fit.residual);
+
+    // Ablation: the same modified-Cauchy grid under a 2-norm objective.
+    let two_norm_best = {
+        let peak = curve.fractions.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut best = (f64::INFINITY, 0.0, 0.0);
+        for &alpha in &default_mc_alpha_grid() {
+            for &beta in &default_mc_beta_grid() {
+                let m = TemporalModel::ModifiedCauchy { alpha, beta };
+                let pred: Vec<f64> = curve.lags.iter().map(|&t| peak * m.eval(t)).collect();
+                let r = residual_pnorm(&pred, &curve.fractions, 2.0);
+                if r < best.0 {
+                    best = (r, alpha, beta);
+                }
+            }
+        }
+        best
+    };
+    eprintln!(
+        "ablation (2-norm objective): alpha={:.2} beta={:.2}",
+        two_norm_best.1, two_norm_best.2
+    );
+
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("temporal_curve_single_window", |b| {
+        b.iter(|| black_box(temporal_curves(&f.degrees[0], &f.monthly_sources, 5)))
+    });
+    group.bench_function("modified_cauchy_grid_fit", |b| {
+        b.iter(|| {
+            black_box(fit_modified_cauchy_grid(
+                &curve.lags,
+                &curve.fractions,
+                &default_mc_alpha_grid(),
+                &default_mc_beta_grid(),
+            ))
+        })
+    });
+    group.bench_function("gaussian_fit", |b| {
+        b.iter(|| black_box(fit_gaussian(&curve.lags, &curve.fractions)))
+    });
+    group.bench_function("cauchy_fit", |b| {
+        b.iter(|| black_box(fit_cauchy(&curve.lags, &curve.fractions)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

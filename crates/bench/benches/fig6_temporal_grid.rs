@@ -1,0 +1,74 @@
+//! Fig 6: the full grid of temporal correlation curves (5 windows × all
+//! populated degree bins) with modified-Cauchy fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obscor_bench::{bench_nv, fixture};
+use obscor_core::fitscan::fit_curves;
+use obscor_core::temporal::temporal_curves;
+use obscor_core::AnalysisConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(bench_nv(), 42);
+    let config = AnalysisConfig::default();
+    let curves: Vec<_> = f
+        .degrees
+        .iter()
+        .flat_map(|wd| temporal_curves(wd, &f.monthly_sources, config.min_bin_sources))
+        .collect();
+    let fits = fit_curves(&curves, &config);
+
+    eprintln!("\n=== FIG 6 (regenerated: {} curves) ===", curves.len());
+    eprintln!("window                bin     sources  alpha  beta  drop");
+    for fit in &fits {
+        eprintln!(
+            "{:<21} d=2^{:<3} {:>7} {:>6.2} {:>5.2} {:>5.2}",
+            fit.window_label,
+            fit.bin,
+            fit.n_sources,
+            fit.modified_cauchy.alpha,
+            fit.modified_cauchy.beta,
+            fit.one_month_drop()
+        );
+    }
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("all_temporal_curves", |b| {
+        b.iter(|| {
+            let cs: Vec<_> = f
+                .degrees
+                .iter()
+                .flat_map(|wd| temporal_curves(wd, &f.monthly_sources, config.min_bin_sources))
+                .collect();
+            black_box(cs)
+        })
+    });
+    g.bench_function("fit_all_curves", |b| b.iter(|| black_box(fit_curves(&curves, &config))));
+
+    // Ablation: the same curves via the D4M-style co-occurrence product
+    // (one SpGEMM per window) instead of per-bin key-set intersections.
+    use obscor_core::algebra::temporal_curves_algebraic;
+    let algebraic: Vec<_> = f
+        .degrees
+        .iter()
+        .flat_map(|wd| temporal_curves_algebraic(wd, &f.monthly_sources, config.min_bin_sources))
+        .collect();
+    assert_eq!(algebraic, curves, "algebraic path must agree exactly");
+    g.bench_function("all_temporal_curves_algebraic", |b| {
+        b.iter(|| {
+            let cs: Vec<_> = f
+                .degrees
+                .iter()
+                .flat_map(|wd| {
+                    temporal_curves_algebraic(wd, &f.monthly_sources, config.min_bin_sources)
+                })
+                .collect();
+            black_box(cs)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

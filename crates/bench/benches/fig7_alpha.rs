@@ -1,0 +1,37 @@
+//! Fig 7: best-fit modified-Cauchy α as a function of source packets
+//! (the paper's headline: α ≈ 1 is typical).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obscor_bench::{bench_nv, fixture};
+use obscor_core::fitscan::{alpha_by_degree, fit_curves};
+use obscor_core::temporal::temporal_curves;
+use obscor_core::AnalysisConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(bench_nv(), 42);
+    let config = AnalysisConfig::default();
+    let curves: Vec<_> = f
+        .degrees
+        .iter()
+        .flat_map(|wd| temporal_curves(wd, &f.monthly_sources, config.min_bin_sources))
+        .collect();
+    let fits = fit_curves(&curves, &config);
+    let series = alpha_by_degree(&fits);
+
+    eprintln!("\n=== FIG 7 (regenerated) ===");
+    eprintln!("  d        mean alpha");
+    for (d, alpha) in &series {
+        eprintln!("  2^{:<6} {:>9.2}", (*d as f64).log2() as u32, alpha);
+    }
+    let grand_mean: f64 =
+        series.iter().map(|(_, a)| a).sum::<f64>() / series.len().max(1) as f64;
+    eprintln!("grand mean alpha = {grand_mean:.2} (paper: typically ~1)");
+
+    c.bench_function("fig7/alpha_by_degree", |b| {
+        b.iter(|| black_box(alpha_by_degree(&fits)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig 8: the relative one-month drop `1/(β+1)` as a function of source
+//! packets (paper: above 20 %, rising to ~50 % near d ≈ 10^3 scaled).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obscor_bench::{bench_nv, fixture};
+use obscor_core::fitscan::{drop_by_degree, fit_curves};
+use obscor_core::temporal::temporal_curves;
+use obscor_core::AnalysisConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(bench_nv(), 42);
+    let config = AnalysisConfig::default();
+    let curves: Vec<_> = f
+        .degrees
+        .iter()
+        .flat_map(|wd| temporal_curves(wd, &f.monthly_sources, config.min_bin_sources))
+        .collect();
+    let fits = fit_curves(&curves, &config);
+    let series = drop_by_degree(&fits);
+
+    eprintln!("\n=== FIG 8 (regenerated) ===");
+    eprintln!("  d        one-month drop 1/(beta+1)");
+    for (d, drop) in &series {
+        eprintln!("  2^{:<6} {:>9.3}", (*d as f64).log2() as u32, drop);
+    }
+
+    c.bench_function("fig8/drop_by_degree", |b| {
+        b.iter(|| black_box(drop_by_degree(&fits)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Scaling extension: the sources-vs-packets exponent of each window
+//! (the paper's `sources ∝ N_V^{1/2}` observation) and its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obscor_bench::{bench_nv, fixture};
+use obscor_core::scaling::source_scaling;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(bench_nv(), 42);
+
+    eprintln!("\n=== SCALING: unique sources vs packets ===");
+    eprintln!("window                 exponent     R^2");
+    for w in &f.windows {
+        if let Some(law) = source_scaling(&w.window.packets, 8) {
+            eprintln!("{:<22} {:>8.3} {:>7.3}", w.label, law.exponent, law.r_squared);
+        }
+    }
+
+    let w = &f.windows[0];
+    let mut g = c.benchmark_group("scaling_law");
+    g.sample_size(20);
+    g.bench_function("source_scaling_full_window", |b| {
+        b.iter(|| black_box(source_scaling(&w.window.packets, 8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table I: regenerate the data-set inventory (15 GreyNoise months, 5
+//! CAIDA windows) and benchmark the inventory computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obscor_bench::{bench_nv, fixture};
+use obscor_telescope::inventory;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(bench_nv(), 42);
+
+    // Print the regenerated Table I once, in the paper's shape.
+    eprintln!("\n=== TABLE I (regenerated, N_V = {}) ===", f.scenario.n_v);
+    eprintln!("GreyNoise Month   Sources");
+    for (m, keys) in f.monthly_sources.iter().enumerate() {
+        eprintln!("{:<17} {:>9}", f.scenario.grid.label(m), keys.len());
+    }
+    eprintln!("{}", obscor_telescope::inventory::render(&inventory(&f.windows)));
+
+    c.bench_function("table1/caida_inventory", |b| {
+        b.iter(|| black_box(inventory(&f.windows)))
+    });
+    c.bench_function("table1/greynoise_month_sizes", |b| {
+        b.iter(|| {
+            let total: usize = f.monthly_sources.iter().map(|k| k.len()).sum();
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Substrate bench: synthetic packet generation, windowing, and the
+//! libpcap codec at capture rates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obscor_bench::fixture;
+use obscor_netmodel::{PacketStream, TrafficConfig};
+use obscor_pcap::{AcceptAll, ConstantPacketWindower, PcapReader, PcapWriter};
+use obscor_telescope::capture_window;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(1 << 16, 42);
+    let scenario = &f.scenario;
+
+    let mut g = c.benchmark_group("window_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(scenario.n_v as u64));
+
+    g.bench_function("packet_generation_raw", |b| {
+        b.iter(|| {
+            let rng = StdRng::seed_from_u64(1);
+            let stream = PacketStream::at_instant(
+                &scenario.population,
+                7.0,
+                TrafficConfig::default(),
+                0,
+                rng,
+            );
+            let count = stream.take(scenario.n_v).count();
+            black_box(count)
+        })
+    });
+
+    g.bench_function("windower", |b| {
+        b.iter(|| {
+            let rng = StdRng::seed_from_u64(1);
+            let stream = PacketStream::at_instant(
+                &scenario.population,
+                7.0,
+                TrafficConfig::default(),
+                0,
+                rng,
+            );
+            let mut w = ConstantPacketWindower::new(stream, AcceptAll, scenario.n_v);
+            black_box(w.next())
+        })
+    });
+
+    g.bench_function("capture_window_end_to_end", |b| {
+        b.iter(|| black_box(capture_window(scenario, &scenario.caida_windows[0])))
+    });
+
+    let w = capture_window(scenario, &scenario.caida_windows[0]);
+    g.bench_function("pcap_write", |b| {
+        b.iter(|| {
+            let mut writer = PcapWriter::new();
+            for p in &w.window.packets {
+                writer.write_packet(p);
+            }
+            black_box(writer.into_bytes())
+        })
+    });
+    let bytes = {
+        let mut writer = PcapWriter::new();
+        for p in &w.window.packets {
+            writer.write_packet(p);
+        }
+        writer.into_bytes()
+    };
+    g.bench_function("pcap_parse_and_verify_checksums", |b| {
+        b.iter(|| black_box(PcapReader::new(&bytes).unwrap().read_all().unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

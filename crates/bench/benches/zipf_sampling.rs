@@ -1,0 +1,39 @@
+//! Substrate bench: Zipf–Mandelbrot sampling and alias-table draws — the
+//! inner loop of synthetic packet emission.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obscor_stats::zipf::ZipfMandelbrot;
+use obscor_stats::AliasTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let zm = ZipfMandelbrot::new(1.3, 2.0, 1 << 14);
+    let weights: Vec<f64> = (1..=200_000).map(|i| 1.0 / (i as f64).powf(1.3)).collect();
+    let alias = AliasTable::new(&weights);
+
+    c.bench_function("zipf/construct_2^14", |b| {
+        b.iter(|| black_box(ZipfMandelbrot::new(1.3, 2.0, 1 << 14)))
+    });
+
+    let mut g = c.benchmark_group("sampling");
+    let n = 100_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("zipf_inverse_cdf_100k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(zm.sample_n(&mut rng, n)))
+    });
+    g.bench_function("alias_table_100k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(alias.sample_n(&mut rng, n)))
+    });
+    g.finish();
+
+    c.bench_function("alias/construct_200k", |b| {
+        b.iter(|| black_box(AliasTable::new(&weights)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

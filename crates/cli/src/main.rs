@@ -1,0 +1,335 @@
+//! `obscor` — reproduce the tables and figures of *Temporal Correlation
+//! of Internet Observatories and Outposts* on a synthetic world.
+//!
+//! ```text
+//! obscor reproduce [--nv <packets>] [--seed <u64>] [--fast] [--tsv] [--only <artifact>]
+//! obscor generate  [--nv <packets>] [--seed <u64>] [--window <0..4>] --out <file.pcap>
+//! obscor info      [--nv <packets>] [--seed <u64>]
+//! ```
+//!
+//! * `reproduce` runs the full pipeline and prints every table and figure
+//!   (or one artifact: `table1`, `table2`, `fig1`, `fig3`, `fig4`,
+//!   `fig5`, `fig6`, `fig7`, `fig8`).
+//! * `generate` captures one telescope window and writes it as a real
+//!   libpcap file (openable in tcpdump/wireshark).
+//! * `forecast` fits the temporal model on the first `--cutoff` months
+//!   and scores its predictions for the held-out months against a
+//!   persistence baseline.
+//! * `info` prints the scenario calibration summary.
+
+use obscor_core::{pipeline, AnalysisConfig};
+use obscor_netmodel::Scenario;
+use obscor_pcap::PcapWriter;
+use obscor_telescope::capture_window;
+use std::process::ExitCode;
+
+const DEFAULT_NV: usize = 1 << 20;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  obscor reproduce [--nv N] [--seed S] [--fast] [--tsv] [--check] [--only ARTIFACT]
+  obscor generate  [--nv N] [--seed S] [--window 0..4] [--filter EXPR] --out FILE
+  obscor forecast  [--nv N] [--seed S] [--cutoff K]
+  obscor info      [--nv N] [--seed S]
+
+ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 classes subnets scaling";
+
+struct Options {
+    nv: usize,
+    seed: u64,
+    fast: bool,
+    tsv: bool,
+    check: bool,
+    only: Option<String>,
+    window: usize,
+    out: Option<String>,
+    cutoff: usize,
+    filter: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        nv: DEFAULT_NV,
+        seed: 42,
+        fast: false,
+        tsv: false,
+        check: false,
+        only: None,
+        window: 0,
+        out: None,
+        cutoff: 10,
+        filter: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(|s| s.to_string()).ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--nv" => {
+                let v = value("--nv")?;
+                o.nv = parse_nv(&v)?;
+            }
+            "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--fast" => o.fast = true,
+            "--tsv" => o.tsv = true,
+            "--check" => o.check = true,
+            "--only" => o.only = Some(value("--only")?),
+            "--window" => {
+                o.window = value("--window")?.parse().map_err(|_| "bad --window")?;
+                if o.window > 4 {
+                    return Err("--window must be 0..=4".into());
+                }
+            }
+            "--out" => o.out = Some(value("--out")?),
+            "--filter" => o.filter = Some(value("--filter")?),
+            "--cutoff" => {
+                o.cutoff = value("--cutoff")?.parse().map_err(|_| "bad --cutoff")?;
+                if !(4..15).contains(&o.cutoff) {
+                    return Err("--cutoff must be 4..=14".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+/// Accept `1048576` or `2^20`.
+fn parse_nv(s: &str) -> Result<usize, String> {
+    if let Some(exp) = s.strip_prefix("2^") {
+        let e: u32 = exp.parse().map_err(|_| "bad exponent in --nv")?;
+        if e >= usize::BITS {
+            return Err("--nv exponent too large".into());
+        }
+        Ok(1usize << e)
+    } else {
+        s.parse().map_err(|_| "bad --nv".into())
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    let o = parse(rest)?;
+    match cmd.as_str() {
+        "reproduce" => reproduce(o),
+        "generate" => generate(o),
+        "forecast" => forecast(o),
+        "info" => info(o),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn build_scenario(o: &Options) -> Scenario {
+    eprintln!(
+        "building scenario: N_V = {} (sqrt = {:.0}), seed = {}",
+        o.nv,
+        (o.nv as f64).sqrt(),
+        o.seed
+    );
+    Scenario::paper_scaled(o.nv, o.seed)
+}
+
+fn reproduce(o: Options) -> Result<(), String> {
+    let scenario = build_scenario(&o);
+    let config = if o.fast { AnalysisConfig::fast() } else { AnalysisConfig::default() };
+    eprintln!(
+        "population: {} sources; capturing 5 windows x {} packets + 15 honeyfarm months...",
+        scenario.population.len(),
+        scenario.n_v
+    );
+    let analysis = pipeline::run(&scenario, &config);
+    if o.check {
+        let v = obscor_core::validate::validate(&analysis, !o.fast);
+        eprintln!("{}", v.render());
+        if !v.all_passed() {
+            return Err("self-validation failed".into());
+        }
+    }
+    if o.tsv {
+        println!("{}", analysis.to_tsv());
+        return Ok(());
+    }
+    let out = match o.only.as_deref() {
+        None => analysis.render_all(),
+        Some("table1") => analysis.render_table1(),
+        Some("table2") => analysis.render_table2(),
+        Some("fig1") => analysis.render_fig1(),
+        Some("fig2") => analysis.render_fig2(),
+        Some("fig3") => analysis.render_fig3(),
+        Some("fig4") => analysis.render_fig4(),
+        Some("fig5") => analysis.render_fig5(),
+        Some("fig6") => analysis.render_fig6(),
+        Some("fig7") => analysis.render_fig7(),
+        Some("fig8") => analysis.render_fig8(),
+        Some("classes") => analysis.render_classes(),
+        Some("subnets") => analysis.render_subnets(),
+        Some("scaling") => analysis.render_scaling(),
+        Some(other) => return Err(format!("unknown artifact {other}")),
+    };
+    println!("{out}");
+    Ok(())
+}
+
+fn generate(o: Options) -> Result<(), String> {
+    let out_path = o.out.clone().ok_or("generate needs --out")?;
+    let scenario = build_scenario(&o);
+    let spec = &scenario.caida_windows[o.window];
+    eprintln!("capturing window {} ({})...", o.window, spec.label);
+    let w = capture_window(&scenario, spec);
+    let expr = match &o.filter {
+        Some(text) => {
+            Some(obscor_pcap::parse_filter(text).map_err(|e| format!("bad --filter: {e}"))?)
+        }
+        None => None,
+    };
+    let mut writer = PcapWriter::new();
+    let mut kept = 0usize;
+    for p in &w.window.packets {
+        use obscor_pcap::PacketFilter;
+        if expr.as_ref().map(|e| e.accept(p)).unwrap_or(true) {
+            writer.write_packet(p);
+            kept += 1;
+        }
+    }
+    if expr.is_some() {
+        eprintln!("filter kept {kept}/{} packets", w.packets());
+    }
+    let bytes = writer.into_bytes();
+    std::fs::write(&out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!(
+        "wrote {} packets ({} bytes, {:.0} s span) to {}",
+        kept,
+        bytes.len(),
+        w.duration_secs(),
+        out_path
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.nv, DEFAULT_NV);
+        assert_eq!(o.seed, 42);
+        assert!(!o.fast && !o.tsv);
+        assert!(o.only.is_none() && o.out.is_none());
+    }
+
+    #[test]
+    fn nv_forms() {
+        assert_eq!(parse(&args("--nv 65536")).unwrap().nv, 65536);
+        assert_eq!(parse(&args("--nv 2^18")).unwrap().nv, 1 << 18);
+        assert!(parse(&args("--nv 2^99")).is_err());
+        assert!(parse(&args("--nv banana")).is_err());
+        assert!(parse(&args("--nv")).is_err());
+    }
+
+    #[test]
+    fn all_flags_together() {
+        let o = parse(&args("--nv 2^14 --seed 7 --fast --tsv --only fig4 --window 3 --out x.pcap"))
+            .unwrap();
+        assert_eq!(o.nv, 1 << 14);
+        assert_eq!(o.seed, 7);
+        assert!(o.fast && o.tsv);
+        assert_eq!(o.only.as_deref(), Some("fig4"));
+        assert_eq!(o.window, 3);
+        assert_eq!(o.out.as_deref(), Some("x.pcap"));
+    }
+
+    #[test]
+    fn window_bounds() {
+        assert!(parse(&args("--window 4")).is_ok());
+        assert!(parse(&args("--window 5")).is_err());
+        assert!(parse(&args("--window x")).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        assert!(parse(&args("--frobnicate")).is_err());
+    }
+
+    #[test]
+    fn subcommand_dispatch_errors() {
+        assert!(run(vec![]).is_err());
+        assert!(run(args("unknowncmd")).is_err());
+        assert!(run(args("help")).is_ok());
+        // generate without --out fails before doing any work.
+        assert!(run(args("generate --nv 2^12")).is_err());
+    }
+}
+
+fn forecast(o: Options) -> Result<(), String> {
+    use obscor_core::forecast::forecast_all;
+    use obscor_core::temporal::temporal_curves;
+    let scenario = build_scenario(&o);
+    let config = if o.fast { AnalysisConfig::fast() } else { AnalysisConfig::default() };
+    eprintln!("measuring temporal curves...");
+    let holder = obscor_anonymize::sharing::Holder::new("telescope", &[5u8; 32]);
+    let months = obscor_honeyfarm::observe_all_months(&scenario);
+    let monthly: Vec<_> = months.iter().map(|m| m.source_keys().clone()).collect();
+    let mut curves = Vec::new();
+    for w in 0..scenario.caida_windows.len() {
+        let wd = obscor_core::WindowDegrees::capture(&scenario, w, &holder);
+        curves.extend(temporal_curves(&wd, &monthly, config.min_bin_sources.max(30)));
+    }
+    let evals = forecast_all(&curves, o.cutoff, &config);
+    println!("fit on months 0..{}, predict months {}..15", o.cutoff, o.cutoff);
+    println!("window                bin     model MAE  persistence MAE  winner");
+    let mut wins = 0usize;
+    for e in &evals {
+        if e.model_wins() {
+            wins += 1;
+        }
+        println!(
+            "{:<21} d=2^{:<3} {:>9.4} {:>16.4}  {}",
+            e.window_label,
+            e.bin,
+            e.model_mae(),
+            e.baseline_mae(),
+            if e.model_wins() { "model" } else { "persistence" }
+        );
+    }
+    println!("model beats persistence on {wins}/{} curves", evals.len());
+    Ok(())
+}
+
+fn info(o: Options) -> Result<(), String> {
+    let scenario = build_scenario(&o);
+    println!("scenario calibration");
+    println!("  N_V                  {}", scenario.n_v);
+    println!("  sqrt(N_V) knee       {:.0} (log2 = {:.1})", scenario.sqrt_nv(), scenario.bright_log2());
+    println!("  population           {} sources", scenario.population.len());
+    println!("  brightness->degree   {:.3}", scenario.brightness_to_degree);
+    println!("  months               {} ({} .. {})",
+        scenario.grid.len(), scenario.grid.label(0), scenario.grid.label(scenario.grid.len() - 1));
+    println!("  windows:");
+    for w in &scenario.caida_windows {
+        println!("    {} (t = {:.2} months)", w.label, w.coord);
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! End-to-end tests of the `obscor` binary.
+
+use std::process::Command;
+
+fn obscor() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_obscor"))
+}
+
+#[test]
+fn info_prints_calibration() {
+    let out = obscor().args(["info", "--nv", "2^13", "--seed", "9"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("scenario calibration"));
+    assert!(stdout.contains("sqrt(N_V) knee"));
+    assert!(stdout.contains("2020-06-17-12:00:00"));
+}
+
+#[test]
+fn reproduce_single_artifact() {
+    let out = obscor()
+        .args(["reproduce", "--nv", "2^13", "--seed", "9", "--fast", "--only", "table1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("TABLE I"));
+    assert!(stdout.contains("2021-04"));
+    assert!(!stdout.contains("FIG 4"), "--only must print one artifact");
+}
+
+#[test]
+fn reproduce_tsv_is_machine_readable() {
+    let out = obscor()
+        .args(["reproduce", "--nv", "2^13", "--seed", "9", "--fast", "--tsv"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.lines().any(|l| l.starts_with("fig4\t")));
+    assert!(stdout.lines().any(|l| l.starts_with("fit\t")));
+}
+
+#[test]
+fn reproduce_check_passes_non_strict() {
+    // --fast implies non-strict validation; must pass at tiny N_V.
+    let out = obscor()
+        .args(["reproduce", "--nv", "2^13", "--seed", "9", "--fast", "--check", "--only", "fig1"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(stderr.contains("SELF-VALIDATION"));
+    assert!(stderr.contains("PASS"));
+}
+
+#[test]
+fn generate_writes_a_readable_pcap() {
+    let dir = std::env::temp_dir().join("obscor_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("w0.pcap");
+    let out = obscor()
+        .args([
+            "generate",
+            "--nv",
+            "2^12",
+            "--seed",
+            "9",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let bytes = std::fs::read(&path).unwrap();
+    // Global header magic, LE.
+    assert_eq!(&bytes[..4], &0xA1B2_C3D4u32.to_le_bytes());
+    let packets = obscor_pcap::PcapReader::new(&bytes).unwrap().read_all().unwrap();
+    assert_eq!(packets.len(), 1 << 12);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn generate_with_filter_keeps_matching_packets_only() {
+    let dir = std::env::temp_dir().join("obscor_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("filtered.pcap");
+    let out = obscor()
+        .args([
+            "generate",
+            "--nv",
+            "2^12",
+            "--seed",
+            "9",
+            "--filter",
+            "proto tcp and not port 6667",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(stderr.contains("filter kept"));
+    let bytes = std::fs::read(&path).unwrap();
+    let packets = obscor_pcap::PcapReader::new(&bytes).unwrap().read_all().unwrap();
+    assert!(!packets.is_empty());
+    assert!(packets
+        .iter()
+        .all(|p| p.proto == obscor_pcap::Protocol::Tcp && p.dst_port != 6667));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_invocations_fail_with_usage() {
+    for args in [
+        vec!["reproduce", "--only", "fig99"],
+        vec!["generate"], // missing --out
+        vec!["nonsense"],
+        vec!["reproduce", "--nv", "banana"],
+        vec!["generate", "--filter", "proto banana", "--out", "/tmp/x.pcap"],
+    ] {
+        let out = obscor().args(&args).output().unwrap();
+        assert!(!out.status.success(), "should fail: {args:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("usage:"), "no usage in stderr for {args:?}");
+    }
+}

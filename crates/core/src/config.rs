@@ -1,0 +1,71 @@
+//! Analysis configuration: bin thresholds and fit grids.
+
+use obscor_stats::fit::{default_mc_alpha_grid, default_mc_beta_grid};
+use obscor_stats::zipf::{default_alpha_grid, default_delta_grid};
+
+/// Knobs of the correlation analysis. The defaults reproduce the paper's
+/// procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisConfig {
+    /// Minimum sources a log2 degree bin must hold to enter the
+    /// correlation statistics (guards the bright tail where a bin may
+    /// hold one or two sources).
+    pub min_bin_sources: usize,
+    /// Zipf–Mandelbrot α grid for the Fig 3 fit.
+    pub zm_alphas: Vec<f64>,
+    /// Zipf–Mandelbrot δ grid for the Fig 3 fit.
+    pub zm_deltas: Vec<f64>,
+    /// Modified-Cauchy α grid for the Fig 5-8 fits.
+    pub mc_alphas: Vec<f64>,
+    /// Modified-Cauchy β grid for the Fig 5-8 fits.
+    pub mc_betas: Vec<f64>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            min_bin_sources: 10,
+            zm_alphas: default_alpha_grid(),
+            zm_deltas: default_delta_grid(),
+            mc_alphas: default_mc_alpha_grid(),
+            mc_betas: default_mc_beta_grid(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A coarser configuration for fast tests: smaller grids, same
+    /// structure.
+    pub fn fast() -> Self {
+        Self {
+            min_bin_sources: 5,
+            zm_alphas: (2..=16).map(|i| i as f64 * 0.25).collect(),
+            zm_deltas: vec![0.0, 1.0, 2.0, 4.0],
+            mc_alphas: (1..=16).map(|i| i as f64 * 0.25).collect(),
+            mc_betas: (0..20).map(|i| 0.05 * 1.5f64.powi(i)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grids_are_nonempty() {
+        let c = AnalysisConfig::default();
+        assert!(!c.zm_alphas.is_empty());
+        assert!(!c.zm_deltas.is_empty());
+        assert!(!c.mc_alphas.is_empty());
+        assert!(!c.mc_betas.is_empty());
+        assert!(c.min_bin_sources > 0);
+    }
+
+    #[test]
+    fn fast_is_smaller_than_default() {
+        let (f, d) = (AnalysisConfig::fast(), AnalysisConfig::default());
+        assert!(f.zm_alphas.len() < d.zm_alphas.len());
+        assert!(f.mc_alphas.len() < d.mc_alphas.len());
+        assert!(f.mc_betas.len() < d.mc_betas.len());
+    }
+}

@@ -1,0 +1,188 @@
+//! Forecasting future overlap from fitted temporal models.
+//!
+//! The paper closes with: "Each of these observations provides a basis
+//! for predictions for future measurements." This module makes that
+//! concrete: fit the modified Cauchy on the months up to a cutoff, then
+//! predict the telescope∩honeyfarm fraction for the held-out months, and
+//! score the prediction against the actual measurements — with a
+//! persistence baseline (last observed value carries forward) for
+//! comparison, as any forecasting claim needs one.
+
+use crate::config::AnalysisConfig;
+use crate::temporal::TemporalCurve;
+use obscor_stats::fit::fit_modified_cauchy_grid;
+
+/// A held-out evaluation of one curve's forecast.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForecastEval {
+    /// Window label.
+    pub window_label: String,
+    /// Degree bin.
+    pub bin: u32,
+    /// Months used for fitting (indices `0..cutoff`).
+    pub cutoff: usize,
+    /// Held-out month indices.
+    pub held_out: Vec<usize>,
+    /// Model predictions for the held-out months.
+    pub predicted: Vec<f64>,
+    /// Actual measured fractions.
+    pub actual: Vec<f64>,
+    /// Persistence-baseline predictions (last trained value).
+    pub baseline: Vec<f64>,
+}
+
+impl ForecastEval {
+    /// Mean absolute error of the model on the held-out months.
+    pub fn model_mae(&self) -> f64 {
+        mae(&self.predicted, &self.actual)
+    }
+
+    /// Mean absolute error of the persistence baseline.
+    pub fn baseline_mae(&self) -> f64 {
+        mae(&self.baseline, &self.actual)
+    }
+
+    /// Whether the fitted model beats persistence.
+    pub fn model_wins(&self) -> bool {
+        self.model_mae() <= self.baseline_mae()
+    }
+}
+
+fn mae(pred: &[f64], actual: &[f64]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Fit the curve on months `< cutoff` and evaluate on the rest.
+///
+/// Returns `None` if fewer than 4 training months, no held-out months, or
+/// the training data is all zero.
+pub fn forecast_curve(
+    curve: &TemporalCurve,
+    cutoff: usize,
+    config: &AnalysisConfig,
+) -> Option<ForecastEval> {
+    if cutoff < 4 || cutoff >= curve.months.len() {
+        return None;
+    }
+    let train_lags = &curve.lags[..cutoff];
+    let train_vals = &curve.fractions[..cutoff];
+    let fit = fit_modified_cauchy_grid(
+        train_lags,
+        train_vals,
+        &config.mc_alphas,
+        &config.mc_betas,
+    )?;
+    let held_out: Vec<usize> = curve.months[cutoff..].to_vec();
+    let predicted: Vec<f64> =
+        curve.lags[cutoff..].iter().map(|&lag| fit.eval(lag)).collect();
+    let actual: Vec<f64> = curve.fractions[cutoff..].to_vec();
+    let last_train = train_vals[cutoff - 1];
+    let baseline = vec![last_train; actual.len()];
+    Some(ForecastEval {
+        window_label: curve.window_label.clone(),
+        bin: curve.bin,
+        cutoff,
+        held_out,
+        predicted,
+        actual,
+        baseline,
+    })
+}
+
+/// Forecast every curve with enough training months; curves whose window
+/// sits too late in the span (no post-cutoff decay to learn from) are
+/// skipped.
+pub fn forecast_all(
+    curves: &[TemporalCurve],
+    cutoff: usize,
+    config: &AnalysisConfig,
+) -> Vec<ForecastEval> {
+    curves
+        .iter()
+        .filter(|c| c.coord < cutoff as f64 - 1.0)
+        .filter_map(|c| forecast_curve(c, cutoff, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obscor_stats::TemporalModel;
+
+    fn model_curve(alpha: f64, beta: f64, noise: f64) -> TemporalCurve {
+        let model = TemporalModel::ModifiedCauchy { alpha, beta };
+        let coord = 4.5;
+        let months: Vec<usize> = (0..15).collect();
+        let lags: Vec<f64> = months.iter().map(|&m| (m as f64 + 0.5) - coord).collect();
+        let fractions: Vec<f64> = lags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let wiggle = noise * ((i * 2654435761) % 7) as f64 / 7.0;
+                (0.7 * model.eval(t) + wiggle).min(1.0)
+            })
+            .collect();
+        TemporalCurve {
+            window_label: "w".into(),
+            coord,
+            bin: 8,
+            d: 256,
+            n_sources: 100,
+            months,
+            lags,
+            fractions,
+        }
+    }
+
+    #[test]
+    fn clean_curve_forecasts_exactly() {
+        let curve = model_curve(1.0, 2.0, 0.0);
+        let eval = forecast_curve(&curve, 10, &AnalysisConfig::default()).unwrap();
+        assert_eq!(eval.held_out, vec![10, 11, 12, 13, 14]);
+        assert!(eval.model_mae() < 0.02, "model MAE {}", eval.model_mae());
+        assert!(eval.model_wins());
+    }
+
+    #[test]
+    fn model_beats_persistence_on_decaying_curves() {
+        // Persistence holds the last (still-decaying) value flat; the
+        // model knows the tail keeps falling.
+        let curve = model_curve(1.2, 1.0, 0.01);
+        let eval = forecast_curve(&curve, 9, &AnalysisConfig::default()).unwrap();
+        assert!(
+            eval.model_mae() < eval.baseline_mae(),
+            "model {} vs baseline {}",
+            eval.model_mae(),
+            eval.baseline_mae()
+        );
+    }
+
+    #[test]
+    fn too_short_training_is_rejected() {
+        let curve = model_curve(1.0, 2.0, 0.0);
+        assert!(forecast_curve(&curve, 3, &AnalysisConfig::default()).is_none());
+        assert!(forecast_curve(&curve, 15, &AnalysisConfig::default()).is_none());
+    }
+
+    #[test]
+    fn all_zero_training_is_rejected() {
+        let mut curve = model_curve(1.0, 2.0, 0.0);
+        for v in curve.fractions.iter_mut().take(10) {
+            *v = 0.0;
+        }
+        assert!(forecast_curve(&curve, 10, &AnalysisConfig::default()).is_none());
+    }
+
+    #[test]
+    fn forecast_all_skips_late_windows() {
+        let mut early = model_curve(1.0, 2.0, 0.0);
+        early.coord = 4.5;
+        let mut late = model_curve(1.0, 2.0, 0.0);
+        late.coord = 12.5;
+        let evals = forecast_all(&[early, late], 10, &AnalysisConfig::default());
+        assert_eq!(evals.len(), 1, "late window must be excluded");
+    }
+}

@@ -1,0 +1,399 @@
+//! The end-to-end analysis pipeline.
+
+use crate::config::AnalysisConfig;
+use crate::degree::WindowDegrees;
+use crate::distribution::{degree_distribution, DegreeDistribution};
+use crate::fitscan::{fit_curves, BinFit};
+use crate::peak::{peak_correlation, PeakCorrelation};
+use crate::classes::{class_correlation, ClassCorrelation};
+use crate::scaling::source_scaling;
+use crate::subnets::{aggregate_by_prefix, SubnetRow};
+use crate::temporal::{temporal_curves, TemporalCurve};
+use obscor_anonymize::sharing::Holder;
+use obscor_assoc::KeySet;
+use obscor_honeyfarm::observe_all_months;
+use obscor_hypersparse::reduce::NetworkQuantities;
+use obscor_netmodel::Scenario;
+use obscor_telescope::{capture_all_windows, inventory, matrix, InventoryRow};
+use rayon::prelude::*;
+
+/// One GreyNoise row of Table I.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GreyNoiseInventoryRow {
+    /// Month label (`YYYY-MM`).
+    pub label: String,
+    /// Sources detected that month.
+    pub sources: usize,
+}
+
+/// Fig 1: which traffic-matrix quadrants each instrument populates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuadrantSummary {
+    /// Telescope: external → internal entries (the only darkspace quadrant).
+    pub telescope_ext_to_int: u64,
+    /// Telescope: internal → external entries (must be zero — darkspaces
+    /// never transmit).
+    pub telescope_int_to_ext: u64,
+    /// Honeyfarm: sources it *received* from (external → internal).
+    pub honeyfarm_ext_to_int: u64,
+    /// Honeyfarm: sources it *responded to* (internal → external — the
+    /// engagement conversations that exist because an outpost answers).
+    pub honeyfarm_int_to_ext: u64,
+}
+
+/// Everything needed to print every table and figure of the paper.
+#[derive(Clone, Debug)]
+pub struct PaperAnalysis {
+    /// Window size.
+    pub n_v: usize,
+    /// `log2 sqrt(N_V)` — the Fig 4 knee.
+    pub bright_log2: f64,
+    /// Table I, CAIDA side.
+    pub caida_inventory: Vec<InventoryRow>,
+    /// Table I, GreyNoise side.
+    pub greynoise_inventory: Vec<GreyNoiseInventoryRow>,
+    /// Table II quantities per window.
+    pub quantities: Vec<(String, NetworkQuantities)>,
+    /// Fig 1 quadrant occupancy.
+    pub quadrants: QuadrantSummary,
+    /// Fig 3 per window.
+    pub distributions: Vec<DegreeDistribution>,
+    /// Fig 2's wider quantity menu on the first window: binned
+    /// distributions of fan-out, fan-in, destination packets, and link
+    /// packets.
+    pub quantity_distributions: Vec<(String, DegreeDistribution)>,
+    /// Fig 4 per window.
+    pub peaks: Vec<PeakCorrelation>,
+    /// Figs 5/6 raw curves (window × bin).
+    pub curves: Vec<TemporalCurve>,
+    /// Figs 5-8 fits.
+    pub fits: Vec<BinFit>,
+    /// Enrichment-aware extension: the class structure of each window's
+    /// coeval overlap (scanner/botnet/backscatter/misconfig shares).
+    pub class_structure: Vec<ClassCorrelation>,
+    /// Subnet extension: top /16 prefixes per window by packets (the
+    /// prefix-preserving-anonymization payoff).
+    pub subnet_top: Vec<(String, Vec<SubnetRow>)>,
+    /// Scaling extension: per-window sources-vs-packets exponent and R²
+    /// (the paper's `sources ∝ N_V^{1/2}` observation).
+    pub scaling: Vec<(String, f64, f64)>,
+}
+
+/// Run the complete paper pipeline on a scenario.
+///
+/// Stages (parallel where data-independent):
+/// 1. capture the five constant-packet telescope windows,
+/// 2. build hierarchical traffic matrices; compute Table II quantities and
+///    the Fig 1 quadrant check,
+/// 3. reduce to per-source degrees and deanonymize via the send-back
+///    workflow,
+/// 4. observe the fifteen honeyfarm months,
+/// 5. per window: Fig 3 distribution + ZM fit, Fig 4 coeval correlation,
+///    Figs 5/6 temporal curves,
+/// 6. fit every curve (Figs 5-8).
+pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
+    let holder = Holder::new("telescope-operator", &holder_key(scenario.seed));
+
+    // 1-2. Capture and matrix per window.
+    let windows = capture_all_windows(scenario);
+    let caida_inventory = inventory(&windows);
+    let matrices: Vec<_> = windows.par_iter().map(matrix::build_matrix).collect();
+    let quantities: Vec<(String, NetworkQuantities)> = windows
+        .iter()
+        .zip(&matrices)
+        .map(|(w, m)| (w.label.clone(), NetworkQuantities::compute(m)))
+        .collect();
+
+    // 3. Degrees through the anonymization workflow (reusing the
+    // already-built matrices).
+    let degrees: Vec<WindowDegrees> = windows
+        .par_iter()
+        .zip(&matrices)
+        .map(|(w, m)| {
+            let month = (w.coord.floor() as usize).min(scenario.grid.len() - 1);
+            WindowDegrees::from_matrix(&w.label, w.coord, month, m, &holder)
+        })
+        .collect();
+
+    // 4. Honeyfarm months.
+    let months = observe_all_months(scenario);
+    let greynoise_inventory: Vec<GreyNoiseInventoryRow> = months
+        .iter()
+        .map(|m| GreyNoiseInventoryRow { label: m.label.clone(), sources: m.n_sources() })
+        .collect();
+    let monthly_sources: Vec<KeySet> =
+        months.iter().map(|m| m.source_keys().clone()).collect();
+
+    // Fig 1 quadrant occupancy.
+    let telescope_ext_to_int: u64 =
+        matrices.iter().map(|m| m.nnz() as u64).sum();
+    let honeyfarm_engaged: u64 = months
+        .iter()
+        .map(|m| {
+            m.assoc
+                .iter()
+                .filter(|(_, c, v)| *c == "handshake" && *v == "true")
+                .count() as u64
+        })
+        .sum();
+    let honeyfarm_seen: u64 = months.iter().map(|m| m.n_sources() as u64).sum();
+    let quadrants = QuadrantSummary {
+        telescope_ext_to_int,
+        telescope_int_to_ext: 0, // asserted structurally: darkspace rows are external-only
+        honeyfarm_ext_to_int: honeyfarm_seen,
+        honeyfarm_int_to_ext: honeyfarm_engaged,
+    };
+
+    // 5. Per-window analyses.
+    let distributions: Vec<DegreeDistribution> =
+        degrees.par_iter().map(|wd| degree_distribution(wd, config)).collect();
+    // Fig 2: the wider quantity menu, on the first window's matrix.
+    let quantity_distributions: Vec<(String, DegreeDistribution)> = match matrices.first() {
+        None => Vec::new(),
+        Some(m) => {
+            use crate::distribution::binned_distribution;
+            use obscor_hypersparse::reduce;
+            let label = &windows[0].label;
+            vec![
+                (
+                    "source fan-out".to_string(),
+                    binned_distribution(
+                        label,
+                        reduce::source_fan_out(m).into_iter().map(|(_, d)| d),
+                        config,
+                    ),
+                ),
+                (
+                    "destination fan-in".to_string(),
+                    binned_distribution(
+                        label,
+                        reduce::destination_fan_in(m).into_iter().map(|(_, d)| d),
+                        config,
+                    ),
+                ),
+                (
+                    "destination packets".to_string(),
+                    binned_distribution(
+                        label,
+                        reduce::destination_packets(m).into_iter().map(|(_, d)| d),
+                        config,
+                    ),
+                ),
+                (
+                    "link packets".to_string(),
+                    binned_distribution(
+                        label,
+                        m.values().iter().copied(),
+                        config,
+                    ),
+                ),
+            ]
+        }
+    };
+    let peaks: Vec<PeakCorrelation> = degrees
+        .par_iter()
+        .map(|wd| {
+            peak_correlation(
+                wd,
+                &monthly_sources[wd.month],
+                scenario.bright_log2(),
+                config.min_bin_sources,
+            )
+        })
+        .collect();
+    let curves: Vec<TemporalCurve> = degrees
+        .par_iter()
+        .flat_map(|wd| temporal_curves(wd, &monthly_sources, config.min_bin_sources))
+        .collect();
+
+    // 6. Fits.
+    let fits = fit_curves(&curves, config);
+
+    // Enrichment-aware extension: class split of the coeval overlap.
+    let class_structure: Vec<ClassCorrelation> =
+        degrees.iter().map(|wd| class_correlation(wd, &months[wd.month])).collect();
+
+    // Scaling extension: sources-vs-packets exponent per window.
+    let scaling: Vec<(String, f64, f64)> = windows
+        .iter()
+        .filter_map(|w| {
+            source_scaling(&w.window.packets, 8)
+                .map(|l| (w.label.clone(), l.exponent, l.r_squared))
+        })
+        .collect();
+
+    // Subnet extension: top /16s per window.
+    let subnet_top: Vec<(String, Vec<SubnetRow>)> = degrees
+        .iter()
+        .map(|wd| {
+            let mut rows = aggregate_by_prefix(wd, 16);
+            rows.truncate(5);
+            (wd.label.clone(), rows)
+        })
+        .collect();
+
+    PaperAnalysis {
+        n_v: scenario.n_v,
+        bright_log2: scenario.bright_log2(),
+        caida_inventory,
+        greynoise_inventory,
+        quantities,
+        quadrants,
+        distributions,
+        quantity_distributions,
+        peaks,
+        curves,
+        fits,
+        class_structure,
+        subnet_top,
+        scaling,
+    }
+}
+
+/// Derive the telescope operator's CryptoPAN key from the scenario seed
+/// (deterministic, but distinct from every model RNG stream).
+fn holder_key(seed: u64) -> [u8; 32] {
+    let mut key = [0u8; 32];
+    let mut x = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+    for chunk in key.chunks_exact_mut(8) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn analysis() -> &'static (Scenario, PaperAnalysis) {
+        static A: OnceLock<(Scenario, PaperAnalysis)> = OnceLock::new();
+        A.get_or_init(|| {
+            let s = Scenario::paper_scaled(1 << 15, 11);
+            let a = run(&s, &AnalysisConfig::fast());
+            (s, a)
+        })
+    }
+
+    #[test]
+    fn inventories_have_paper_shape() {
+        let (_, a) = analysis();
+        assert_eq!(a.caida_inventory.len(), 5);
+        assert_eq!(a.greynoise_inventory.len(), 15);
+        assert!(a.greynoise_inventory.iter().all(|r| r.sources > 0));
+    }
+
+    #[test]
+    fn table2_quantities_are_consistent() {
+        let (s, a) = analysis();
+        for (_, q) in &a.quantities {
+            assert_eq!(q.valid_packets, s.n_v as u64);
+            assert!(q.unique_sources > 0);
+            assert!(q.unique_links >= q.unique_sources);
+            assert!(q.max_source_packets <= q.valid_packets);
+        }
+    }
+
+    #[test]
+    fn quadrant_occupancy_matches_fig1() {
+        let (_, a) = analysis();
+        assert!(a.quadrants.telescope_ext_to_int > 0);
+        assert_eq!(a.quadrants.telescope_int_to_ext, 0);
+        assert!(a.quadrants.honeyfarm_ext_to_int > 0);
+        assert!(a.quadrants.honeyfarm_int_to_ext > 0);
+        // The honeyfarm engages a subset of what it sees.
+        assert!(a.quadrants.honeyfarm_int_to_ext <= a.quadrants.honeyfarm_ext_to_int);
+    }
+
+    #[test]
+    fn greynoise_config_change_months_spike() {
+        let (_, a) = analysis();
+        let normal = a.greynoise_inventory[0].sources as f64;
+        let boosted = a.greynoise_inventory[1].sources as f64;
+        assert!(boosted > normal * 1.5, "2020-03 spike missing: {boosted} vs {normal}");
+    }
+
+    #[test]
+    fn figures_are_populated() {
+        let (_, a) = analysis();
+        assert_eq!(a.distributions.len(), 5);
+        assert_eq!(a.peaks.len(), 5);
+        assert!(!a.curves.is_empty());
+        assert!(!a.fits.is_empty());
+        assert!(a.distributions.iter().all(|d| d.fit.is_some()));
+    }
+
+    #[test]
+    fn bright_sources_are_nearly_always_coeval_detected() {
+        let (_, a) = analysis();
+        // Fig 4 headline: bins at/above the sqrt(N_V) knee have fractions
+        // near 1.
+        let mut checked = 0;
+        for peak in &a.peaks {
+            for p in &peak.points {
+                if (p.d as f64) >= 2f64.powf(a.bright_log2) {
+                    assert!(
+                        p.fraction > 0.85,
+                        "bright bin d={} fraction {}",
+                        p.d,
+                        p.fraction
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no bright bins had enough sources");
+    }
+
+    #[test]
+    fn faint_fraction_tracks_empirical_law() {
+        let (_, a) = analysis();
+        let mut total_err = 0.0;
+        let mut n = 0;
+        for peak in &a.peaks {
+            for p in &peak.points {
+                if p.n_sources >= 30 {
+                    total_err += (p.fraction - p.empirical_law).abs();
+                    n += 1;
+                }
+            }
+        }
+        assert!(n > 0);
+        let mean_err = total_err / n as f64;
+        assert!(mean_err < 0.15, "mean |measured - law| = {mean_err}");
+    }
+
+    #[test]
+    fn temporal_curves_decay_from_peak() {
+        let (_, a) = analysis();
+        let mut decays = 0;
+        for c in &a.curves {
+            if c.n_sources < 30 {
+                continue;
+            }
+            let peak = c.peak_fraction();
+            let far = c
+                .lags
+                .iter()
+                .zip(&c.fractions)
+                .filter(|(l, _)| l.abs() > 5.0)
+                .map(|(_, f)| *f)
+                .fold(0.0f64, f64::max);
+            if peak > far {
+                decays += 1;
+            }
+        }
+        assert!(decays >= a.curves.len() / 3, "too few decaying curves: {decays}");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let (s, a) = analysis();
+        let b = run(s, &AnalysisConfig::fast());
+        assert_eq!(a.greynoise_inventory, b.greynoise_inventory);
+        assert_eq!(a.curves, b.curves);
+    }
+}

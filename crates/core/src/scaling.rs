@@ -1,0 +1,118 @@
+//! Scaling relations within a window.
+//!
+//! The paper (and its refs 13/36) observes that "the number of unique
+//! sources seen at the CAIDA Telescope and other locations is
+//! approximately proportional to `N_V^{1/2}`" — and speculates this is
+//! why the Fig 4 knee sits at `sqrt(N_V)`. This module measures the
+//! sources-vs-packets scaling exponent directly: take nested prefixes of
+//! a captured window (2^10, 2^11, ..., N_V packets) and regress
+//! `log(unique sources)` on `log(packets)`.
+
+use obscor_pcap::Packet;
+use obscor_stats::regress::power_law_exponent;
+use std::collections::HashSet;
+
+/// The measured sources-vs-packets scaling of one window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingLaw {
+    /// `(packets, unique sources)` at each nested prefix size.
+    pub points: Vec<(u64, u64)>,
+    /// Log-log slope (the paper's ~1/2).
+    pub exponent: f64,
+    /// Goodness of the log-log line.
+    pub r_squared: f64,
+}
+
+/// Measure unique sources at nested prefix sizes `2^min_log2 ..= len`,
+/// then fit the scaling exponent.
+///
+/// Returns `None` if the window is shorter than `2^min_log2` packets or
+/// the regression is degenerate.
+pub fn source_scaling(packets: &[Packet], min_log2: u32) -> Option<ScalingLaw> {
+    let n = packets.len() as u64;
+    if n < (1 << min_log2) {
+        return None;
+    }
+    let mut points = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut next_mark = 1u64 << min_log2;
+    for (i, p) in packets.iter().enumerate() {
+        seen.insert(p.src.0);
+        let consumed = (i + 1) as u64;
+        if consumed == next_mark {
+            points.push((consumed, seen.len() as u64));
+            next_mark *= 2;
+        }
+    }
+    if points.last().map(|&(c, _)| c) != Some(n) && n > (1 << min_log2) {
+        points.push((n, seen.len() as u64));
+    }
+    let xs: Vec<f64> = points.iter().map(|&(c, _)| c as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, s)| s as f64).collect();
+    let (exponent, r_squared) = power_law_exponent(&xs, &ys)?;
+    Some(ScalingLaw { points, exponent, r_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obscor_netmodel::Scenario;
+    use obscor_telescope::capture_window;
+    use std::sync::OnceLock;
+
+    fn law() -> &'static ScalingLaw {
+        static L: OnceLock<ScalingLaw> = OnceLock::new();
+        L.get_or_init(|| {
+            let s = Scenario::paper_scaled(1 << 16, 29);
+            let w = capture_window(&s, &s.caida_windows[0]);
+            source_scaling(&w.window.packets, 8).unwrap()
+        })
+    }
+
+    #[test]
+    fn sources_grow_sublinearly_with_packets() {
+        let l = law();
+        assert!(
+            (0.2..0.95).contains(&l.exponent),
+            "scaling exponent {} not sublinear",
+            l.exponent
+        );
+        assert!(l.r_squared > 0.9, "scaling law is not a line: R2 {}", l.r_squared);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let l = law();
+        for pair in l.points.windows(2) {
+            assert!(pair[1].0 > pair[0].0);
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        // Unique sources never exceed packets.
+        assert!(l.points.iter().all(|&(c, s)| s <= c));
+    }
+
+    #[test]
+    fn short_windows_are_rejected() {
+        let s = Scenario::paper_scaled(1 << 14, 30);
+        let w = capture_window(&s, &s.caida_windows[0]);
+        assert!(source_scaling(&w.window.packets[..512], 8).is_some());
+        assert!(source_scaling(&w.window.packets[..512], 10).is_none());
+        assert!(source_scaling(&[], 4).is_none());
+    }
+
+    #[test]
+    fn single_source_stream_has_flat_scaling() {
+        let s = Scenario::paper_scaled(1 << 14, 31);
+        let w = capture_window(&s, &s.caida_windows[0]);
+        // Rewrite every packet to one source: unique sources stay 1.
+        let mono: Vec<Packet> = w
+            .window
+            .packets
+            .iter()
+            .map(|p| Packet { src: obscor_pcap::Ip4(42), ..*p })
+            .collect();
+        let l = source_scaling(&mono, 8).unwrap();
+        assert!(l.exponent.abs() < 1e-9, "exponent {}", l.exponent);
+        assert!(l.points.iter().all(|&(_, s)| s == 1));
+    }
+}

@@ -1,0 +1,232 @@
+//! Self-validation of an analysis against the paper's headline claims.
+//!
+//! `obscor reproduce --check` runs these invariants after the pipeline;
+//! they are the machine-checkable form of the abstract: bright sources
+//! are (nearly) always coevally detected, the faint side follows the log
+//! law, temporal curves decay from their coeval peak, the modified Cauchy
+//! explains them better than a Gaussian, and the bookkeeping (packet
+//! conservation, inventory shapes) is exact.
+
+use crate::pipeline::PaperAnalysis;
+
+/// One validated claim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Check {
+    /// Short machine-readable name.
+    pub name: &'static str,
+    /// Human-readable statement with measured numbers.
+    pub detail: String,
+    /// Whether the claim held.
+    pub passed: bool,
+}
+
+/// The full validation report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Validation {
+    /// Every check, in evaluation order.
+    pub checks: Vec<Check>,
+}
+
+impl Validation {
+    /// Whether every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Render as a pass/fail table.
+    pub fn render(&self) -> String {
+        let mut s = String::from("SELF-VALIDATION\n");
+        for c in &self.checks {
+            s.push_str(&format!(
+                "[{}] {:<28} {}\n",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            ));
+        }
+        s
+    }
+}
+
+fn check(checks: &mut Vec<Check>, name: &'static str, passed: bool, detail: String) {
+    checks.push(Check { name, detail, passed });
+}
+
+/// Validate an analysis. `strict` additionally requires the statistical
+/// claims that need large bins (skip at tiny `N_V`).
+pub fn validate(a: &PaperAnalysis, strict: bool) -> Validation {
+    let mut checks = Vec::new();
+
+    // Inventory shapes.
+    check(
+        &mut checks,
+        "inventory_shape",
+        a.caida_inventory.len() == 5 && a.greynoise_inventory.len() == 15,
+        format!(
+            "{} windows, {} months",
+            a.caida_inventory.len(),
+            a.greynoise_inventory.len()
+        ),
+    );
+
+    // Packet conservation: every window's matrix holds exactly N_V.
+    let conserved = a.quantities.iter().all(|(_, q)| q.valid_packets == a.n_v as u64);
+    check(
+        &mut checks,
+        "packet_conservation",
+        conserved,
+        format!("all windows sum to N_V = {}", a.n_v),
+    );
+
+    // Quadrants (Fig 1).
+    check(
+        &mut checks,
+        "darkspace_quadrant",
+        a.quadrants.telescope_int_to_ext == 0 && a.quadrants.telescope_ext_to_int > 0,
+        format!(
+            "telescope ext->int {} / int->ext {}",
+            a.quadrants.telescope_ext_to_int, a.quadrants.telescope_int_to_ext
+        ),
+    );
+
+    // Distributions normalized (Fig 3).
+    let mass_ok = a
+        .distributions
+        .iter()
+        .all(|d| (d.binned.total() - 1.0).abs() < 1e-6 || d.binned.is_empty());
+    check(&mut checks, "distribution_mass", mass_ok, "D(d_i) sums to 1 per window".into());
+
+    // Bright coeval plateau (Fig 4).
+    let bright: Vec<f64> = a
+        .peaks
+        .iter()
+        .flat_map(|p| p.points.iter())
+        .filter(|p| (p.d as f64).log2() >= a.bright_log2 && p.n_sources >= 5)
+        .map(|p| p.fraction)
+        .collect();
+    let bright_mean = if bright.is_empty() {
+        f64::NAN
+    } else {
+        bright.iter().sum::<f64>() / bright.len() as f64
+    };
+    check(
+        &mut checks,
+        "bright_coeval_plateau",
+        !strict || bright_mean > 0.7,
+        format!("mean bright coeval fraction {bright_mean:.3} over {} bins", bright.len()),
+    );
+
+    // Faint log law (Fig 4).
+    let faint: Vec<f64> = a
+        .peaks
+        .iter()
+        .flat_map(|p| p.points.iter())
+        .filter(|p| (p.d as f64).log2() < a.bright_log2 && p.n_sources >= 30)
+        .map(|p| (p.fraction - p.empirical_law).abs())
+        .collect();
+    let faint_err = if faint.is_empty() {
+        f64::NAN
+    } else {
+        faint.iter().sum::<f64>() / faint.len() as f64
+    };
+    check(
+        &mut checks,
+        "faint_log_law",
+        !strict || (faint_err.is_finite() && faint_err < 0.15),
+        format!("mean |measured - law| = {faint_err:.3} over {} bins", faint.len()),
+    );
+
+    // Temporal decay (Figs 5/6).
+    let decaying = a
+        .curves
+        .iter()
+        .filter(|c| c.n_sources >= 30)
+        .filter(|c| {
+            let far = c
+                .lags
+                .iter()
+                .zip(&c.fractions)
+                .filter(|(l, _)| l.abs() >= 5.0)
+                .map(|(_, f)| *f)
+                .fold(0.0f64, f64::max);
+            c.peak_fraction() > far
+        })
+        .count();
+    let eligible = a.curves.iter().filter(|c| c.n_sources >= 30).count();
+    check(
+        &mut checks,
+        "temporal_decay",
+        !strict || (eligible > 0 && decaying * 2 >= eligible),
+        format!("{decaying}/{eligible} well-populated curves decay from their peak"),
+    );
+
+    // Fits exist and alpha is order one (Fig 7).
+    let alphas: Vec<f64> = a
+        .fits
+        .iter()
+        .filter(|f| f.n_sources >= 30)
+        .map(|f| f.modified_cauchy.alpha)
+        .collect();
+    let alpha_mean = if alphas.is_empty() {
+        f64::NAN
+    } else {
+        alphas.iter().sum::<f64>() / alphas.len() as f64
+    };
+    check(
+        &mut checks,
+        "alpha_order_one",
+        !strict || (alpha_mean.is_finite() && (0.3..=2.5).contains(&alpha_mean)),
+        format!("mean modified-Cauchy alpha {alpha_mean:.2} over {} fits", alphas.len()),
+    );
+
+    Validation { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::pipeline::run;
+    use obscor_netmodel::Scenario;
+
+    #[test]
+    fn healthy_analysis_passes_strict() {
+        let s = Scenario::paper_scaled(1 << 15, 17);
+        let a = run(&s, &AnalysisConfig::fast());
+        let v = validate(&a, true);
+        assert!(v.all_passed(), "{}", v.render());
+        assert_eq!(v.checks.len(), 8);
+    }
+
+    #[test]
+    fn sabotaged_analysis_fails() {
+        let s = Scenario::paper_scaled(1 << 14, 18);
+        let mut a = run(&s, &AnalysisConfig::fast());
+        a.quantities[0].1.valid_packets -= 1; // break conservation
+        let v = validate(&a, false);
+        assert!(!v.all_passed());
+        assert!(v.checks.iter().any(|c| c.name == "packet_conservation" && !c.passed));
+    }
+
+    #[test]
+    fn render_lists_every_check() {
+        let s = Scenario::paper_scaled(1 << 14, 19);
+        let a = run(&s, &AnalysisConfig::fast());
+        let v = validate(&a, false);
+        let out = v.render();
+        assert_eq!(out.lines().count(), v.checks.len() + 1);
+        assert!(out.contains("PASS"));
+    }
+
+    #[test]
+    fn non_strict_tolerates_thin_statistics() {
+        // At tiny N_V the statistical claims may be unmeasurable; non-strict
+        // validation must still pass the structural checks.
+        let s = Scenario::paper_scaled(1 << 13, 20);
+        let a = run(&s, &AnalysisConfig::fast());
+        let v = validate(&a, false);
+        for c in &v.checks {
+            assert!(c.passed, "structural check failed: {} ({})", c.name, c.detail);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The detection model: who does the honeyfarm see in a month?
+//!
+//! The only published constraint on GreyNoise's per-source detection
+//! efficiency is the paper's own Fig 4: during the same month, CAIDA
+//! sources brighter than `sqrt(N_V)` window packets are nearly always in
+//! the GreyNoise set, and below the knee the probability follows
+//! `log2(d) / log2(sqrt(N_V))`. That empirical law is encoded here as the
+//! sensor efficiency — the measurement pipeline must then *recover* it
+//! from the two raw observation sets (Fig 4), and its interaction with the
+//! drifting beam produces the temporal curves (Figs 5-8).
+
+use obscor_netmodel::Source;
+
+/// Brightness-dependent detection efficiency with per-month coverage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectionModel {
+    /// `log2(sqrt(N_V))` — the knee of the efficiency curve in expected
+    /// window-degree units.
+    pub bright_log2: f64,
+    /// Conversion from planted brightness to expected window degree.
+    pub brightness_to_degree: f64,
+}
+
+impl DetectionModel {
+    /// Build from the scenario's calibration values.
+    ///
+    /// # Panics
+    /// Panics unless `bright_log2 > 0` and `brightness_to_degree > 0`.
+    pub fn new(bright_log2: f64, brightness_to_degree: f64) -> Self {
+        assert!(bright_log2 > 0.0, "bright_log2 must be positive");
+        assert!(brightness_to_degree > 0.0, "degree conversion must be positive");
+        Self { bright_log2, brightness_to_degree }
+    }
+
+    /// The base efficiency for a source of planted brightness `b`:
+    /// `min(1, log2(d_expected) / log2(sqrt(N_V)))`, clamped at 0 for
+    /// sub-unit expected degrees.
+    pub fn efficiency(&self, brightness: f64) -> f64 {
+        let d = (brightness * self.brightness_to_degree).max(1.0);
+        (d.log2() / self.bright_log2).clamp(0.0, 1.0)
+    }
+
+    /// The probability that `source` appears in the honeyfarm's set for
+    /// the month `[lo, hi)`, given that month's `coverage` boost.
+    ///
+    /// Active sources are detected with the boosted efficiency; inactive
+    /// ones reappear with the source's background revisit probability
+    /// (times efficiency), producing the long-lag floor of Fig 5.
+    pub fn monthly_probability(
+        &self,
+        source: &Source,
+        lo: f64,
+        hi: f64,
+        coverage: f64,
+    ) -> f64 {
+        let eff = (self.efficiency(source.brightness) * coverage).clamp(0.0, 1.0);
+        if source.interval.overlaps(lo, hi) {
+            eff
+        } else {
+            (source.revisit_prob * eff * coverage.max(1.0)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obscor_netmodel::{ActivityInterval, SourceClass};
+    use obscor_pcap::Ip4;
+
+    fn model() -> DetectionModel {
+        // N_V = 2^22: bright_log2 = 11.
+        DetectionModel::new(11.0, 1.0)
+    }
+
+    fn source(brightness: f64, birth: f64, end: f64) -> Source {
+        Source {
+            ip: Ip4(0x01020304),
+            brightness,
+            class: SourceClass::Scanner,
+            interval: ActivityInterval::new(birth, end),
+            revisit_prob: 0.03,
+        }
+    }
+
+    #[test]
+    fn efficiency_follows_the_log_law() {
+        let m = model();
+        // Bright sources (d >= 2^11) are always detected.
+        assert_eq!(m.efficiency(4096.0), 1.0);
+        assert_eq!(m.efficiency(1.0e9), 1.0);
+        // The faint side follows log2(d)/11.
+        assert!((m.efficiency(2.0_f64.powi(5)) - 5.0 / 11.0).abs() < 1e-12);
+        assert!((m.efficiency(2.0_f64.powi(8)) - 8.0 / 11.0).abs() < 1e-12);
+        // Degree-1 sources are (almost) never detected.
+        assert_eq!(m.efficiency(1.0), 0.0);
+    }
+
+    #[test]
+    fn efficiency_uses_the_degree_conversion() {
+        let m = DetectionModel::new(11.0, 4.0);
+        // brightness 2^9 -> expected degree 2^11 -> efficiency 1.
+        assert_eq!(m.efficiency(512.0), 1.0);
+    }
+
+    #[test]
+    fn active_sources_use_full_efficiency() {
+        let m = model();
+        let s = source(2048.0, 0.0, 15.0);
+        assert_eq!(m.monthly_probability(&s, 4.0, 5.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn inactive_sources_fall_to_revisit_floor() {
+        let m = model();
+        let s = source(2048.0, 0.0, 3.0);
+        let p = m.monthly_probability(&s, 10.0, 11.0, 1.0);
+        assert!((p - 0.03).abs() < 1e-12, "floor {p}");
+    }
+
+    #[test]
+    fn partial_overlap_counts_as_active() {
+        let m = model();
+        let s = source(2048.0, 4.9, 5.05);
+        assert_eq!(m.monthly_probability(&s, 4.0, 5.0, 1.0), 1.0);
+        assert_eq!(m.monthly_probability(&s, 5.0, 6.0, 1.0), 1.0);
+        assert!((m.monthly_probability(&s, 6.0, 7.0, 1.0) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_boost_raises_faint_detection() {
+        let m = model();
+        let s = source(16.0, 0.0, 15.0); // efficiency 4/11
+        let base = m.monthly_probability(&s, 4.0, 5.0, 1.0);
+        let boosted = m.monthly_probability(&s, 4.0, 5.0, 2.0);
+        assert!((base - 4.0 / 11.0).abs() < 1e-12);
+        assert!((boosted - 8.0 / 11.0).abs() < 1e-12);
+        // But it saturates at certainty.
+        assert_eq!(m.monthly_probability(&s, 4.0, 5.0, 100.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_model_rejected() {
+        let _ = DetectionModel::new(0.0, 1.0);
+    }
+}

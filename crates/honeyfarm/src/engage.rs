@@ -1,0 +1,100 @@
+//! Engagement-based classification.
+//!
+//! Unlike a passive darkspace, the honeyfarm *responds* to traffic, so it
+//! can probe a source's behaviour and label it — GreyNoise's enrichment.
+//! Classification here observes the source's true behavioural class
+//! through a noisy channel (real enrichment pipelines mislabel a small
+//! fraction), and maps classes onto GreyNoise-style intent labels.
+
+use obscor_netmodel::SourceClass;
+use rand::{Rng, RngExt};
+
+/// Probability that engagement yields the correct behaviour class.
+pub const CLASSIFICATION_ACCURACY: f64 = 0.9;
+
+/// The result of engaging one source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Engagement {
+    /// The class label the honeyfarm assigns.
+    pub observed_class: SourceClass,
+    /// GreyNoise-style intent: "malicious" or "benign".
+    pub intent: &'static str,
+    /// Whether the source completed a TCP handshake when probed
+    /// (backscatter and misconfigurations don't: they never solicited
+    /// the conversation).
+    pub handshake: bool,
+}
+
+/// Engage a source of true class `class` and produce the observed
+/// enrichment.
+pub fn engage<R: Rng + ?Sized>(class: SourceClass, rng: &mut R) -> Engagement {
+    let observed_class = if rng.random::<f64>() < CLASSIFICATION_ACCURACY {
+        class
+    } else {
+        // Misclassification: uniform over the other classes.
+        let others: Vec<SourceClass> =
+            SourceClass::ALL.into_iter().filter(|c| *c != class).collect();
+        others[rng.random_range(0..others.len())]
+    };
+    Engagement {
+        observed_class,
+        intent: intent_of(observed_class),
+        handshake: matches!(class, SourceClass::Scanner | SourceClass::Botnet),
+    }
+}
+
+/// GreyNoise-style intent mapping.
+pub fn intent_of(class: SourceClass) -> &'static str {
+    match class {
+        SourceClass::Scanner | SourceClass::Botnet => "malicious",
+        SourceClass::Backscatter | SourceClass::Misconfig => "benign",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classification_is_mostly_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let correct = (0..n)
+            .filter(|_| engage(SourceClass::Scanner, &mut rng).observed_class == SourceClass::Scanner)
+            .count();
+        let acc = correct as f64 / n as f64;
+        assert!((acc - CLASSIFICATION_ACCURACY).abs() < 0.01, "accuracy {acc}");
+    }
+
+    #[test]
+    fn misclassifications_cover_other_classes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            let e = engage(SourceClass::Misconfig, &mut rng);
+            if e.observed_class != SourceClass::Misconfig {
+                seen.insert(e.observed_class);
+            }
+        }
+        assert_eq!(seen.len(), 3, "all three other classes appear as errors");
+    }
+
+    #[test]
+    fn intent_mapping() {
+        assert_eq!(intent_of(SourceClass::Scanner), "malicious");
+        assert_eq!(intent_of(SourceClass::Botnet), "malicious");
+        assert_eq!(intent_of(SourceClass::Backscatter), "benign");
+        assert_eq!(intent_of(SourceClass::Misconfig), "benign");
+    }
+
+    #[test]
+    fn handshake_reflects_true_class() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(engage(SourceClass::Scanner, &mut rng).handshake);
+        assert!(engage(SourceClass::Botnet, &mut rng).handshake);
+        assert!(!engage(SourceClass::Backscatter, &mut rng).handshake);
+        assert!(!engage(SourceClass::Misconfig, &mut rng).handshake);
+    }
+}

@@ -1,0 +1,30 @@
+//! The honeyfarm outpost.
+//!
+//! Models the GreyNoise honeyfarm: "hundreds of servers that passively
+//! collect packets from hundreds of thousands of IPs seen scanning the
+//! internet every day. GreyNoise servers converse with these sources and
+//! analyze and enrich these observations to identify behavior, methods and
+//! intent."
+//!
+//! The honeyfarm observes the same synthetic world as the telescope but
+//! through a different instrument:
+//!
+//! * it integrates over *months*, not constant-packet windows,
+//! * its chance of seeing a source depends on the source's brightness
+//!   (detection efficiency, [`detect`]) and on how much of the month the
+//!   source was active (the drifting beam),
+//! * because it responds to traffic, it observes both traffic-matrix
+//!   quadrants and can classify sources ([`engage`]), producing the
+//!   enrichment metadata columns of its monthly D4M arrays ([`monthly`]).
+//!
+//! Sensor-fleet configuration changes (Table I's 2020-03 and 2021-04
+//! source-count spikes) enter as per-month coverage boosts.
+
+pub mod detect;
+pub mod engage;
+pub mod monthly;
+pub mod sensors;
+
+pub use detect::DetectionModel;
+pub use monthly::{observe_all_months, observe_month, MonthlyObservation};
+pub use sensors::SensorFleet;

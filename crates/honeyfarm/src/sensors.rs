@@ -1,0 +1,97 @@
+//! The sensor fleet.
+//!
+//! GreyNoise operates hundreds of sensor addresses scattered across many
+//! networks. The fleet's size sets the baseline detection efficiency; its
+//! addresses matter to the engagement layer (sources talk *to* the
+//! sensors, so the honeyfarm's traffic matrix has both quadrants).
+
+use obscor_pcap::Ip4;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// A fleet of honeyfarm sensor addresses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SensorFleet {
+    sensors: Vec<Ip4>,
+}
+
+impl SensorFleet {
+    /// Deploy `n` sensors at distinct addresses outside the darkspace /8
+    /// rooted at `darkspace_octet` (an observatory and an outpost never
+    /// share address space in the study).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn deploy(n: usize, darkspace_octet: u8, seed: u64) -> Self {
+        assert!(n > 0, "a honeyfarm needs sensors");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut used = HashSet::with_capacity(n);
+        let mut sensors = Vec::with_capacity(n);
+        while sensors.len() < n {
+            let ip: u32 = rng.random();
+            if (ip >> 24) as u8 == darkspace_octet {
+                continue;
+            }
+            if used.insert(ip) {
+                sensors.push(Ip4(ip));
+            }
+        }
+        sensors.sort_unstable();
+        Self { sensors }
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Whether the fleet is empty (never true after deployment).
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// The sensor addresses, sorted.
+    pub fn addresses(&self) -> &[Ip4] {
+        &self.sensors
+    }
+
+    /// Whether `ip` is one of the fleet's sensors.
+    pub fn is_sensor(&self, ip: Ip4) -> bool {
+        self.sensors.binary_search(&ip).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_is_deterministic_and_unique() {
+        let a = SensorFleet::deploy(500, 44, 1);
+        let b = SensorFleet::deploy(500, 44, 1);
+        assert_eq!(a, b);
+        let unique: HashSet<u32> = a.addresses().iter().map(|ip| ip.0).collect();
+        assert_eq!(unique.len(), 500);
+    }
+
+    #[test]
+    fn sensors_avoid_darkspace() {
+        let fleet = SensorFleet::deploy(1000, 44, 2);
+        assert!(fleet.addresses().iter().all(|ip| (ip.0 >> 24) as u8 != 44));
+    }
+
+    #[test]
+    fn membership_queries() {
+        let fleet = SensorFleet::deploy(100, 44, 3);
+        let first = fleet.addresses()[0];
+        assert!(fleet.is_sensor(first));
+        assert!(!fleet.is_sensor(Ip4(first.0.wrapping_add(1))) || fleet.addresses().contains(&Ip4(first.0 + 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs sensors")]
+    fn empty_fleet_rejected() {
+        let _ = SensorFleet::deploy(0, 44, 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the honeyfarm's detection model.
+
+use obscor_honeyfarm::DetectionModel;
+use obscor_netmodel::{ActivityInterval, Source, SourceClass};
+use obscor_pcap::Ip4;
+use proptest::prelude::*;
+
+fn source(brightness: f64, birth: f64, end: f64, revisit: f64) -> Source {
+    Source {
+        ip: Ip4(0x01020304),
+        brightness,
+        class: SourceClass::Scanner,
+        interval: ActivityInterval::new(birth, end),
+        revisit_prob: revisit,
+    }
+}
+
+proptest! {
+    /// Detection probabilities are always valid probabilities.
+    #[test]
+    fn probabilities_bounded(
+        brightness in 1.0f64..1e9,
+        birth in -30.0f64..30.0,
+        lifetime in 0.0f64..30.0,
+        month in 0usize..15,
+        coverage in 0.1f64..20.0,
+        bright_log2 in 1.0f64..20.0,
+        revisit in 0.0f64..0.2,
+    ) {
+        let m = DetectionModel::new(bright_log2, 1.0);
+        let s = source(brightness, birth, birth + lifetime, revisit);
+        let (lo, hi) = (month as f64, month as f64 + 1.0);
+        let p = m.monthly_probability(&s, lo, hi, coverage);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    /// Efficiency is monotone non-decreasing in brightness.
+    #[test]
+    fn efficiency_monotone(
+        b1 in 1.0f64..1e6,
+        factor in 1.0f64..100.0,
+        bright_log2 in 1.0f64..20.0,
+    ) {
+        let m = DetectionModel::new(bright_log2, 1.0);
+        prop_assert!(m.efficiency(b1 * factor) >= m.efficiency(b1));
+    }
+
+    /// Active months detect at least as well as inactive months (the
+    /// revisit floor never exceeds the live efficiency).
+    #[test]
+    fn active_beats_inactive(
+        brightness in 2.0f64..1e6,
+        coverage in 0.5f64..5.0,
+        revisit in 0.0f64..0.5,
+    ) {
+        let m = DetectionModel::new(10.0, 1.0);
+        let active = source(brightness, 0.0, 15.0, revisit);
+        let inactive = source(brightness, -10.0, -5.0, revisit);
+        let pa = m.monthly_probability(&active, 7.0, 8.0, coverage);
+        let pi = m.monthly_probability(&inactive, 7.0, 8.0, coverage);
+        prop_assert!(pa >= pi, "active {pa} < inactive {pi}");
+    }
+
+    /// More coverage never reduces detection.
+    #[test]
+    fn coverage_monotone(
+        brightness in 1.0f64..1e6,
+        c1 in 0.1f64..5.0,
+        extra in 1.0f64..5.0,
+    ) {
+        let m = DetectionModel::new(10.0, 1.0);
+        let s = source(brightness, 0.0, 15.0, 0.03);
+        let p1 = m.monthly_probability(&s, 3.0, 4.0, c1);
+        let p2 = m.monthly_probability(&s, 3.0, 4.0, c1 * extra);
+        prop_assert!(p2 >= p1 - 1e-12);
+    }
+}

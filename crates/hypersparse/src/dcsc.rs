@@ -1,0 +1,197 @@
+//! Doubly-compressed sparse column (DCSC) matrices.
+//!
+//! The column-oriented twin of [`crate::Csr`]: occupied columns are
+//! stored next to their row lists. SuiteSparse GraphBLAS keeps both
+//! orientations for hypersparse operands because column-side reductions
+//! (destination packets, fan-in) and column extraction are `O(log n)` on
+//! DCSC but require a transpose or a sort on DCSR. Built once from a CSR,
+//! a [`Dcsc`] answers all of Table II's destination-side quantities
+//! directly.
+
+use crate::csr::Csr;
+use crate::value::Value;
+use crate::{Coo, Index};
+
+/// Immutable hypersparse matrix in doubly-compressed sparse *column* form.
+///
+/// Invariants mirror [`Csr`]: strictly increasing occupied `col_keys`,
+/// strictly increasing row indices within each column, no stored zeros.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dcsc<V: Value> {
+    col_keys: Vec<Index>,
+    col_ptr: Vec<usize>,
+    row_keys: Vec<Index>,
+    vals: Vec<V>,
+}
+
+impl<V: Value> Dcsc<V> {
+    /// The empty matrix.
+    pub fn empty() -> Self {
+        Self { col_keys: Vec::new(), col_ptr: vec![0], row_keys: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Build from a row-oriented matrix (one sort; `O(nnz log nnz)`).
+    pub fn from_csr(a: &Csr<V>) -> Self {
+        let mut triples: Vec<(Index, Index, V)> =
+            a.iter().map(|(r, c, v)| (c, r, v)).collect();
+        triples.sort_unstable_by_key(|&(c, r, _)| ((c as u64) << 32) | r as u64);
+        let mut col_keys = Vec::new();
+        let mut col_ptr = vec![0usize];
+        let mut row_keys = Vec::with_capacity(triples.len());
+        let mut vals = Vec::with_capacity(triples.len());
+        for (c, r, v) in triples {
+            match col_keys.last() {
+                Some(&last) if last == c => {}
+                Some(_) => {
+                    col_ptr.push(row_keys.len());
+                    col_keys.push(c);
+                }
+                None => col_keys.push(c),
+            }
+            row_keys.push(r);
+            vals.push(v);
+        }
+        col_ptr.push(row_keys.len());
+        if col_keys.is_empty() {
+            return Self::empty();
+        }
+        Self { col_keys, col_ptr, row_keys, vals }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_keys.len()
+    }
+
+    /// Number of occupied columns — Table II's *unique destinations*.
+    pub fn n_cols(&self) -> usize {
+        self.col_keys.len()
+    }
+
+    /// The sorted occupied column indices.
+    pub fn col_keys(&self) -> &[Index] {
+        &self.col_keys
+    }
+
+    /// The `(rows, values)` slices of the `i`-th occupied column.
+    pub fn col_at(&self, i: usize) -> (&[Index], &[V]) {
+        let lo = self.col_ptr[i];
+        let hi = self.col_ptr[i + 1];
+        (&self.row_keys[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Look up a column by matrix index (`O(log n_cols)`).
+    pub fn col(&self, col: Index) -> Option<(&[Index], &[V])> {
+        let i = self.col_keys.binary_search(&col).ok()?;
+        Some(self.col_at(i))
+    }
+
+    /// Point lookup `A(row, col)`.
+    pub fn get(&self, row: Index, col: Index) -> Option<V> {
+        let (rows, vals) = self.col(col)?;
+        let j = rows.binary_search(&row).ok()?;
+        Some(vals[j])
+    }
+
+    /// Destination packets `(j, Σ_i A(i,j))` — Table II, column side,
+    /// computed without a transpose.
+    pub fn destination_packets(&self) -> Vec<(Index, u64)> {
+        (0..self.n_cols())
+            .map(|i| {
+                let (_, vals) = self.col_at(i);
+                (self.col_keys[i], vals.iter().map(|v| v.to_u64()).sum())
+            })
+            .collect()
+    }
+
+    /// Destination fan-in `(j, Σ_i |A(i,j)|_0)`.
+    pub fn destination_fan_in(&self) -> Vec<(Index, u64)> {
+        (0..self.n_cols())
+            .map(|i| (self.col_keys[i], self.col_at(i).0.len() as u64))
+            .collect()
+    }
+
+    /// Convert back to row orientation.
+    pub fn to_csr(&self) -> Csr<V> {
+        let mut coo = Coo::with_capacity(self.nnz());
+        for i in 0..self.n_cols() {
+            let c = self.col_keys[i];
+            let (rows, vals) = self.col_at(i);
+            for (&r, &v) in rows.iter().zip(vals) {
+                coo.push(r, c, v);
+            }
+        }
+        coo.into_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce;
+
+    fn sample() -> Csr<u64> {
+        Coo::from_triples(vec![
+            (1u32, 7u32, 5u64),
+            (1, 8, 1),
+            (2, 7, 4),
+            (9, 9, 2),
+            (u32::MAX, 7, 1),
+        ])
+        .into_csr()
+    }
+
+    #[test]
+    fn round_trip_csr_dcsc_csr() {
+        let a = sample();
+        let d = Dcsc::from_csr(&a);
+        assert_eq!(d.to_csr(), a);
+        assert_eq!(d.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn column_access() {
+        let d = Dcsc::from_csr(&sample());
+        assert_eq!(d.n_cols(), 3);
+        assert_eq!(d.col_keys(), &[7, 8, 9]);
+        let (rows, vals) = d.col(7).unwrap();
+        assert_eq!(rows, &[1, 2, u32::MAX]);
+        assert_eq!(vals, &[5, 4, 1]);
+        assert!(d.col(6).is_none());
+        assert_eq!(d.get(2, 7), Some(4));
+        assert_eq!(d.get(3, 7), None);
+    }
+
+    #[test]
+    fn destination_quantities_match_row_side_reductions() {
+        let a = sample();
+        let d = Dcsc::from_csr(&a);
+        assert_eq!(d.destination_packets(), reduce::destination_packets(&a));
+        assert_eq!(d.destination_fan_in(), reduce::destination_fan_in(&a));
+        assert_eq!(d.n_cols() as u64, reduce::unique_destinations(&a));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let d = Dcsc::from_csr(&Csr::<u64>::empty());
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.n_cols(), 0);
+        assert_eq!(d.to_csr(), Csr::empty());
+        assert_eq!(d, Dcsc::empty());
+    }
+
+    #[test]
+    fn matches_transpose_view() {
+        let a = sample();
+        let d = Dcsc::from_csr(&a);
+        let t = a.transpose();
+        // The DCSC of A has the same layout as the CSR of A'.
+        assert_eq!(d.col_keys(), t.row_keys());
+        for (i, &c) in d.col_keys().iter().enumerate() {
+            let (rows, vals) = d.col_at(i);
+            let (t_cols, t_vals) = t.row(c).unwrap();
+            assert_eq!(rows, t_cols);
+            assert_eq!(vals, t_vals);
+        }
+    }
+}

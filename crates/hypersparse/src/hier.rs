@@ -1,0 +1,244 @@
+//! Hierarchical hypersparse accumulation.
+//!
+//! The paper's traffic matrices are built by hierarchically summing small
+//! matrices: the telescope archives leaf matrices of `N_V = 2^17` contiguous
+//! packets; a `2^30`-packet study window is the sum of `2^13` leaves. The
+//! same architecture (Kepner et al., "75,000,000,000 streaming
+//! inserts/second using hierarchical hypersparse GraphBLAS matrices",
+//! IPDPS-W 2020) is what makes streaming construction fast: instead of one
+//! gigantic sort at the end, packets are compacted in cache-sized leaves and
+//! merged pairwise like a binary counter, so every merge is between two
+//! matrices of comparable size.
+//!
+//! [`HierarchicalAccumulator`] is that binary counter. The `bench` crate
+//! ablates it against flat single-sort accumulation.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::ops::ewise_add;
+use crate::value::Value;
+use crate::Index;
+
+/// Default leaf size, matching the paper's archived `2^17`-packet matrices.
+pub const DEFAULT_LEAF_CAPACITY: usize = 1 << 17;
+
+/// Streaming matrix builder that compacts input in leaves of
+/// `leaf_capacity` triples and merges leaves pairwise (binary-counter
+/// carry), yielding the same matrix as compacting everything at once.
+#[derive(Clone, Debug)]
+pub struct HierarchicalAccumulator<V: Value> {
+    leaf_capacity: usize,
+    buffer: Coo<V>,
+    /// `levels[k]` holds the carry matrix covering `2^k` leaves, if any.
+    levels: Vec<Option<Csr<V>>>,
+    stats: AccumulatorStats,
+}
+
+/// Merge/compaction counters for performance analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccumulatorStats {
+    /// Triples pushed in total.
+    pub pushed: u64,
+    /// Leaves compacted from COO to CSR.
+    pub leaves: u64,
+    /// Pairwise carry merges performed.
+    pub merges: u64,
+}
+
+impl<V: Value> HierarchicalAccumulator<V> {
+    /// Create an accumulator with the paper's default leaf size.
+    pub fn new() -> Self {
+        Self::with_leaf_capacity(DEFAULT_LEAF_CAPACITY)
+    }
+
+    /// Create an accumulator compacting every `leaf_capacity` triples.
+    ///
+    /// # Panics
+    /// Panics if `leaf_capacity == 0`.
+    pub fn with_leaf_capacity(leaf_capacity: usize) -> Self {
+        assert!(leaf_capacity > 0, "leaf capacity must be positive");
+        Self {
+            leaf_capacity,
+            buffer: Coo::with_capacity(leaf_capacity),
+            levels: Vec::new(),
+            stats: AccumulatorStats::default(),
+        }
+    }
+
+    /// Append one triple, carrying if the leaf fills.
+    #[inline]
+    pub fn push(&mut self, row: Index, col: Index, val: V) {
+        self.buffer.push(row, col, val);
+        self.stats.pushed += 1;
+        if self.buffer.len() >= self.leaf_capacity {
+            self.flush_leaf();
+        }
+    }
+
+    /// Append one unit-valued triple (a single packet).
+    #[inline]
+    pub fn push_edge(&mut self, row: Index, col: Index) {
+        self.push(row, col, V::one());
+    }
+
+    /// Compact the current partial leaf and carry it up the level chain.
+    pub fn flush_leaf(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let leaf = std::mem::replace(&mut self.buffer, Coo::with_capacity(self.leaf_capacity));
+        let mut carry = leaf.into_csr();
+        self.stats.leaves += 1;
+        let mut k = 0usize;
+        loop {
+            if k == self.levels.len() {
+                self.levels.push(Some(carry));
+                break;
+            }
+            match self.levels[k].take() {
+                None => {
+                    self.levels[k] = Some(carry);
+                    break;
+                }
+                Some(existing) => {
+                    carry = ewise_add(&existing, &carry);
+                    self.stats.merges += 1;
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Merge counters so far.
+    pub fn stats(&self) -> AccumulatorStats {
+        self.stats
+    }
+
+    /// Total triples pushed (buffered plus compacted).
+    pub fn len_pushed(&self) -> u64 {
+        self.stats.pushed
+    }
+
+    /// Finish: flush the partial leaf and fold all levels into one matrix.
+    pub fn finalize(mut self) -> Csr<V> {
+        self.flush_leaf();
+        let mut acc: Option<Csr<V>> = None;
+        for level in self.levels.into_iter().flatten() {
+            acc = Some(match acc {
+                None => level,
+                Some(a) => ewise_add(&a, &level),
+            });
+        }
+        acc.unwrap_or_else(Csr::empty)
+    }
+}
+
+impl<V: Value> Default for HierarchicalAccumulator<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Value> Extend<(Index, Index, V)> for HierarchicalAccumulator<V> {
+    fn extend<I: IntoIterator<Item = (Index, Index, V)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+/// Flat accumulation baseline: buffer everything, sort once. Used by the
+/// `hypersparse_insert` ablation bench and by correctness tests as the
+/// reference implementation.
+pub fn accumulate_flat<V: Value, I: IntoIterator<Item = (Index, Index, V)>>(iter: I) -> Csr<V> {
+    Coo::from_triples(iter).into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples(n: usize) -> Vec<(Index, Index, u64)> {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (((state >> 33) % 512) as Index, ((state >> 10) % 512) as Index, 1u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hierarchical_equals_flat() {
+        let t = triples(10_000);
+        let mut acc = HierarchicalAccumulator::with_leaf_capacity(256);
+        acc.extend(t.iter().copied());
+        let hier = acc.finalize();
+        let flat = accumulate_flat(t);
+        assert_eq!(hier, flat);
+    }
+
+    #[test]
+    fn exact_multiple_of_leaf_capacity() {
+        let t = triples(1024);
+        let mut acc = HierarchicalAccumulator::with_leaf_capacity(256);
+        acc.extend(t.iter().copied());
+        assert_eq!(acc.stats().leaves, 4);
+        assert_eq!(acc.finalize(), accumulate_flat(t));
+    }
+
+    #[test]
+    fn empty_accumulator_finalizes_empty() {
+        let acc = HierarchicalAccumulator::<u64>::new();
+        assert!(acc.finalize().is_empty());
+    }
+
+    #[test]
+    fn single_partial_leaf() {
+        let mut acc = HierarchicalAccumulator::with_leaf_capacity(1000);
+        acc.push(1, 2, 3u64);
+        acc.push(1, 2, 4u64);
+        let m = acc.finalize();
+        assert_eq!(m.get(1, 2), Some(7));
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn carry_chain_depth_is_logarithmic() {
+        let mut acc = HierarchicalAccumulator::with_leaf_capacity(16);
+        acc.extend(triples(16 * 64)); // exactly 64 leaves
+        let stats = acc.stats();
+        assert_eq!(stats.leaves, 64);
+        // A binary counter incremented 64 times performs 57 carries
+        // (64 - popcount-ish accounting): with 64 = 2^6 leaves the final
+        // state is one matrix at level 6 and 63 merges happened... but the
+        // exact count is levels-dependent; just sanity-bound it.
+        assert!(stats.merges >= 32 && stats.merges < 64, "merges = {}", stats.merges);
+    }
+
+    #[test]
+    fn stats_pushed_counts_everything() {
+        let mut acc = HierarchicalAccumulator::<u64>::with_leaf_capacity(8);
+        for i in 0..100 {
+            acc.push_edge(i % 10, i % 7);
+        }
+        assert_eq!(acc.len_pushed(), 100);
+        assert_eq!(crate::reduce::valid_packets(&acc.finalize()), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf capacity")]
+    fn zero_leaf_capacity_panics() {
+        let _ = HierarchicalAccumulator::<u64>::with_leaf_capacity(0);
+    }
+
+    #[test]
+    fn leaf_capacity_one_still_correct() {
+        let t = triples(50);
+        let mut acc = HierarchicalAccumulator::with_leaf_capacity(1);
+        acc.extend(t.iter().copied());
+        assert_eq!(acc.finalize(), accumulate_flat(t));
+    }
+}

@@ -1,0 +1,263 @@
+//! Element-wise matrix operations.
+//!
+//! The paper's analytics need only a small GraphBLAS subset: element-wise
+//! addition over the `(+, +)` semiring reduct (for hierarchical window
+//! accumulation), the zero-norm `| |_0` (pattern extraction), scalar
+//! scaling, and index permutation (which models anonymization — Table II
+//! notes all network quantities are invariant under it).
+
+use crate::csr::Csr;
+use crate::value::Value;
+use crate::Index;
+
+/// Element-wise sum `C = A + B`.
+///
+/// Implemented as a streaming two-way merge over the sorted row lists — the
+/// kernel that the hierarchical accumulator applies at every carry, so it is
+/// careful to be `O(nnz(A) + nnz(B))` with no hashing.
+pub fn ewise_add<V: Value>(a: &Csr<V>, b: &Csr<V>) -> Csr<V> {
+    let mut triples: Vec<(Index, Index, V)> = Vec::with_capacity(a.nnz() + b.nnz());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let (ra, rb) = (a.row_keys(), b.row_keys());
+    while ia < ra.len() || ib < rb.len() {
+        let next_a = ra.get(ia).copied();
+        let next_b = rb.get(ib).copied();
+        match (next_a, next_b) {
+            (Some(r), Some(s)) if r == s => {
+                merge_rows(r, a.row_at(ia), b.row_at(ib), &mut triples);
+                ia += 1;
+                ib += 1;
+            }
+            (Some(r), Some(s)) if r < s => {
+                copy_row(r, a.row_at(ia), &mut triples);
+                ia += 1;
+            }
+            (Some(_), Some(s)) => {
+                copy_row(s, b.row_at(ib), &mut triples);
+                ib += 1;
+            }
+            (Some(r), None) => {
+                copy_row(r, a.row_at(ia), &mut triples);
+                ia += 1;
+            }
+            (None, Some(s)) => {
+                copy_row(s, b.row_at(ib), &mut triples);
+                ib += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    Csr::from_sorted_dedup_triples(triples)
+}
+
+fn copy_row<V: Value>(r: Index, (cols, vals): (&[Index], &[V]), out: &mut Vec<(Index, Index, V)>) {
+    for (&c, &v) in cols.iter().zip(vals) {
+        out.push((r, c, v));
+    }
+}
+
+fn merge_rows<V: Value>(
+    r: Index,
+    (ca, va): (&[Index], &[V]),
+    (cb, vb): (&[Index], &[V]),
+    out: &mut Vec<(Index, Index, V)>,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ca.len() || j < cb.len() {
+        match (ca.get(i), cb.get(j)) {
+            (Some(&c), Some(&d)) if c == d => {
+                let mut v = va[i];
+                v += vb[j];
+                if !v.is_zero() {
+                    out.push((r, c, v));
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some(&c), Some(&d)) if c < d => {
+                out.push((r, c, va[i]));
+                i += 1;
+            }
+            (Some(_), Some(&d)) => {
+                out.push((r, d, vb[j]));
+                j += 1;
+            }
+            (Some(&c), None) => {
+                out.push((r, c, va[i]));
+                i += 1;
+            }
+            (None, Some(&d)) => {
+                out.push((r, d, vb[j]));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+/// Sum many matrices with a parallel pairwise reduction tree (rayon).
+///
+/// Equivalent to folding [`ewise_add`] left to right (addition is
+/// associative and commutative), but `O(log n)` depth: the shape used to
+/// re-assemble a window from its archived leaves.
+pub fn merge_all<V: Value>(mut parts: Vec<Csr<V>>) -> Csr<V> {
+    use rayon::prelude::*;
+    while parts.len() > 1 {
+        parts = parts
+            .par_chunks(2)
+            .map(|pair| match pair {
+                [a, b] => ewise_add(a, b),
+                [a] => a.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+    }
+    parts.pop().unwrap_or_else(Csr::empty)
+}
+
+/// The zero-norm `|A|_0`: every stored nonzero becomes `1`. This is the
+/// operator behind every "unique ..." quantity in Table II.
+pub fn zero_norm<V: Value>(a: &Csr<V>) -> Csr<V> {
+    let triples: Vec<(Index, Index, V)> = a.iter().map(|(r, c, _)| (r, c, V::one())).collect();
+    Csr::from_sorted_dedup_triples(triples)
+}
+
+/// Scale every stored value: `C(i,j) = f(A(i,j))`, dropping entries that `f`
+/// maps to zero.
+pub fn map_values<V: Value, W: Value, F: Fn(V) -> W>(a: &Csr<V>, f: F) -> Csr<W> {
+    let triples: Vec<(Index, Index, W)> = a
+        .iter()
+        .filter_map(|(r, c, v)| {
+            let w = f(v);
+            if w.is_zero() {
+                None
+            } else {
+                Some((r, c, w))
+            }
+        })
+        .collect();
+    Csr::from_sorted_dedup_triples(triples)
+}
+
+/// Apply an index bijection to both axes: `C(p(i), p(j)) = A(i, j)`.
+///
+/// Anonymization (CryptoPAN or hashing) is exactly such a permutation of the
+/// IPv4 index space; every Table II quantity must be invariant under this
+/// map, which the property tests verify.
+pub fn permute<V: Value, P: Fn(Index) -> Index>(a: &Csr<V>, p: P) -> Csr<V> {
+    let mut coo = crate::Coo::with_capacity(a.nnz());
+    for (r, c, v) in a.iter() {
+        coo.push(p(r), p(c), v);
+    }
+    coo.into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn m(triples: &[(Index, Index, u64)]) -> Csr<u64> {
+        Coo::from_triples(triples.iter().copied()).into_csr()
+    }
+
+    #[test]
+    fn ewise_add_disjoint_rows() {
+        let a = m(&[(1, 1, 1)]);
+        let b = m(&[(2, 2, 2)]);
+        let c = ewise_add(&a, &b);
+        assert_eq!(c.get(1, 1), Some(1));
+        assert_eq!(c.get(2, 2), Some(2));
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn ewise_add_overlapping_entries_sum() {
+        let a = m(&[(1, 1, 1), (1, 2, 5)]);
+        let b = m(&[(1, 1, 3), (1, 3, 7)]);
+        let c = ewise_add(&a, &b);
+        assert_eq!(c.get(1, 1), Some(4));
+        assert_eq!(c.get(1, 2), Some(5));
+        assert_eq!(c.get(1, 3), Some(7));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ewise_add_with_empty_is_identity() {
+        let a = m(&[(4, 4, 4), (9, 1, 2)]);
+        let e = Csr::empty();
+        assert_eq!(ewise_add(&a, &e), a);
+        assert_eq!(ewise_add(&e, &a), a);
+    }
+
+    #[test]
+    fn ewise_add_is_commutative() {
+        let a = m(&[(1, 1, 1), (3, 2, 9), (7, 7, 7)]);
+        let b = m(&[(1, 1, 2), (3, 5, 1)]);
+        assert_eq!(ewise_add(&a, &b), ewise_add(&b, &a));
+    }
+
+    #[test]
+    fn cancellation_drops_entries() {
+        let a = Coo::from_triples(vec![(1u32, 1u32, 2.0f64)]).into_csr();
+        let b = Coo::from_triples(vec![(1u32, 1u32, -2.0f64)]).into_csr();
+        let c = ewise_add(&a, &b);
+        assert!(c.is_empty());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_all_equals_sequential_fold() {
+        let parts: Vec<Csr<u64>> = (0..7u32)
+            .map(|k| m(&[(k, k, 1), (0, 0, 1), (k % 3, 5, 2)]))
+            .collect();
+        let folded = parts.iter().skip(1).fold(parts[0].clone(), |acc, x| ewise_add(&acc, x));
+        assert_eq!(merge_all(parts), folded);
+    }
+
+    #[test]
+    fn merge_all_edge_cases() {
+        assert!(merge_all(Vec::<Csr<u64>>::new()).is_empty());
+        let single = m(&[(1, 2, 3)]);
+        assert_eq!(merge_all(vec![single.clone()]), single);
+    }
+
+    #[test]
+    fn zero_norm_patterns() {
+        let a = m(&[(1, 1, 100), (2, 3, 42)]);
+        let z = zero_norm(&a);
+        assert_eq!(z.get(1, 1), Some(1));
+        assert_eq!(z.get(2, 3), Some(1));
+        assert_eq!(z.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn zero_norm_is_idempotent() {
+        let a = m(&[(1, 1, 100), (2, 3, 42), (9, 0, 7)]);
+        let z = zero_norm(&a);
+        assert_eq!(zero_norm(&z), z);
+    }
+
+    #[test]
+    fn map_values_drops_zeros() {
+        let a = m(&[(1, 1, 1), (2, 2, 10)]);
+        let c = map_values(&a, |v| if v > 5 { v } else { 0 });
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(2, 2), Some(10));
+    }
+
+    #[test]
+    fn permute_preserves_values() {
+        let a = m(&[(1, 2, 3), (4, 5, 6)]);
+        let p = permute(&a, |i| i.wrapping_add(100));
+        assert_eq!(p.get(101, 102), Some(3));
+        assert_eq!(p.get(104, 105), Some(6));
+        assert_eq!(p.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn permute_identity_is_noop() {
+        let a = m(&[(1, 2, 3), (4, 5, 6), (0, 0, 1)]);
+        assert_eq!(permute(&a, |i| i), a);
+    }
+}

@@ -1,0 +1,147 @@
+//! Concurrent streaming matrix construction.
+//!
+//! The telescope ingest path of the paper's infrastructure accepts packets
+//! from many capture threads at once. [`StreamingBuilder`] reproduces that
+//! architecture in miniature: producers hand batches of triples to a pool of
+//! worker threads over a bounded crossbeam channel; each worker owns a
+//! private [`HierarchicalAccumulator`]; on `finish` the per-worker matrices
+//! are folded with element-wise addition. Because matrix addition is
+//! commutative and associative, the result is identical to a serial build no
+//! matter how batches interleave — a property the tests exercise.
+
+use crate::csr::Csr;
+use crate::hier::HierarchicalAccumulator;
+use crate::ops::ewise_add;
+use crate::value::Value;
+use crate::Index;
+use crossbeam::channel::{bounded, Sender};
+use std::thread::JoinHandle;
+
+/// A batch of `(row, col, value)` triples handed to the worker pool.
+pub type Batch<V> = Vec<(Index, Index, V)>;
+
+/// Multi-producer concurrent builder for hypersparse matrices.
+pub struct StreamingBuilder<V: Value> {
+    senders: Vec<Sender<Batch<V>>>,
+    handles: Vec<JoinHandle<Csr<V>>>,
+    next_worker: usize,
+    sent: u64,
+}
+
+impl<V: Value> StreamingBuilder<V> {
+    /// Spawn `n_workers` accumulator threads, each compacting in leaves of
+    /// `leaf_capacity` triples. `channel_depth` bounds the number of batches
+    /// buffered per worker before senders block (backpressure).
+    ///
+    /// # Panics
+    /// Panics if `n_workers == 0` or `leaf_capacity == 0`.
+    pub fn new(n_workers: usize, leaf_capacity: usize, channel_depth: usize) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        let mut senders = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx) = bounded::<Batch<V>>(channel_depth.max(1));
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                let mut acc = HierarchicalAccumulator::with_leaf_capacity(leaf_capacity);
+                for batch in rx.iter() {
+                    acc.extend(batch);
+                }
+                acc.finalize()
+            }));
+        }
+        Self { senders, handles, next_worker: 0, sent: 0 }
+    }
+
+    /// Hand one batch to the pool (round-robin sharding).
+    ///
+    /// # Panics
+    /// Panics if a worker thread has died (its receiver is gone).
+    pub fn send_batch(&mut self, batch: Batch<V>) {
+        self.sent += batch.len() as u64;
+        self.senders[self.next_worker]
+            .send(batch)
+            .expect("streaming worker thread terminated early");
+        self.next_worker = (self.next_worker + 1) % self.senders.len();
+    }
+
+    /// Total triples sent so far.
+    pub fn triples_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Close the channels, join the workers, and fold their matrices.
+    pub fn finish(self) -> Csr<V> {
+        drop(self.senders);
+        let mut acc: Option<Csr<V>> = None;
+        for handle in self.handles {
+            let part = handle.join().expect("streaming worker panicked");
+            acc = Some(match acc {
+                None => part,
+                Some(a) => ewise_add(&a, &part),
+            });
+        }
+        acc.unwrap_or_else(Csr::empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hier::accumulate_flat;
+
+    fn triples(n: usize, seed: u64) -> Vec<(Index, Index, u64)> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (((state >> 33) % 300) as Index, ((state >> 11) % 300) as Index, 1u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_build_matches_flat() {
+        let t = triples(50_000, 42);
+        let mut b = StreamingBuilder::new(4, 512, 8);
+        for chunk in t.chunks(777) {
+            b.send_batch(chunk.to_vec());
+        }
+        assert_eq!(b.triples_sent(), 50_000);
+        assert_eq!(b.finish(), accumulate_flat(t));
+    }
+
+    #[test]
+    fn single_worker_matches_flat() {
+        let t = triples(5_000, 7);
+        let mut b = StreamingBuilder::new(1, 64, 2);
+        for chunk in t.chunks(100) {
+            b.send_batch(chunk.to_vec());
+        }
+        assert_eq!(b.finish(), accumulate_flat(t));
+    }
+
+    #[test]
+    fn no_batches_yields_empty() {
+        let b = StreamingBuilder::<u64>::new(3, 128, 4);
+        assert!(b.finish().is_empty());
+    }
+
+    #[test]
+    fn empty_batches_are_harmless() {
+        let mut b = StreamingBuilder::<u64>::new(2, 128, 4);
+        b.send_batch(vec![]);
+        b.send_batch(vec![(1, 1, 1)]);
+        b.send_batch(vec![]);
+        let m = b.finish();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = StreamingBuilder::<u64>::new(0, 128, 4);
+    }
+}

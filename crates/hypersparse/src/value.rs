@@ -1,0 +1,128 @@
+//! Scalar value trait for matrix entries.
+//!
+//! The paper stores packet counts as floating point inside GraphBLAS matrices
+//! (`A_t(16843009, 33686018) = 3.0`), but integer counters are the natural
+//! representation for exact analytics. Everything in this crate is generic
+//! over [`Value`], implemented for `u32`, `u64`, and `f64`.
+
+use std::fmt::Debug;
+use std::ops::AddAssign;
+
+/// A scalar that can live inside a hypersparse matrix.
+///
+/// The operations required are exactly those used by the paper's Table II
+/// quantities: addition (packet accumulation), comparison (maxima), and a
+/// zero/one pair (the zero-norm `| |_0` that maps every nonzero to 1).
+pub trait Value:
+    Copy + Clone + Debug + Default + PartialEq + PartialOrd + AddAssign + Send + Sync + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity; the image of every nonzero under `| |_0`.
+    fn one() -> Self;
+    /// Whether this value is the additive identity (explicit zeros are
+    /// dropped during compaction, matching GraphBLAS semantics).
+    fn is_zero(&self) -> bool;
+    /// Lossy conversion to `f64` for statistics.
+    fn to_f64(&self) -> f64;
+    /// Lossy conversion from a count.
+    fn from_u64(v: u64) -> Self;
+    /// Saturating conversion to a count, truncating fractional parts.
+    fn to_u64(&self) -> u64;
+    /// Exact bit-level encoding for binary serialization.
+    fn to_bits(&self) -> u64;
+    /// Exact bit-level decoding; inverse of [`Value::to_bits`].
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_value_int {
+    ($($t:ty),*) => {$(
+        impl Value for $t {
+            #[inline]
+            fn zero() -> Self { 0 }
+            #[inline]
+            fn one() -> Self { 1 }
+            #[inline]
+            fn is_zero(&self) -> bool { *self == 0 }
+            #[inline]
+            fn to_f64(&self) -> f64 { *self as f64 }
+            #[inline]
+            fn from_u64(v: u64) -> Self { v as $t }
+            #[inline]
+            fn to_u64(&self) -> u64 { *self as u64 }
+            #[inline]
+            fn to_bits(&self) -> u64 { *self as u64 }
+            #[inline]
+            fn from_bits(bits: u64) -> Self { bits as $t }
+        }
+    )*};
+}
+
+impl_value_int!(u32, u64);
+
+impl Value for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v as f64
+    }
+    #[inline]
+    fn to_u64(&self) -> u64 {
+        *self as u64
+    }
+    #[inline]
+    fn to_bits(&self) -> u64 {
+        f64::to_bits(*self)
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_are_distinct() {
+        assert_ne!(u32::zero(), u32::one());
+        assert_ne!(u64::zero(), u64::one());
+        assert_ne!(f64::zero(), f64::one());
+    }
+
+    #[test]
+    fn is_zero_matches_zero() {
+        assert!(u64::zero().is_zero());
+        assert!(!u64::one().is_zero());
+        assert!(f64::zero().is_zero());
+        assert!(!(0.25f64).is_zero());
+    }
+
+    #[test]
+    fn u64_round_trips_through_from_to() {
+        for v in [0u64, 1, 17, 1 << 40] {
+            assert_eq!(u64::from_u64(v).to_u64(), v);
+        }
+    }
+
+    #[test]
+    fn f64_to_u64_truncates() {
+        assert_eq!(3.9f64.to_u64(), 3);
+    }
+}

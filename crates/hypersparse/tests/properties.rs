@@ -1,0 +1,177 @@
+//! Property-based tests for the hypersparse matrix substrate.
+
+use obscor_hypersparse::{
+    hier, ops, reduce, serialize, spgemm, Coo, Csr, Dcsc, HierarchicalAccumulator, Index,
+};
+use proptest::prelude::*;
+
+fn arb_triples() -> impl Strategy<Value = Vec<(Index, Index, u64)>> {
+    prop::collection::vec(
+        (0u32..2_000, 0u32..2_000, 1u64..16),
+        0..400,
+    )
+}
+
+fn build(triples: &[(Index, Index, u64)]) -> Csr<u64> {
+    Coo::from_triples(triples.iter().copied()).into_csr()
+}
+
+proptest! {
+    /// Serial and parallel COO compaction must agree exactly.
+    #[test]
+    fn compaction_paths_agree(t in arb_triples()) {
+        let a = Coo::from_triples(t.iter().copied()).into_csr_serial();
+        let b = Coo::from_triples(t.iter().copied()).into_csr_parallel();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Hierarchical accumulation equals flat accumulation regardless of
+    /// leaf size.
+    #[test]
+    fn hierarchical_equals_flat(t in arb_triples(), leaf in 1usize..64) {
+        let mut acc = HierarchicalAccumulator::with_leaf_capacity(leaf);
+        acc.extend(t.iter().copied());
+        prop_assert_eq!(acc.finalize(), hier::accumulate_flat(t));
+    }
+
+    /// Every structural invariant holds after construction.
+    #[test]
+    fn invariants_hold(t in arb_triples()) {
+        prop_assert!(build(&t).check_invariants().is_ok());
+    }
+
+    /// Transposition is an involution.
+    #[test]
+    fn transpose_involution(t in arb_triples()) {
+        let a = build(&t);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// Element-wise addition is commutative.
+    #[test]
+    fn ewise_add_commutative(t1 in arb_triples(), t2 in arb_triples()) {
+        let (a, b) = (build(&t1), build(&t2));
+        prop_assert_eq!(ops::ewise_add(&a, &b), ops::ewise_add(&b, &a));
+    }
+
+    /// Element-wise addition is associative.
+    #[test]
+    fn ewise_add_associative(
+        t1 in arb_triples(), t2 in arb_triples(), t3 in arb_triples()
+    ) {
+        let (a, b, c) = (build(&t1), build(&t2), build(&t3));
+        let left = ops::ewise_add(&ops::ewise_add(&a, &b), &c);
+        let right = ops::ewise_add(&a, &ops::ewise_add(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Valid packets is additive over ewise_add.
+    #[test]
+    fn valid_packets_additive(t1 in arb_triples(), t2 in arb_triples()) {
+        let (a, b) = (build(&t1), build(&t2));
+        let c = ops::ewise_add(&a, &b);
+        prop_assert_eq!(
+            reduce::valid_packets(&c),
+            reduce::valid_packets(&a) + reduce::valid_packets(&b)
+        );
+    }
+
+    /// Every Table II aggregate is invariant under simultaneous row/column
+    /// permutation — the anonymization-invariance claim of the paper.
+    #[test]
+    fn quantities_invariant_under_permutation(t in arb_triples(), key in any::<u32>()) {
+        let a = build(&t);
+        // A Feistel-ish bijection on u32: xor-rotate with the key. Any
+        // bijection works; this one is cheap and key-dependent.
+        let p = |i: Index| (i ^ key).rotate_left(7);
+        let b = ops::permute(&a, p);
+        prop_assert_eq!(
+            reduce::NetworkQuantities::compute(&a),
+            reduce::NetworkQuantities::compute(&b)
+        );
+    }
+
+    /// Degree *distributions* (not just maxima) are permutation-invariant:
+    /// the multiset of source packet counts survives anonymization.
+    #[test]
+    fn degree_multiset_invariant_under_permutation(t in arb_triples(), key in any::<u32>()) {
+        let a = build(&t);
+        let b = ops::permute(&a, |i| (i ^ key).rotate_left(11));
+        let mut da: Vec<u64> = reduce::source_packets(&a).into_iter().map(|(_, d)| d).collect();
+        let mut db: Vec<u64> = reduce::source_packets(&b).into_iter().map(|(_, d)| d).collect();
+        da.sort_unstable();
+        db.sort_unstable();
+        prop_assert_eq!(da, db);
+    }
+
+    /// Binary codec round-trips exactly.
+    #[test]
+    fn codec_round_trip(t in arb_triples()) {
+        let a = build(&t);
+        prop_assert_eq!(serialize::decode::<u64>(&serialize::encode(&a)).unwrap(), a);
+    }
+
+    /// Zero-norm is idempotent and preserves the pattern.
+    #[test]
+    fn zero_norm_idempotent(t in arb_triples()) {
+        let a = build(&t);
+        let z = ops::zero_norm(&a);
+        prop_assert_eq!(z.nnz(), a.nnz());
+        prop_assert_eq!(ops::zero_norm(&z).clone(), z);
+    }
+
+    /// DCSC round-trips and answers column-side quantities identically.
+    #[test]
+    fn dcsc_round_trip_and_reductions(t in arb_triples()) {
+        let a = build(&t);
+        let d = Dcsc::from_csr(&a);
+        prop_assert_eq!(d.to_csr(), a.clone());
+        prop_assert_eq!(d.destination_packets(), reduce::destination_packets(&a));
+        prop_assert_eq!(d.destination_fan_in(), reduce::destination_fan_in(&a));
+        prop_assert_eq!(d.n_cols() as u64, reduce::unique_destinations(&a));
+    }
+
+    /// Co-occurrence equals SpGEMM against the transpose (positional vs
+    /// index-keyed rows reconciled).
+    #[test]
+    fn cooccurrence_matches_spgemm(t1 in arb_triples(), t2 in arb_triples()) {
+        let a = ops::zero_norm(&build(&t1));
+        let b = ops::zero_norm(&build(&t2));
+        let via_cooc = spgemm::cooccurrence(&a, &b);
+        let via_spgemm = spgemm::spgemm_pattern(&a, &b.transpose());
+        for (ia, &ra) in a.row_keys().iter().enumerate() {
+            for (ib, &rb) in b.row_keys().iter().enumerate() {
+                prop_assert_eq!(
+                    via_cooc.get(ia as Index, ib as Index),
+                    via_spgemm.get(ra, rb),
+                    "mismatch at ({}, {})", ra, rb
+                );
+            }
+        }
+    }
+
+    /// Self co-occurrence has row degrees on the diagonal and is symmetric.
+    #[test]
+    fn self_cooccurrence_structure(t in arb_triples()) {
+        let a = ops::zero_norm(&build(&t));
+        let c = spgemm::cooccurrence(&a, &a);
+        for i in 0..a.n_rows() {
+            let (cols, _) = a.row_at(i);
+            prop_assert_eq!(c.get(i as Index, i as Index), Some(cols.len() as u64));
+        }
+        for (i, j, v) in c.iter() {
+            prop_assert_eq!(c.get(j, i), Some(v));
+        }
+    }
+
+    /// Row-side quantities of the transpose equal column-side quantities of
+    /// the original (fan-in/fan-out duality).
+    #[test]
+    fn transpose_duality(t in arb_triples()) {
+        let a = build(&t);
+        let tr = a.transpose();
+        prop_assert_eq!(reduce::unique_sources(&tr), reduce::unique_destinations(&a));
+        prop_assert_eq!(reduce::max_source_packets(&tr), reduce::max_destination_packets(&a));
+        prop_assert_eq!(reduce::max_source_fan_out(&tr), reduce::max_destination_fan_in(&a));
+    }
+}

@@ -1,0 +1,222 @@
+//! Source behaviour classes.
+//!
+//! The paper describes darkspace traffic as "backscatter from randomly
+//! spoofed sources used in denial-of-service attacks, the automated spread
+//! of Internet worms and viruses, scanning of address space by attackers
+//! or malware looking for vulnerable targets, and various
+//! misconfigurations", plus "longer-duration, low-intensity events
+//! intended to establish and maintain botnets". Each class gets a
+//! behaviour profile that shapes the packets it emits; the honeyfarm's
+//! engagement logic classifies sources from this behaviour (with noise),
+//! reproducing GreyNoise's enrichment metadata.
+
+use obscor_pcap::Protocol;
+use rand::{Rng, RngExt};
+
+/// Common scan-target ports for the scanner/botnet profiles.
+const SCAN_PORTS: [u16; 12] =
+    [22, 23, 80, 443, 445, 1433, 3306, 3389, 5555, 8080, 8443, 2323];
+
+/// The behavioural class of a traffic source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SourceClass {
+    /// Address-space scanning (vulnerability discovery). TCP SYNs to a
+    /// small set of service ports, high fan-out.
+    Scanner,
+    /// Botnet maintenance traffic: long-lived, low intensity, fixed
+    /// command port.
+    Botnet,
+    /// DoS backscatter from spoofed sources: responses (TCP from port 80,
+    /// ICMP) to addresses that never initiated anything.
+    Backscatter,
+    /// Misconfiguration (mistyped addresses, broken NATs): UDP to
+    /// arbitrary high ports.
+    Misconfig,
+}
+
+impl SourceClass {
+    /// All classes, in the order used for stratified assignment.
+    pub const ALL: [SourceClass; 4] =
+        [SourceClass::Scanner, SourceClass::Botnet, SourceClass::Backscatter, SourceClass::Misconfig];
+
+    /// Stable lowercase label (the honeyfarm metadata vocabulary).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SourceClass::Scanner => "scanner",
+            SourceClass::Botnet => "botnet",
+            SourceClass::Backscatter => "backscatter",
+            SourceClass::Misconfig => "misconfig",
+        }
+    }
+
+    /// Parse a label produced by [`SourceClass::label`].
+    pub fn from_label(s: &str) -> Option<SourceClass> {
+        Self::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    /// Draw the transport protocol for one emitted packet.
+    pub fn sample_protocol<R: Rng + ?Sized>(&self, rng: &mut R) -> Protocol {
+        match self {
+            SourceClass::Scanner => Protocol::Tcp,
+            SourceClass::Botnet => {
+                if rng.random::<f64>() < 0.8 {
+                    Protocol::Tcp
+                } else {
+                    Protocol::Udp
+                }
+            }
+            SourceClass::Backscatter => {
+                if rng.random::<f64>() < 0.6 {
+                    Protocol::Tcp
+                } else {
+                    Protocol::Icmp
+                }
+            }
+            SourceClass::Misconfig => Protocol::Udp,
+        }
+    }
+
+    /// Draw the destination port for one emitted packet (0 for ICMP).
+    pub fn sample_dst_port<R: Rng + ?Sized>(&self, proto: Protocol, rng: &mut R) -> u16 {
+        if proto == Protocol::Icmp {
+            return 0;
+        }
+        match self {
+            SourceClass::Scanner => SCAN_PORTS[rng.random_range(0..SCAN_PORTS.len())],
+            SourceClass::Botnet => 6667, // fixed C2 port
+            SourceClass::Backscatter => rng.random_range(1024..u16::MAX),
+            SourceClass::Misconfig => rng.random_range(30_000..60_000),
+        }
+    }
+
+    /// Draw the source port (backscatter answers *from* service ports).
+    pub fn sample_src_port<R: Rng + ?Sized>(&self, proto: Protocol, rng: &mut R) -> u16 {
+        if proto == Protocol::Icmp {
+            return 0;
+        }
+        match self {
+            SourceClass::Backscatter => {
+                if rng.random::<f64>() < 0.7 {
+                    80
+                } else {
+                    443
+                }
+            }
+            _ => rng.random_range(1024..u16::MAX),
+        }
+    }
+
+    /// Class mixture by brightness stratum: the brightest beam is
+    /// dominated by scanners (mass scanning services like Shodan/criminal
+    /// scanners), the dim tail by misconfigurations and backscatter.
+    pub fn assign_by_brightness<R: Rng + ?Sized>(log2_d: f64, rng: &mut R) -> SourceClass {
+        let u: f64 = rng.random();
+        if log2_d >= 10.0 {
+            // Bright: 70% scanner, 20% botnet, 10% backscatter.
+            if u < 0.7 {
+                SourceClass::Scanner
+            } else if u < 0.9 {
+                SourceClass::Botnet
+            } else {
+                SourceClass::Backscatter
+            }
+        } else if log2_d >= 4.0 {
+            if u < 0.4 {
+                SourceClass::Scanner
+            } else if u < 0.7 {
+                SourceClass::Botnet
+            } else if u < 0.9 {
+                SourceClass::Backscatter
+            } else {
+                SourceClass::Misconfig
+            }
+        } else {
+            // Dim tail.
+            if u < 0.15 {
+                SourceClass::Scanner
+            } else if u < 0.35 {
+                SourceClass::Botnet
+            } else if u < 0.7 {
+                SourceClass::Backscatter
+            } else {
+                SourceClass::Misconfig
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_round_trip() {
+        for c in SourceClass::ALL {
+            assert_eq!(SourceClass::from_label(c.label()), Some(c));
+        }
+        assert_eq!(SourceClass::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn scanner_ports_come_from_scan_list() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let proto = SourceClass::Scanner.sample_protocol(&mut rng);
+            assert_eq!(proto, Protocol::Tcp);
+            let port = SourceClass::Scanner.sample_dst_port(proto, &mut rng);
+            assert!(SCAN_PORTS.contains(&port));
+        }
+    }
+
+    #[test]
+    fn botnet_uses_fixed_c2_port() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let proto = SourceClass::Botnet.sample_protocol(&mut rng);
+            assert_eq!(SourceClass::Botnet.sample_dst_port(proto, &mut rng), 6667);
+        }
+    }
+
+    #[test]
+    fn backscatter_replies_from_service_ports() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_icmp = false;
+        for _ in 0..200 {
+            let proto = SourceClass::Backscatter.sample_protocol(&mut rng);
+            if proto == Protocol::Icmp {
+                saw_icmp = true;
+                assert_eq!(SourceClass::Backscatter.sample_src_port(proto, &mut rng), 0);
+            } else {
+                let sp = SourceClass::Backscatter.sample_src_port(proto, &mut rng);
+                assert!(sp == 80 || sp == 443);
+            }
+        }
+        assert!(saw_icmp, "backscatter should emit some ICMP");
+    }
+
+    #[test]
+    fn brightness_stratification_favours_scanners_when_bright() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 5_000;
+        let bright_scanners = (0..n)
+            .filter(|_| SourceClass::assign_by_brightness(14.0, &mut rng) == SourceClass::Scanner)
+            .count();
+        let dim_scanners = (0..n)
+            .filter(|_| SourceClass::assign_by_brightness(1.0, &mut rng) == SourceClass::Scanner)
+            .count();
+        assert!(bright_scanners as f64 / n as f64 > 0.6);
+        assert!(dim_scanners < bright_scanners);
+    }
+
+    #[test]
+    fn dim_tail_contains_misconfig() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 2_000;
+        let misconfig = (0..n)
+            .filter(|_| SourceClass::assign_by_brightness(1.0, &mut rng) == SourceClass::Misconfig)
+            .count();
+        assert!(misconfig > n / 5, "misconfig share {misconfig}/{n}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Hybrid power-law traffic models.
+//!
+//! The paper's discussion points at "new generative models of network
+//! traffic that extend prior preferential attachment models with
+//! parameters to describe adversarial traffic" (Devlin, Kepner, Luo &
+//! Meger, *Hybrid power-law models of network traffic*, IPDPS-W 2021 —
+//! the paper's reference 59). The key idea: observed degree distributions are *mixtures*
+//! — a benign background component plus one or more adversarial
+//! components (botnets, mass scanners) each with its own power law.
+//!
+//! [`HybridPowerLaw`] is that mixture over Zipf–Mandelbrot components:
+//! exact pmf, sampling, log2-binned curves, and a fit comparison against
+//! a single-component model so experiments can ask *when does a hybrid
+//! explain a window better than a plain ZM?*
+
+use obscor_stats::binning::{pool_pmf, Log2Binned};
+use obscor_stats::norms::residual_pnorm;
+use obscor_stats::zipf::ZipfMandelbrot;
+use rand::{Rng, RngExt};
+
+/// A weighted mixture of Zipf–Mandelbrot components.
+pub struct HybridPowerLaw {
+    components: Vec<(f64, ZipfMandelbrot)>,
+}
+
+impl HybridPowerLaw {
+    /// Build from `(weight, component)` pairs; weights are normalized.
+    ///
+    /// # Panics
+    /// Panics if empty, or any weight is non-positive/non-finite.
+    pub fn new(components: Vec<(f64, ZipfMandelbrot)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(
+            components.iter().all(|(w, _)| w.is_finite() && *w > 0.0),
+            "weights must be positive"
+        );
+        let components =
+            components.into_iter().map(|(w, c)| (w / total, c)).collect();
+        Self { components }
+    }
+
+    /// The paper-motivated two-component form: a dim benign background
+    /// plus a bright adversarial beam.
+    pub fn background_plus_beam(
+        background_weight: f64,
+        background: ZipfMandelbrot,
+        beam: ZipfMandelbrot,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&background_weight) && background_weight > 0.0);
+        Self::new(vec![(background_weight, background), (1.0 - background_weight, beam)])
+    }
+
+    /// Number of components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Mixture pmf at degree `d`.
+    pub fn pmf(&self, d: u64) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.pmf(d)).sum()
+    }
+
+    /// Largest supported degree across components.
+    pub fn d_max(&self) -> u64 {
+        self.components.iter().map(|(_, c)| c.d_max).max().unwrap_or(1)
+    }
+
+    /// Draw one degree: pick a component by weight, then sample it.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (w, c) in &self.components {
+            acc += w;
+            if u < acc {
+                return c.sample(rng);
+            }
+        }
+        self.components.last().unwrap().1.sample(rng)
+    }
+
+    /// Draw `n` degrees.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The mixture pooled into the paper's log2 bins.
+    pub fn binned(&self) -> Log2Binned {
+        pool_pmf((1..=self.d_max()).map(|d| (d, self.pmf(d))))
+    }
+}
+
+/// Residual of a model's binned curve against data (both normalized,
+/// compared over the data's bins with the paper's 1/2-norm).
+pub fn binned_residual(model: &Log2Binned, data: &Log2Binned) -> f64 {
+    let target = data.normalized();
+    let mut m = model.values.clone();
+    m.resize(target.len(), 0.0);
+    m.truncate(target.len());
+    let total: f64 = m.iter().sum();
+    if total > 0.0 {
+        for v in &mut m {
+            *v /= total;
+        }
+    }
+    residual_pnorm(&m, &target.values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obscor_stats::binning::differential_cumulative;
+    use obscor_stats::zipf::fit_zipf_mandelbrot;
+    use obscor_stats::DegreeHistogram;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bimodal() -> HybridPowerLaw {
+        // Steep dim background + shallow bright beam: a distribution no
+        // single ZM reproduces.
+        HybridPowerLaw::background_plus_beam(
+            0.7,
+            ZipfMandelbrot::new(2.5, 0.0, 64),
+            ZipfMandelbrot::new(0.6, 50.0, 4096),
+        )
+    }
+
+    #[test]
+    fn pmf_normalizes() {
+        let h = bimodal();
+        let total: f64 = (1..=h.d_max()).map(|d| h.pmf(d)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let h = HybridPowerLaw::new(vec![
+            (2.0, ZipfMandelbrot::new(1.5, 0.0, 16)),
+            (6.0, ZipfMandelbrot::new(2.0, 0.0, 16)),
+        ]);
+        // pmf(1) = 0.25·c1.pmf(1) + 0.75·c2.pmf(1).
+        let expect = 0.25 * ZipfMandelbrot::new(1.5, 0.0, 16).pmf(1)
+            + 0.75 * ZipfMandelbrot::new(2.0, 0.0, 16).pmf(1);
+        assert!((h.pmf(1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_mixture_pmf() {
+        let h = bimodal();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let ones = h.sample_n(&mut rng, n).into_iter().filter(|&d| d == 1).count();
+        let got = ones as f64 / n as f64;
+        assert!((got - h.pmf(1)).abs() < 0.01, "P(1): {got} vs {}", h.pmf(1));
+    }
+
+    #[test]
+    fn binned_mass_conserved() {
+        assert!((bimodal().binned().total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_beats_single_zm_on_bimodal_data() {
+        // Generate data from the hybrid; fit a single ZM; the hybrid's own
+        // curve must explain the data better in the 1/2-norm.
+        let h = bimodal();
+        let mut rng = StdRng::seed_from_u64(10);
+        let degrees = h.sample_n(&mut rng, 200_000);
+        let data = differential_cumulative(&DegreeHistogram::from_degrees(degrees));
+        let single = fit_zipf_mandelbrot(
+            &data,
+            h.d_max(),
+            &obscor_stats::zipf::default_alpha_grid(),
+            &obscor_stats::zipf::default_delta_grid(),
+        )
+        .unwrap();
+        let single_curve = ZipfMandelbrot::new(single.alpha, single.delta, h.d_max()).binned();
+        let hybrid_residual = binned_residual(&h.binned(), &data);
+        let single_residual = binned_residual(&single_curve, &data);
+        assert!(
+            hybrid_residual < single_residual,
+            "hybrid {hybrid_residual:.3} should beat single ZM {single_residual:.3}"
+        );
+    }
+
+    #[test]
+    fn single_component_hybrid_equals_its_component() {
+        let zm = ZipfMandelbrot::new(1.8, 1.0, 256);
+        let h = HybridPowerLaw::new(vec![(1.0, zm.clone())]);
+        for d in [1u64, 2, 10, 100, 256] {
+            assert!((h.pmf(d) - zm.pmf(d)).abs() < 1e-12);
+        }
+        assert_eq!(h.n_components(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mixture_rejected() {
+        let _ = HybridPowerLaw::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_weight_rejected() {
+        let _ = HybridPowerLaw::new(vec![(0.0, ZipfMandelbrot::new(1.0, 0.0, 8))]);
+    }
+}

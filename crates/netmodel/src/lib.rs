@@ -1,0 +1,47 @@
+//! Generative model of the Internet background-radiation source population.
+//!
+//! The paper's raw data — CAIDA telescope packets and the GreyNoise
+//! database — cannot be redistributed, so this crate provides the
+//! *world* that the two synthetic observatories in `obscor-telescope` and
+//! `obscor-honeyfarm` observe. The model encodes exactly the generative
+//! structure the paper infers from its measurements, and nothing more;
+//! every analysis result must be *recovered* from raw synthetic packets by
+//! the measurement pipeline, not read out of the generator.
+//!
+//! Three mechanisms:
+//!
+//! 1. **Zipf–Mandelbrot brightness** ([`population`]): each source has an
+//!    expected per-window packet count ("brightness") drawn from
+//!    `p(d) ∝ 1/(d+δ)^α`, the law the paper fits to CAIDA source packets
+//!    (Fig 3).
+//! 2. **Drifting-beam churn** ([`activity`]): each source is active on a
+//!    time interval with a Pareto-distributed lifetime whose scale grows
+//!    with brightness. Stationary heavy-tailed residual lifetimes produce
+//!    overlap kernels of modified-Cauchy shape — the paper's conclusion
+//!    that its observations are "consistent with a correlated high
+//!    frequency beam of sources that drifts on a time scale of a month".
+//! 3. **Class-structured emission** ([`class`], [`traffic`]): sources are
+//!    scanners, botnet nodes, backscatter reflectors, or misconfigured
+//!    hosts, each with its own protocol/port behaviour; packets are drawn
+//!    from the active population by alias sampling with exponential
+//!    inter-arrivals.
+//!
+//! [`scenario`] assembles the paper-scaled experiment: the Table I month
+//! grid (2020-02 .. 2021-04), five CAIDA window instants, and calibrated
+//! population parameters at a configurable `N_V`.
+
+pub mod activity;
+pub mod class;
+pub mod hybrid;
+pub mod population;
+pub mod scenario;
+pub mod time;
+pub mod traffic;
+
+pub use activity::{ActivityInterval, ChurnModel};
+pub use class::SourceClass;
+pub use hybrid::HybridPowerLaw;
+pub use population::{PopulationConfig, Source, SourcePopulation};
+pub use scenario::Scenario;
+pub use time::MonthGrid;
+pub use traffic::{PacketStream, TrafficConfig};

@@ -1,0 +1,318 @@
+//! The synthetic source population.
+
+use crate::activity::{pareto_scale_for_brightness, ActivityInterval, ChurnModel};
+use crate::class::SourceClass;
+use obscor_pcap::Ip4;
+use obscor_stats::zipf::ZipfMandelbrot;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// One source in the world model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Source {
+    /// Real (pre-anonymization) IPv4 address; never inside the darkspace.
+    pub ip: Ip4,
+    /// Expected packets per telescope window while active (the planted
+    /// Zipf–Mandelbrot brightness).
+    pub brightness: f64,
+    /// Behavioural class.
+    pub class: SourceClass,
+    /// The drifting-beam activity interval.
+    pub interval: ActivityInterval,
+    /// Per-month probability of a background reappearance outside the
+    /// main interval (recurring/re-infected hosts; the long-lag floor of
+    /// Fig 5).
+    pub revisit_prob: f64,
+}
+
+impl Source {
+    /// Whether the source is active at instant `t` (months).
+    pub fn active_at(&self, t: f64) -> bool {
+        self.interval.active_at(t)
+    }
+}
+
+/// Parameters of the population generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PopulationConfig {
+    /// Number of sources in the world.
+    pub n_sources: usize,
+    /// Zipf–Mandelbrot exponent of the brightness distribution.
+    pub zm_alpha: f64,
+    /// Zipf–Mandelbrot offset.
+    pub zm_delta: f64,
+    /// Brightest possible source (expected packets per window).
+    pub brightness_max: u64,
+    /// Pareto lifetime shape (`a = 2` ⇒ effective modified-Cauchy α ≈ 1).
+    pub pareto_shape: f64,
+    /// Study span in months.
+    pub span_months: f64,
+    /// `log2 d` where the one-month drop peaks (~50 %).
+    pub knee_log2d: f64,
+    /// `log2 d` where the drop bottoms out (~20 %).
+    pub bright_log2d: f64,
+    /// Background monthly revisit probability.
+    pub revisit_prob: f64,
+    /// First octet of the darkspace /8 (sources are generated outside it).
+    pub darkspace_octet: u8,
+    /// Number of /16 subnets botnet sources cluster into (infected hosts
+    /// live in shared networks; 0 disables clustering). Scanners,
+    /// backscatter, and misconfigurations stay uniform over the address
+    /// space.
+    pub botnet_subnets: u16,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self {
+            n_sources: 100_000,
+            zm_alpha: 1.8,
+            zm_delta: 2.0,
+            brightness_max: 1 << 13,
+            pareto_shape: 2.0,
+            span_months: 15.0,
+            knee_log2d: 10.0,
+            bright_log2d: 13.0,
+            revisit_prob: 0.03,
+            darkspace_octet: 44,
+            botnet_subnets: 32,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The full synthetic world population.
+#[derive(Clone, Debug)]
+pub struct SourcePopulation {
+    /// All sources (index is the stable internal id).
+    pub sources: Vec<Source>,
+    /// The configuration that generated it.
+    pub config: PopulationConfig,
+}
+
+impl SourcePopulation {
+    /// Generate a population.
+    ///
+    /// # Panics
+    /// Panics if `n_sources == 0` or the ZM/churn parameters are invalid.
+    pub fn generate(config: PopulationConfig) -> Self {
+        assert!(config.n_sources > 0, "population must be non-empty");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let zm = ZipfMandelbrot::new(config.zm_alpha, config.zm_delta, config.brightness_max);
+        let churn = ChurnModel::new(config.pareto_shape, config.span_months);
+        // Botnet /16 homes: infected hosts cluster in shared networks.
+        let botnet_homes: Vec<u32> = (0..config.botnet_subnets)
+            .map(|_| loop {
+                let prefix: u32 = rng.random::<u32>() & 0xFFFF_0000;
+                if (prefix >> 24) as u8 != config.darkspace_octet {
+                    break prefix;
+                }
+            })
+            .collect();
+        let mut used_ips: HashSet<u32> = HashSet::with_capacity(config.n_sources);
+        let mut sources = Vec::with_capacity(config.n_sources);
+        while sources.len() < config.n_sources {
+            let brightness = zm.sample(&mut rng) as f64;
+            let log2_d = brightness.log2();
+            let class = SourceClass::assign_by_brightness(log2_d, &mut rng);
+            let ip = loop {
+                let candidate: u32 = if class == SourceClass::Botnet
+                    && !botnet_homes.is_empty()
+                {
+                    let home = botnet_homes[rng.random_range(0..botnet_homes.len())];
+                    home | (rng.random::<u32>() & 0xFFFF)
+                } else {
+                    rng.random()
+                };
+                if (candidate >> 24) as u8 == config.darkspace_octet {
+                    continue;
+                }
+                if used_ips.insert(candidate) {
+                    break Ip4(candidate);
+                }
+            };
+            let x_m =
+                pareto_scale_for_brightness(log2_d, config.knee_log2d, config.bright_log2d);
+            let interval = churn.sample_interval(x_m, &mut rng);
+            sources.push(Source {
+                ip,
+                brightness,
+                class,
+                interval,
+                revisit_prob: config.revisit_prob,
+            });
+        }
+        Self { sources, config }
+    }
+
+    /// Number of sources in the world.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the population is empty (never true after generation).
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Indices of sources active at instant `t`.
+    pub fn active_at(&self, t: f64) -> Vec<usize> {
+        (0..self.sources.len()).filter(|&i| self.sources[i].active_at(t)).collect()
+    }
+
+    /// Total brightness of the sources active at `t` (the normalization of
+    /// per-window expected degrees).
+    pub fn active_brightness(&self, t: f64) -> f64 {
+        self.sources.iter().filter(|s| s.active_at(t)).map(|s| s.brightness).sum()
+    }
+
+    /// The mean brightness of the configured Zipf–Mandelbrot law (used to
+    /// size populations against a target window load).
+    pub fn expected_brightness(config: &PopulationConfig) -> f64 {
+        ZipfMandelbrot::new(config.zm_alpha, config.zm_delta, config.brightness_max).mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PopulationConfig {
+        PopulationConfig { n_sources: 5_000, seed: 42, ..PopulationConfig::default() }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SourcePopulation::generate(small_config());
+        let b = SourcePopulation::generate(small_config());
+        assert_eq!(a.sources, b.sources);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SourcePopulation::generate(small_config());
+        let b =
+            SourcePopulation::generate(PopulationConfig { seed: 43, ..small_config() });
+        assert_ne!(a.sources, b.sources);
+    }
+
+    #[test]
+    fn ips_are_unique_and_outside_darkspace() {
+        let p = SourcePopulation::generate(small_config());
+        let mut seen = HashSet::new();
+        for s in &p.sources {
+            assert!(seen.insert(s.ip.0), "duplicate ip {}", s.ip);
+            assert_ne!((s.ip.0 >> 24) as u8, 44, "source inside darkspace");
+        }
+    }
+
+    #[test]
+    fn brightness_is_heavy_tailed() {
+        let p = SourcePopulation::generate(small_config());
+        let dim = p.sources.iter().filter(|s| s.brightness <= 2.0).count();
+        let bright = p.sources.iter().filter(|s| s.brightness >= 100.0).count();
+        // A ZM(1.8) population is dominated by the dim end with a
+        // nonempty bright tail (P(b <= 2) is just under one half).
+        assert!(dim > p.len() / 3, "dim fraction too small: {dim}/{}", p.len());
+        assert!(bright > 0, "no bright sources at all");
+        assert!(bright < dim);
+    }
+
+    #[test]
+    fn lifetime_calibration_is_v_shaped_in_brightness() {
+        // The churn knee (fastest turnover) sits at mid brightness
+        // (knee_log2d = 10 in the default config); both the dim
+        // background and the bright beam live longer.
+        let config = PopulationConfig { n_sources: 60_000, ..small_config() };
+        let p = SourcePopulation::generate(config);
+        let mean_lifetime = |lo: f64, hi: f64| {
+            let ls: Vec<f64> = p
+                .sources
+                .iter()
+                .filter(|s| s.brightness >= lo && s.brightness < hi)
+                .map(|s| s.interval.lifetime())
+                .collect();
+            assert!(!ls.is_empty(), "no sources in [{lo}, {hi})");
+            ls.iter().sum::<f64>() / ls.len() as f64
+        };
+        let dim = mean_lifetime(1.0, 4.0);
+        let knee = mean_lifetime(512.0, 2048.0);
+        assert!(
+            dim > knee,
+            "dim background ({dim:.2} mo) should outlive the knee cohort ({knee:.2} mo)"
+        );
+    }
+
+    #[test]
+    fn botnet_sources_cluster_in_few_slash16s() {
+        let p = SourcePopulation::generate(PopulationConfig {
+            n_sources: 20_000,
+            ..small_config()
+        });
+        let prefixes = |class: SourceClass| {
+            let set: HashSet<u32> = p
+                .sources
+                .iter()
+                .filter(|s| s.class == class)
+                .map(|s| s.ip.0 >> 16)
+                .collect();
+            let count = p.sources.iter().filter(|s| s.class == class).count();
+            (set.len(), count)
+        };
+        let (botnet_nets, botnet_count) = prefixes(SourceClass::Botnet);
+        let (scanner_nets, scanner_count) = prefixes(SourceClass::Scanner);
+        assert!(botnet_count > 100 && scanner_count > 100);
+        // Botnets live in at most the configured number of /16s...
+        assert!(botnet_nets <= 32, "botnet /16s: {botnet_nets}");
+        // ...while scanners are spread nearly one-per-/16.
+        assert!(
+            scanner_nets * 2 > scanner_count,
+            "scanners too clustered: {scanner_nets} nets for {scanner_count} sources"
+        );
+    }
+
+    #[test]
+    fn clustering_can_be_disabled() {
+        let p = SourcePopulation::generate(PopulationConfig {
+            n_sources: 5_000,
+            botnet_subnets: 0,
+            ..small_config()
+        });
+        let nets: HashSet<u32> = p
+            .sources
+            .iter()
+            .filter(|s| s.class == SourceClass::Botnet)
+            .map(|s| s.ip.0 >> 16)
+            .collect();
+        let count = p.sources.iter().filter(|s| s.class == SourceClass::Botnet).count();
+        assert!(nets.len() * 2 > count, "clustering should be off");
+    }
+
+    #[test]
+    fn activity_queries_agree() {
+        let p = SourcePopulation::generate(small_config());
+        let t = 7.0;
+        let idx = p.active_at(t);
+        assert!(!idx.is_empty());
+        let total: f64 = idx.iter().map(|&i| p.sources[i].brightness).sum();
+        assert!((total - p.active_brightness(t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expected_brightness_is_finite() {
+        let e = SourcePopulation::expected_brightness(&small_config());
+        assert!(e.is_finite() && e > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_rejected() {
+        let _ = SourcePopulation::generate(PopulationConfig {
+            n_sources: 0,
+            ..PopulationConfig::default()
+        });
+    }
+}

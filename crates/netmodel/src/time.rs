@@ -1,0 +1,146 @@
+//! The study's month grid.
+//!
+//! All model time is measured in fractional *months* since the start of
+//! the observation span (a deliberate simplification: the paper's
+//! correlation analysis is indexed by month, and its finest temporal
+//! feature — the CAIDA window — is three orders of magnitude shorter than
+//! a month, so nothing depends on calendar-exact month lengths).
+
+/// A contiguous grid of calendar months, e.g. 2020-02 .. 2021-04.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonthGrid {
+    start_year: i32,
+    start_month: u32,
+    n_months: usize,
+}
+
+impl MonthGrid {
+    /// A grid of `n_months` starting at `year`-`month`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ month ≤ 12` and `n_months ≥ 1`.
+    pub fn new(year: i32, month: u32, n_months: usize) -> Self {
+        assert!((1..=12).contains(&month), "month must be 1..=12");
+        assert!(n_months >= 1, "grid needs at least one month");
+        Self { start_year: year, start_month: month, n_months }
+    }
+
+    /// The paper's GreyNoise span: 15 months from 2020-02.
+    pub fn paper_span() -> Self {
+        Self::new(2020, 2, 15)
+    }
+
+    /// Number of months in the grid.
+    pub fn len(&self) -> usize {
+        self.n_months
+    }
+
+    /// Whether the grid is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.n_months == 0
+    }
+
+    /// The `YYYY-MM` label of month index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> String {
+        assert!(i < self.n_months, "month index out of range");
+        let total = self.start_year * 12 + (self.start_month as i32 - 1) + i as i32;
+        let year = total.div_euclid(12);
+        let month = total.rem_euclid(12) + 1;
+        format!("{year:04}-{month:02}")
+    }
+
+    /// All labels in order.
+    pub fn labels(&self) -> Vec<String> {
+        (0..self.n_months).map(|i| self.label(i)).collect()
+    }
+
+    /// The index of a `YYYY-MM` label, if it lies on the grid.
+    pub fn index_of(&self, label: &str) -> Option<usize> {
+        self.labels().iter().position(|l| l == label)
+    }
+
+    /// Model-time coordinate (fractional months since grid start) of a
+    /// calendar instant within the grid. Days use a 30-day month and hours
+    /// a 24-hour day; precision beyond that is irrelevant at month-scale
+    /// analysis.
+    pub fn coord(&self, year: i32, month: u32, day: u32, hour: u32) -> f64 {
+        let months =
+            (year * 12 + month as i32 - 1) - (self.start_year * 12 + self.start_month as i32 - 1);
+        months as f64 + (day.saturating_sub(1)) as f64 / 30.0 + hour as f64 / (30.0 * 24.0)
+    }
+
+    /// The half-open model-time interval `[i, i+1)` of month `i`.
+    pub fn month_interval(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.n_months, "month index out of range");
+        (i as f64, i as f64 + 1.0)
+    }
+
+    /// Total span in months.
+    pub fn span(&self) -> f64 {
+        self.n_months as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_span_matches_table1() {
+        let g = MonthGrid::paper_span();
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.label(0), "2020-02");
+        assert_eq!(g.label(10), "2020-12");
+        assert_eq!(g.label(14), "2021-04");
+    }
+
+    #[test]
+    fn year_rollover() {
+        let g = MonthGrid::new(2020, 11, 4);
+        assert_eq!(g.labels(), vec!["2020-11", "2020-12", "2021-01", "2021-02"]);
+    }
+
+    #[test]
+    fn index_of_round_trips() {
+        let g = MonthGrid::paper_span();
+        for i in 0..g.len() {
+            assert_eq!(g.index_of(&g.label(i)), Some(i));
+        }
+        assert_eq!(g.index_of("2019-01"), None);
+    }
+
+    #[test]
+    fn coord_of_caida_windows() {
+        let g = MonthGrid::paper_span();
+        // 2020-06-17 12:00 sits a bit past the middle of month index 4.
+        let c = g.coord(2020, 6, 17, 12);
+        assert!((c - (4.0 + 16.0 / 30.0 + 0.5 / 30.0)).abs() < 1e-9);
+        // Month starts coincide with integer coordinates.
+        assert_eq!(g.coord(2020, 2, 1, 0), 0.0);
+        assert_eq!(g.coord(2020, 3, 1, 0), 1.0);
+        assert_eq!(g.coord(2021, 4, 1, 0), 14.0);
+    }
+
+    #[test]
+    fn month_interval_is_unit() {
+        let g = MonthGrid::paper_span();
+        assert_eq!(g.month_interval(0), (0.0, 1.0));
+        assert_eq!(g.month_interval(14), (14.0, 15.0));
+        assert_eq!(g.span(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        let _ = MonthGrid::paper_span().label(15);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=12")]
+    fn bad_month_panics() {
+        let _ = MonthGrid::new(2020, 13, 1);
+    }
+}

@@ -1,0 +1,385 @@
+//! Packet emission.
+//!
+//! A [`PacketStream`] renders the world state at a telescope-window
+//! instant into an endless stream of packets arriving at the darkspace:
+//! sources are drawn from the active population by alias sampling (so a
+//! source's expected share of the window equals its brightness share),
+//! destinations and headers follow the source's class profile, and
+//! timestamps advance with exponential inter-arrivals at a configured
+//! aggregate rate — which is what makes constant-packet windows have the
+//! *variable durations* of Table I.
+//!
+//! A small fraction of emitted packets is legitimate traffic addressed to
+//! the darkspace's few allocated addresses; the telescope must discard
+//! these (the paper: "after discarding the small amount of legitimate
+//! traffic from the incoming packets, the remaining data represent a
+//! continuous view of anomalous unsolicited traffic").
+
+use crate::class::SourceClass;
+use crate::population::SourcePopulation;
+use obscor_pcap::{Ip4, Packet, Protocol};
+use obscor_stats::AliasTable;
+use rand::{Rng, RngExt};
+
+/// Traffic shaping parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficConfig {
+    /// Aggregate packet arrival rate at the darkspace (packets/second).
+    /// The paper's windows imply ~10^6 pkt/s for a /8.
+    pub packets_per_sec: f64,
+    /// Fraction of arriving packets that are legitimate traffic to
+    /// allocated addresses (discarded by the telescope filter).
+    pub legit_fraction: f64,
+    /// Number of allocated (non-dark) addresses at the base of the /8.
+    pub n_allocated: u32,
+    /// Diurnal modulation amplitude (0..1): the aggregate arrival rate is
+    /// scaled by `1 − A·cos(2π·hour/24)`, so midnight windows run slower
+    /// (longer) and noon windows faster (shorter) — the variable
+    /// durations of Table I at constant packets.
+    pub diurnal_amplitude: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            packets_per_sec: 1.0e6,
+            legit_fraction: 0.005,
+            n_allocated: 256,
+            diurnal_amplitude: 0.25,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// The effective arrival rate at model instant `t` (months): the base
+    /// rate under the diurnal cycle (hour 0 = month boundaries).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let hours = t * 30.0 * 24.0;
+        let phase = (hours.rem_euclid(24.0)) / 24.0;
+        self.packets_per_sec
+            * (1.0 - self.diurnal_amplitude * (2.0 * std::f64::consts::PI * phase).cos())
+    }
+
+    /// Whether `ip` is one of the allocated addresses inside the darkspace
+    /// rooted at `darkspace_octet`.
+    pub fn is_allocated(&self, ip: Ip4, darkspace_octet: u8) -> bool {
+        (ip.0 >> 24) as u8 == darkspace_octet
+            && (ip.0 & 0x00FF_FFFF) < self.n_allocated
+    }
+}
+
+/// An endless packet stream at a fixed world instant.
+pub struct PacketStream<'a, R: Rng> {
+    population: &'a SourcePopulation,
+    active: Vec<usize>,
+    alias: AliasTable,
+    cfg: TrafficConfig,
+    darkspace_octet: u8,
+    effective_rate: f64,
+    ts_micros: f64,
+    rng: R,
+}
+
+impl<'a, R: Rng> PacketStream<'a, R> {
+    /// Open a stream for the population state at instant `t` (months),
+    /// conditioned on the scenario's primary darkspace. `start_micros`
+    /// seeds the timestamp clock.
+    ///
+    /// # Panics
+    /// Panics if no source is active at `t`.
+    pub fn at_instant(
+        population: &'a SourcePopulation,
+        t: f64,
+        cfg: TrafficConfig,
+        start_micros: u64,
+        rng: R,
+    ) -> Self {
+        Self::at_instant_toward(
+            population,
+            t,
+            cfg,
+            population.config.darkspace_octet,
+            start_micros,
+            rng,
+        )
+    }
+
+    /// Open a stream conditioned on an arbitrary observed /8 — the view a
+    /// *second* observatory at `darkspace_octet` would capture of the same
+    /// world. Scanners and backscatter spray the whole address space, so
+    /// they reach every observatory; botnet rally points and misconfigured
+    /// targets are per-(source, prefix), so each darkspace sees its own
+    /// slice of that traffic.
+    ///
+    /// # Panics
+    /// Panics if no source is active at `t`.
+    pub fn at_instant_toward(
+        population: &'a SourcePopulation,
+        t: f64,
+        cfg: TrafficConfig,
+        darkspace_octet: u8,
+        start_micros: u64,
+        rng: R,
+    ) -> Self {
+        let active = population.active_at(t);
+        assert!(!active.is_empty(), "no active sources at t = {t}");
+        let weights: Vec<f64> =
+            active.iter().map(|&i| population.sources[i].brightness).collect();
+        let alias = AliasTable::new(&weights);
+        let effective_rate = cfg.rate_at(t);
+        Self {
+            population,
+            active,
+            alias,
+            cfg,
+            darkspace_octet,
+            effective_rate,
+            ts_micros: start_micros as f64,
+            rng,
+        }
+    }
+
+    /// Number of sources feeding the stream.
+    pub fn active_sources(&self) -> usize {
+        self.active.len()
+    }
+
+    fn advance_clock(&mut self) -> u64 {
+        // Exponential inter-arrival at the aggregate rate.
+        let u: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let dt_sec = -u.ln() / self.effective_rate;
+        self.ts_micros += dt_sec * 1e6;
+        self.ts_micros as u64
+    }
+
+    /// A class-dependent destination inside the darkspace /8.
+    fn darkspace_dst(&mut self, class: SourceClass, src: Ip4) -> Ip4 {
+        let base = (self.darkspace_octet as u32) << 24;
+        let host = match class {
+            // Scanners and backscatter spray across the whole space.
+            SourceClass::Scanner | SourceClass::Backscatter => {
+                self.rng.random_range(0..1u32 << 24)
+            }
+            // Botnet nodes revisit a handful of per-source rally points.
+            SourceClass::Botnet => {
+                let which = self.rng.random_range(0u32..4);
+                splitmix(src.0 ^ which.wrapping_mul(0x9E37_79B9)) & 0x00FF_FFFF
+            }
+            // Misconfigurations hammer one fixed mistyped address.
+            SourceClass::Misconfig => splitmix(src.0) & 0x00FF_FFFF,
+        };
+        Ip4(base | host)
+    }
+
+    fn legit_packet(&mut self) -> Packet {
+        let ts = self.advance_clock();
+        // Legitimate clients talk to the allocated addresses.
+        let dst = Ip4(((self.darkspace_octet as u32) << 24)
+            | self.rng.random_range(0..self.cfg.n_allocated.max(1)));
+        let src = Ip4(self.rng.random::<u32>() | 0x0100_0000); // arbitrary external
+        Packet {
+            ts_micros: ts,
+            src,
+            dst,
+            proto: Protocol::Tcp,
+            src_port: self.rng.random_range(1024..u16::MAX),
+            dst_port: 443,
+            length: 500,
+        }
+    }
+}
+
+/// A 32-bit splitmix-style hash for stable per-source destinations.
+fn splitmix(x: u32) -> u32 {
+    let mut z = x.wrapping_add(0x9E37_79B9);
+    z = (z ^ (z >> 16)).wrapping_mul(0x85EB_CA6B);
+    z = (z ^ (z >> 13)).wrapping_mul(0xC2B2_AE35);
+    z ^ (z >> 16)
+}
+
+impl<'a, R: Rng> Iterator for PacketStream<'a, R> {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.rng.random::<f64>() < self.cfg.legit_fraction {
+            return Some(self.legit_packet());
+        }
+        let source = &self.population.sources[self.active[self.alias.sample(&mut self.rng)]];
+        let ts = self.advance_clock();
+        let proto = source.class.sample_protocol(&mut self.rng);
+        let dst = self.darkspace_dst(source.class, source.ip);
+        Some(Packet {
+            ts_micros: ts,
+            src: source.ip,
+            dst,
+            proto,
+            src_port: source.class.sample_src_port(proto, &mut self.rng),
+            dst_port: source.class.sample_dst_port(proto, &mut self.rng),
+            length: 40,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{PopulationConfig, SourcePopulation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> SourcePopulation {
+        SourcePopulation::generate(PopulationConfig {
+            n_sources: 20_000,
+            seed: 7,
+            ..PopulationConfig::default()
+        })
+    }
+
+    fn stream(pop: &SourcePopulation) -> PacketStream<'_, StdRng> {
+        PacketStream::at_instant(
+            pop,
+            7.0,
+            TrafficConfig::default(),
+            1_000_000,
+            StdRng::seed_from_u64(99),
+        )
+    }
+
+    #[test]
+    fn packets_target_the_darkspace() {
+        let pop = world();
+        let mut s = stream(&pop);
+        for _ in 0..5_000 {
+            let p = s.next().unwrap();
+            assert_eq!((p.dst.0 >> 24) as u8, 44, "dst {} outside darkspace", p.dst);
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_rate_consistent() {
+        let pop = world();
+        let mut s = stream(&pop);
+        let n = 100_000;
+        let first = s.next().unwrap().ts_micros;
+        let mut last = first;
+        for _ in 0..n {
+            let p = s.next().unwrap();
+            assert!(p.ts_micros >= last);
+            last = p.ts_micros;
+        }
+        let elapsed_sec = (last - first) as f64 / 1e6;
+        let rate = n as f64 / elapsed_sec;
+        let expected = TrafficConfig::default().rate_at(7.0);
+        assert!(
+            (rate - expected).abs() / expected < 0.05,
+            "measured rate {rate:.0} pkt/s vs diurnal-adjusted {expected:.0}"
+        );
+    }
+
+    #[test]
+    fn bright_sources_dominate_the_stream() {
+        let pop = world();
+        let mut s = stream(&pop);
+        let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for _ in 0..200_000 {
+            let p = s.next().unwrap();
+            if !TrafficConfig::default().is_allocated(p.dst, 44) {
+                *counts.entry(p.src.0).or_insert(0) += 1;
+            }
+        }
+        // The brightest active source should collect roughly its brightness
+        // share of packets.
+        let active = pop.active_at(7.0);
+        let total: f64 = active.iter().map(|&i| pop.sources[i].brightness).sum();
+        let (bi, _) = active
+            .iter()
+            .map(|&i| (i, pop.sources[i].brightness))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let bright = &pop.sources[bi];
+        let expect = bright.brightness / total;
+        let got = *counts.get(&bright.ip.0).unwrap_or(&0) as f64 / 200_000.0;
+        assert!(
+            (got - expect).abs() < expect * 0.2 + 0.001,
+            "brightest source share {got:.4} vs expected {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn legit_fraction_hits_allocated_addresses() {
+        let pop = world();
+        let cfg = TrafficConfig { legit_fraction: 0.2, ..TrafficConfig::default() };
+        let mut s =
+            PacketStream::at_instant(&pop, 7.0, cfg, 0, StdRng::seed_from_u64(5));
+        let n = 20_000;
+        let legit =
+            (0..n).filter(|_| cfg.is_allocated(s.next().unwrap().dst, 44)).count();
+        let frac = legit as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "legit fraction {frac}");
+    }
+
+    #[test]
+    fn misconfig_sources_have_unit_fanout() {
+        let pop = world();
+        let mut s = stream(&pop);
+        let mut dsts: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+            std::collections::HashMap::new();
+        for _ in 0..300_000 {
+            let p = s.next().unwrap();
+            dsts.entry(p.src.0).or_default().insert(p.dst.0);
+        }
+        let misconfig_srcs: Vec<&crate::population::Source> = pop
+            .sources
+            .iter()
+            .filter(|x| x.class == SourceClass::Misconfig && dsts.contains_key(&x.ip.0))
+            .collect();
+        assert!(!misconfig_srcs.is_empty());
+        for src in misconfig_srcs {
+            assert_eq!(
+                dsts[&src.ip.0].len(),
+                1,
+                "misconfig source {} has fan-out > 1",
+                src.ip
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_cycle_modulates_the_rate() {
+        let cfg = TrafficConfig::default();
+        // Month boundaries are midnight: slowest.
+        let midnight = cfg.rate_at(7.0);
+        // Half a day later: noon, fastest.
+        let noon = cfg.rate_at(7.0 + 0.5 / 30.0);
+        assert!((midnight - 0.75e6).abs() < 1e3, "midnight rate {midnight}");
+        assert!((noon - 1.25e6).abs() < 1e3, "noon rate {noon}");
+        // Zero amplitude disables the cycle.
+        let flat = TrafficConfig { diurnal_amplitude: 0.0, ..cfg };
+        assert_eq!(flat.rate_at(7.0), 1.0e6);
+        assert_eq!(flat.rate_at(7.3), 1.0e6);
+        // The cycle is 24-hour periodic.
+        let day = 1.0 / 30.0;
+        assert!((cfg.rate_at(7.0) - cfg.rate_at(7.0 + day)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn active_sources_reported() {
+        let pop = world();
+        let s = stream(&pop);
+        assert_eq!(s.active_sources(), pop.active_at(7.0).len());
+    }
+
+    #[test]
+    #[should_panic(expected = "no active sources")]
+    fn dead_world_panics() {
+        let pop = world();
+        // Far outside the span: nobody is active.
+        let _ = PacketStream::at_instant(
+            &pop,
+            1.0e9,
+            TrafficConfig::default(),
+            0,
+            StdRng::seed_from_u64(1),
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the world model.
+
+use obscor_netmodel::activity::{pareto_scale_for_brightness, ActivityInterval, ChurnModel};
+use obscor_netmodel::{HybridPowerLaw, MonthGrid, PopulationConfig, SourcePopulation};
+use obscor_stats::zipf::ZipfMandelbrot;
+use proptest::prelude::*;
+
+proptest! {
+    /// Interval overlap fraction is in [0, 1] and consistent with the
+    /// boolean overlap test.
+    #[test]
+    fn interval_overlap_consistent(
+        birth in -50.0f64..50.0,
+        lifetime in 0.0f64..40.0,
+        lo in -20.0f64..20.0,
+        width in 0.01f64..10.0,
+    ) {
+        let iv = ActivityInterval::new(birth, birth + lifetime);
+        let hi = lo + width;
+        let frac = iv.overlap_fraction(lo, hi);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&frac));
+        prop_assert_eq!(frac > 0.0, iv.overlaps(lo, hi));
+    }
+
+    /// active_at implies overlap with any window containing the instant.
+    #[test]
+    fn active_implies_overlap(
+        birth in -20.0f64..20.0,
+        lifetime in 0.01f64..20.0,
+        t in -20.0f64..40.0,
+    ) {
+        let iv = ActivityInterval::new(birth, birth + lifetime);
+        if iv.active_at(t) {
+            prop_assert!(iv.overlaps(t - 0.5, t + 0.5));
+            prop_assert!(iv.lifetime() > 0.0);
+        }
+    }
+
+    /// Pareto lifetimes respect the scale floor and the analytic kernel is
+    /// a valid monotone survival curve.
+    #[test]
+    fn churn_kernel_is_survival_like(
+        shape in 1.2f64..3.0,
+        x_m in 0.2f64..3.0,
+    ) {
+        let churn = ChurnModel::new(shape, 15.0);
+        let mut last = churn.analytic_overlap(x_m, 0.0);
+        prop_assert!((last - 1.0).abs() < 1e-6, "kernel(0) = {last}");
+        for step in 1..=20 {
+            let tau = step as f64 * 0.75;
+            let k = churn.analytic_overlap(x_m, tau);
+            prop_assert!(k >= -1e-12 && k <= last + 1e-9, "not monotone at {tau}");
+            last = k;
+        }
+    }
+
+    /// The brightness calibration is continuous (no jumps bigger than the
+    /// grid step allows) and bounded by its two extremes.
+    #[test]
+    fn calibration_bounded_and_continuous(
+        log2d in 0.0f64..30.0,
+        knee in 1.0f64..14.0,
+        spread in 1.0f64..10.0,
+    ) {
+        let bright = knee + spread;
+        let x = pareto_scale_for_brightness(log2d, knee, bright);
+        prop_assert!((0.6..=1.8).contains(&x));
+        let x_eps = pareto_scale_for_brightness(log2d + 1e-6, knee, bright);
+        prop_assert!((x - x_eps).abs() < 1e-4, "discontinuity at {log2d}");
+    }
+
+    /// Month grids label every month uniquely and index_of inverts label.
+    #[test]
+    fn month_grid_labels_bijective(year in 1990i32..2100, month in 1u32..=12, n in 1usize..40) {
+        let g = MonthGrid::new(year, month, n);
+        let labels = g.labels();
+        let unique: std::collections::HashSet<&String> = labels.iter().collect();
+        prop_assert_eq!(unique.len(), n);
+        for (i, l) in labels.iter().enumerate() {
+            prop_assert_eq!(g.index_of(l), Some(i));
+        }
+    }
+
+    /// Population generation is seed-deterministic and IPs stay unique and
+    /// outside the darkspace for any configuration.
+    #[test]
+    fn population_wellformed(seed in any::<u64>(), n in 10usize..400, octet in any::<u8>()) {
+        let config = PopulationConfig {
+            n_sources: n,
+            darkspace_octet: octet,
+            seed,
+            ..PopulationConfig::default()
+        };
+        let p = SourcePopulation::generate(config.clone());
+        let q = SourcePopulation::generate(config);
+        prop_assert_eq!(&p.sources, &q.sources);
+        let mut ips = std::collections::HashSet::new();
+        for s in &p.sources {
+            prop_assert!(ips.insert(s.ip.0));
+            prop_assert_ne!((s.ip.0 >> 24) as u8, octet);
+            prop_assert!(s.brightness >= 1.0);
+            prop_assert!(s.interval.lifetime() > 0.0);
+        }
+    }
+
+    /// Hybrid mixtures are valid distributions for any weights/components.
+    #[test]
+    fn hybrid_mixture_is_a_distribution(
+        w1 in 0.01f64..10.0,
+        w2 in 0.01f64..10.0,
+        a1 in 0.6f64..3.0,
+        a2 in 0.6f64..3.0,
+        dmax in 16u64..512,
+    ) {
+        let h = HybridPowerLaw::new(vec![
+            (w1, ZipfMandelbrot::new(a1, 0.0, dmax)),
+            (w2, ZipfMandelbrot::new(a2, 1.0, dmax / 2)),
+        ]);
+        let total: f64 = (1..=h.d_max()).map(|d| h.pmf(d)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        prop_assert!(h.pmf(0) == 0.0 && h.pmf(h.d_max() + 1) == 0.0);
+        prop_assert!((h.binned().total() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Composable packet validity filters.
+//!
+//! "It is common to filter the packets down to a valid set for any
+//! particular analysis. Such filters may limit particular sources,
+//! destinations, protocols, and time windows." The telescope uses a
+//! destination-prefix filter (darkspace membership) composed with a
+//! legitimate-traffic exclusion.
+
+use crate::packet::{Ip4, Packet, Protocol};
+
+/// A predicate over packets. Implemented by all filter combinators and by
+/// plain closures.
+pub trait PacketFilter {
+    /// Whether the packet belongs to the valid set.
+    fn accept(&self, p: &Packet) -> bool;
+}
+
+impl<F: Fn(&Packet) -> bool> PacketFilter for F {
+    fn accept(&self, p: &Packet) -> bool {
+        self(p)
+    }
+}
+
+/// Accepts everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcceptAll;
+
+impl PacketFilter for AcceptAll {
+    fn accept(&self, _p: &Packet) -> bool {
+        true
+    }
+}
+
+/// Accepts packets whose destination lies in a CIDR prefix — the darkspace
+/// membership test.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixFilter {
+    /// Prefix network address.
+    pub prefix: Ip4,
+    /// Prefix length in bits.
+    pub len: u8,
+}
+
+impl PrefixFilter {
+    /// A `/8` darkspace rooted at `first_octet.0.0.0` (the telescope
+    /// monitors a globally routed /8).
+    pub fn slash8(first_octet: u8) -> Self {
+        Self { prefix: Ip4::from_octets(first_octet, 0, 0, 0), len: 8 }
+    }
+}
+
+impl PacketFilter for PrefixFilter {
+    fn accept(&self, p: &Packet) -> bool {
+        p.dst.in_prefix(self.prefix, self.len)
+    }
+}
+
+/// Accepts one transport protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolFilter(pub Protocol);
+
+impl PacketFilter for ProtocolFilter {
+    fn accept(&self, p: &Packet) -> bool {
+        p.proto == self.0
+    }
+}
+
+/// Conjunction of two filters.
+#[derive(Clone, Copy, Debug)]
+pub struct AndFilter<A, B>(pub A, pub B);
+
+impl<A: PacketFilter, B: PacketFilter> PacketFilter for AndFilter<A, B> {
+    fn accept(&self, p: &Packet) -> bool {
+        self.0.accept(p) && self.1.accept(p)
+    }
+}
+
+/// Negation of a filter.
+#[derive(Clone, Copy, Debug)]
+pub struct NotFilter<A>(pub A);
+
+impl<A: PacketFilter> PacketFilter for NotFilter<A> {
+    fn accept(&self, p: &Packet) -> bool {
+        !self.0.accept(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(dst: Ip4, proto: Protocol) -> Packet {
+        Packet { dst, proto, ..Packet::default() }
+    }
+
+    #[test]
+    fn prefix_filter_slash8() {
+        let f = PrefixFilter::slash8(44);
+        assert!(f.accept(&pkt(Ip4::from_octets(44, 9, 9, 9), Protocol::Tcp)));
+        assert!(!f.accept(&pkt(Ip4::from_octets(45, 9, 9, 9), Protocol::Tcp)));
+    }
+
+    #[test]
+    fn protocol_filter() {
+        let f = ProtocolFilter(Protocol::Udp);
+        assert!(f.accept(&pkt(Ip4(0), Protocol::Udp)));
+        assert!(!f.accept(&pkt(Ip4(0), Protocol::Tcp)));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let f = AndFilter(PrefixFilter::slash8(44), NotFilter(ProtocolFilter(Protocol::Icmp)));
+        assert!(f.accept(&pkt(Ip4::from_octets(44, 0, 0, 1), Protocol::Tcp)));
+        assert!(!f.accept(&pkt(Ip4::from_octets(44, 0, 0, 1), Protocol::Icmp)));
+        assert!(!f.accept(&pkt(Ip4::from_octets(45, 0, 0, 1), Protocol::Tcp)));
+    }
+
+    #[test]
+    fn closures_are_filters() {
+        let f = |p: &Packet| p.dst_port == 443;
+        let mut p = pkt(Ip4(1), Protocol::Tcp);
+        p.dst_port = 443;
+        assert!(f.accept(&p));
+        p.dst_port = 80;
+        assert!(!f.accept(&p));
+    }
+
+    #[test]
+    fn accept_all_accepts() {
+        assert!(AcceptAll.accept(&Packet::default()));
+    }
+}

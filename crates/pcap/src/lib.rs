@@ -1,0 +1,30 @@
+//! Packet model, capture format, and constant-packet windowing.
+//!
+//! The observatories in the paper consume raw packet captures. This crate
+//! provides the packet-level substrate:
+//!
+//! * [`packet`] — a compact IPv4 packet-header record ([`Packet`]) with the
+//!   fields the traffic-matrix pipeline uses (timestamp, source,
+//!   destination, protocol, ports, length),
+//! * [`mod@format`] — a real libpcap-compatible codec: captures are written as
+//!   Ethernet II + IPv4 + TCP/UDP/ICMP frames with correct IPv4 and
+//!   transport checksums, and parsed back,
+//! * [`window`] — the paper's *constant packet, variable time* sampling:
+//!   streams are cut into windows of exactly `N_V` valid packets, which
+//!   "simplif\[ies\] the statistical analysis of the heavy-tail distributions
+//!   commonly found in network traffic quantities",
+//! * [`filter`] — composable packet validity filters (darkspace prefix,
+//!   protocol, port) used to discard the small amount of legitimate traffic
+//!   before analysis.
+
+pub mod expr;
+pub mod filter;
+pub mod format;
+pub mod packet;
+pub mod window;
+
+pub use expr::{parse as parse_filter, Expr};
+pub use filter::{AcceptAll, AndFilter, NotFilter, PacketFilter, PrefixFilter, ProtocolFilter};
+pub use format::{PcapReader, PcapWriter};
+pub use packet::{Ip4, Packet, Protocol};
+pub use window::{ConstantPacketWindower, Window};

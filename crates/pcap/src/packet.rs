@@ -1,0 +1,199 @@
+//! IPv4 packet-header records.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address stored as a `u32` — the same integer that indexes the
+/// `2^32 x 2^32` traffic matrices (`1.1.1.1` ↔ `16843009`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ip4(pub u32);
+
+impl Ip4 {
+    /// Build from dotted-quad octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ip4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [(self.0 >> 24) as u8, (self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8]
+    }
+
+    /// Whether this address falls inside `prefix/len` (CIDR membership).
+    /// `len == 0` matches everything.
+    pub fn in_prefix(self, prefix: Ip4, len: u8) -> bool {
+        debug_assert!(len <= 32);
+        if len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - len as u32);
+        (self.0 & mask) == (prefix.0 & mask)
+    }
+}
+
+impl fmt::Display for Ip4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// Dotted-quad parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpError;
+
+impl fmt::Display for ParseIpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid dotted-quad IPv4 address")
+    }
+}
+
+impl std::error::Error for ParseIpError {}
+
+impl FromStr for Ip4 {
+    type Err = ParseIpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut ip = 0u32;
+        for _ in 0..4 {
+            let octet: u32 = parts
+                .next()
+                .ok_or(ParseIpError)?
+                .parse()
+                .map_err(|_| ParseIpError)?;
+            if octet > 255 {
+                return Err(ParseIpError);
+            }
+            ip = (ip << 8) | octet;
+        }
+        if parts.next().is_some() {
+            return Err(ParseIpError);
+        }
+        Ok(Ip4(ip))
+    }
+}
+
+/// Transport protocol of a packet, by IANA protocol number.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    Icmp,
+    #[default]
+    Tcp,
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// The IANA protocol number.
+    pub const fn number(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+
+    /// From an IANA protocol number.
+    pub const fn from_number(n: u8) -> Self {
+        match n {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            n => Protocol::Other(n),
+        }
+    }
+}
+
+/// One captured packet header — everything the traffic-matrix pipeline
+/// needs, nothing more (payloads never leave the sensor in the paper's
+/// trusted-sharing framework).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Packet {
+    /// Capture timestamp in microseconds since the epoch.
+    pub ts_micros: u64,
+    /// Source address.
+    pub src: Ip4,
+    /// Destination address.
+    pub dst: Ip4,
+    /// Transport protocol.
+    pub proto: Protocol,
+    /// Source port (0 for ICMP).
+    pub src_port: u16,
+    /// Destination port (0 for ICMP).
+    pub dst_port: u16,
+    /// Original wire length in bytes.
+    pub length: u16,
+}
+
+impl Packet {
+    /// Convenience constructor for a TCP packet.
+    pub fn tcp(ts_micros: u64, src: Ip4, dst: Ip4, src_port: u16, dst_port: u16) -> Self {
+        Packet { ts_micros, src, dst, proto: Protocol::Tcp, src_port, dst_port, length: 40 }
+    }
+
+    /// Convenience constructor for a UDP packet.
+    pub fn udp(ts_micros: u64, src: Ip4, dst: Ip4, src_port: u16, dst_port: u16) -> Self {
+        Packet { ts_micros, src, dst, proto: Protocol::Udp, src_port, dst_port, length: 28 }
+    }
+
+    /// The `(source, destination)` matrix coordinate of this packet.
+    pub fn coordinate(&self) -> (u32, u32) {
+        (self.src.0, self.dst.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_octet_round_trip() {
+        let ip = Ip4::from_octets(192, 168, 0, 1);
+        assert_eq!(ip.0, 0xC0A80001);
+        assert_eq!(ip.octets(), [192, 168, 0, 1]);
+        assert_eq!(ip.to_string(), "192.168.0.1");
+    }
+
+    #[test]
+    fn paper_worked_example_index() {
+        // "3 packets from IPv4 source 1.1.1.1 ... A_t(16843009, ...)".
+        let ip: Ip4 = "1.1.1.1".parse().unwrap();
+        assert_eq!(ip.0, 16843009);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("1.2.3".parse::<Ip4>().is_err());
+        assert!("1.2.3.4.5".parse::<Ip4>().is_err());
+        assert!("256.1.1.1".parse::<Ip4>().is_err());
+        assert!("a.b.c.d".parse::<Ip4>().is_err());
+        assert!("".parse::<Ip4>().is_err());
+    }
+
+    #[test]
+    fn prefix_membership() {
+        let darkspace = Ip4::from_octets(44, 0, 0, 0);
+        assert!(Ip4::from_octets(44, 1, 2, 3).in_prefix(darkspace, 8));
+        assert!(!Ip4::from_octets(45, 1, 2, 3).in_prefix(darkspace, 8));
+        assert!(Ip4::from_octets(44, 0, 0, 0).in_prefix(darkspace, 32));
+        assert!(!Ip4::from_octets(44, 0, 0, 1).in_prefix(darkspace, 32));
+        assert!(Ip4::from_octets(9, 9, 9, 9).in_prefix(darkspace, 0));
+    }
+
+    #[test]
+    fn protocol_numbers_round_trip() {
+        for p in [Protocol::Icmp, Protocol::Tcp, Protocol::Udp, Protocol::Other(47)] {
+            assert_eq!(Protocol::from_number(p.number()), p);
+        }
+        assert_eq!(Protocol::from_number(6), Protocol::Tcp);
+    }
+
+    #[test]
+    fn packet_coordinate_matches_matrix_convention() {
+        let p = Packet::tcp(0, "1.1.1.1".parse().unwrap(), "2.2.2.2".parse().unwrap(), 1, 2);
+        assert_eq!(p.coordinate(), (16843009, 33686018));
+    }
+}

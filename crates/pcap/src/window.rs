@@ -1,0 +1,189 @@
+//! Constant-packet windowing.
+//!
+//! "To reduce statistical fluctuations, the streaming data should be
+//! partitioned so that for any chosen time window all data sets have the
+//! same number of valid packets." A [`ConstantPacketWindower`] cuts a
+//! packet stream into [`Window`]s of exactly `N_V` *valid* packets (as
+//! judged by a [`PacketFilter`]); the wall-clock duration of each window
+//! varies with traffic intensity — Table I's 997–1594-second windows for
+//! `N_V = 2^30`.
+
+use crate::filter::PacketFilter;
+use crate::packet::Packet;
+
+/// A window of exactly `N_V` valid packets.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Window {
+    /// Zero-based window sequence number within the stream.
+    pub index: usize,
+    /// The valid packets, in arrival order. `packets.len() == n_v` always.
+    pub packets: Vec<Packet>,
+    /// Packets rejected by the validity filter while filling this window.
+    pub discarded: u64,
+}
+
+impl Window {
+    /// Timestamp of the first packet (microseconds).
+    pub fn start_micros(&self) -> u64 {
+        self.packets.first().map(|p| p.ts_micros).unwrap_or(0)
+    }
+
+    /// Wall-clock span of the window in seconds (Table I's "Duration").
+    pub fn duration_secs(&self) -> f64 {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => (b.ts_micros.saturating_sub(a.ts_micros)) as f64 / 1e6,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Iterator adapter yielding constant-packet windows from a packet stream.
+pub struct ConstantPacketWindower<I, F> {
+    inner: I,
+    filter: F,
+    n_v: usize,
+    next_index: usize,
+    /// Valid packets accumulated past the last full window.
+    remainder: Vec<Packet>,
+    remainder_discarded: u64,
+    exhausted: bool,
+}
+
+impl<I: Iterator<Item = Packet>, F: PacketFilter> ConstantPacketWindower<I, F> {
+    /// Cut `stream` into windows of `n_v` packets accepted by `filter`.
+    ///
+    /// # Panics
+    /// Panics if `n_v == 0`.
+    pub fn new(stream: I, filter: F, n_v: usize) -> Self {
+        assert!(n_v > 0, "window size must be positive");
+        Self {
+            inner: stream,
+            filter,
+            n_v,
+            next_index: 0,
+            remainder: Vec::new(),
+            remainder_discarded: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Valid packets that arrived after the last complete window (only
+    /// meaningful once iteration has finished).
+    pub fn remainder(&self) -> &[Packet] {
+        &self.remainder
+    }
+}
+
+impl<I: Iterator<Item = Packet>, F: PacketFilter> Iterator for ConstantPacketWindower<I, F> {
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        if self.exhausted {
+            return None;
+        }
+        let mut packets = std::mem::take(&mut self.remainder);
+        packets.reserve(self.n_v.saturating_sub(packets.len()));
+        let mut discarded = self.remainder_discarded;
+        self.remainder_discarded = 0;
+        for p in self.inner.by_ref() {
+            if !self.filter.accept(&p) {
+                discarded += 1;
+                continue;
+            }
+            packets.push(p);
+            if packets.len() == self.n_v {
+                let w = Window { index: self.next_index, packets, discarded };
+                self.next_index += 1;
+                return Some(w);
+            }
+        }
+        // Stream ended mid-window: keep the partial tail available.
+        self.exhausted = true;
+        self.remainder = packets;
+        self.remainder_discarded = discarded;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::AcceptAll;
+    use crate::packet::{Ip4, Protocol};
+
+    fn stream(n: usize) -> impl Iterator<Item = Packet> {
+        (0..n).map(|i| Packet {
+            ts_micros: 1_000_000 + (i as u64) * 500,
+            src: Ip4(i as u32),
+            dst: Ip4(0x2C000000 | (i as u32 & 0xFF)),
+            proto: Protocol::Tcp,
+            src_port: 1,
+            dst_port: 2,
+            length: 40,
+        })
+    }
+
+    #[test]
+    fn exact_windows() {
+        let windows: Vec<_> =
+            ConstantPacketWindower::new(stream(100), AcceptAll, 25).collect();
+        assert_eq!(windows.len(), 4);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.index, i);
+            assert_eq!(w.packets.len(), 25);
+            assert_eq!(w.discarded, 0);
+        }
+    }
+
+    #[test]
+    fn partial_tail_is_not_emitted() {
+        let mut windower = ConstantPacketWindower::new(stream(90), AcceptAll, 25);
+        let windows: Vec<_> = windower.by_ref().collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windower.remainder().len(), 15);
+    }
+
+    #[test]
+    fn filter_discards_count() {
+        // Accept only even sources: half the packets are invalid.
+        let f = |p: &Packet| p.src.0 % 2 == 0;
+        let windows: Vec<_> = ConstantPacketWindower::new(stream(100), f, 25).collect();
+        assert_eq!(windows.len(), 2);
+        // Window 0 fills at source 48 having skipped odds 1..47 (24
+        // discards); window 1 fills at source 98 having skipped odds
+        // 49..97 (25 discards). Odd source 99 lands in the remainder.
+        assert_eq!(windows[0].discarded, 24);
+        assert_eq!(windows[1].discarded, 25);
+        assert!(windows.iter().all(|w| w.packets.iter().all(|p| p.src.0 % 2 == 0)));
+    }
+
+    #[test]
+    fn duration_varies_with_content() {
+        let windows: Vec<_> =
+            ConstantPacketWindower::new(stream(50), AcceptAll, 50).collect();
+        assert_eq!(windows.len(), 1);
+        let w = &windows[0];
+        assert_eq!(w.start_micros(), 1_000_000);
+        assert!((w.duration_secs() - 49.0 * 500.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let windows: Vec<_> =
+            ConstantPacketWindower::new(stream(0), AcceptAll, 10).collect();
+        assert!(windows.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_panics() {
+        let _ = ConstantPacketWindower::new(stream(1), AcceptAll, 0);
+    }
+
+    #[test]
+    fn window_size_one() {
+        let windows: Vec<_> = ConstantPacketWindower::new(stream(3), AcceptAll, 1).collect();
+        assert_eq!(windows.len(), 3);
+        assert!(windows.iter().all(|w| w.packets.len() == 1));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the packet layer.
+
+use obscor_pcap::{
+    AcceptAll, ConstantPacketWindower, Ip4, PacketFilter, PcapReader, PcapWriter, PrefixFilter,
+    Protocol,
+};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = obscor_pcap::Packet> {
+    (
+        0u64..1u64 << 50,
+        any::<u32>(),
+        any::<u32>(),
+        prop::sample::select(vec![Protocol::Tcp, Protocol::Udp, Protocol::Icmp]),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(ts, src, dst, proto, sp, dp)| {
+            let (src_port, dst_port) = match proto {
+                Protocol::Icmp => (0, 0),
+                _ => (sp, dp),
+            };
+            obscor_pcap::Packet {
+                ts_micros: ts,
+                src: Ip4(src),
+                dst: Ip4(dst),
+                proto,
+                src_port,
+                dst_port,
+                length: 40,
+            }
+        })
+}
+
+proptest! {
+    /// Any packet sequence survives the libpcap round trip with headers
+    /// and checksums intact.
+    #[test]
+    fn pcap_round_trip(packets in prop::collection::vec(arb_packet(), 0..50)) {
+        let mut w = PcapWriter::new();
+        for p in &packets {
+            w.write_packet(p);
+        }
+        let back = PcapReader::new(&w.into_bytes()).unwrap().read_all().unwrap();
+        prop_assert_eq!(back.len(), packets.len());
+        for (a, b) in packets.iter().zip(&back) {
+            prop_assert_eq!(a.ts_micros, b.ts_micros);
+            prop_assert_eq!(a.src, b.src);
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert_eq!(a.proto, b.proto);
+            prop_assert_eq!(a.src_port, b.src_port);
+            prop_assert_eq!(a.dst_port, b.dst_port);
+        }
+    }
+
+    /// A corrupted byte anywhere inside a record either fails parsing or
+    /// never silently changes addressing fields. (Flips in padding/ignored
+    /// fields may survive; flips in addresses must be caught by the IPv4
+    /// checksum.)
+    #[test]
+    fn address_corruption_is_detected(
+        p in arb_packet(),
+        byte_off in 0usize..8,
+        bit in 0u8..8,
+    ) {
+        let mut w = PcapWriter::new();
+        w.write_packet(&p);
+        let mut bytes = w.into_bytes();
+        // Addresses live at frame offset 14+12..14+20; records start at
+        // 24 (global) + 16 (record header).
+        let addr_start = 24 + 16 + 14 + 12;
+        bytes[addr_start + byte_off] ^= 1 << bit;
+        let result = PcapReader::new(&bytes).unwrap().read_all();
+        prop_assert!(result.is_err(), "corrupted address accepted");
+    }
+
+    /// The windower emits exactly floor(valid/n) windows of exactly n
+    /// packets, preserving arrival order.
+    #[test]
+    fn windower_partitions(
+        packets in prop::collection::vec(arb_packet(), 0..120),
+        n in 1usize..20,
+    ) {
+        let windows: Vec<_> =
+            ConstantPacketWindower::new(packets.clone().into_iter(), AcceptAll, n).collect();
+        prop_assert_eq!(windows.len(), packets.len() / n);
+        let flattened: Vec<_> =
+            windows.iter().flat_map(|w| w.packets.iter().copied()).collect();
+        prop_assert_eq!(&flattened[..], &packets[..flattened.len()]);
+        for (i, w) in windows.iter().enumerate() {
+            prop_assert_eq!(w.index, i);
+            prop_assert_eq!(w.packets.len(), n);
+        }
+    }
+
+    /// Valid + discarded accounts for every packet the windower consumed.
+    #[test]
+    fn windower_conserves_packets(
+        packets in prop::collection::vec(arb_packet(), 0..120),
+        octet in any::<u8>(),
+        n in 1usize..10,
+    ) {
+        let filter = PrefixFilter::slash8(octet);
+        let mut windower =
+            ConstantPacketWindower::new(packets.clone().into_iter(), filter, n);
+        let windows: Vec<_> = windower.by_ref().collect();
+        let valid_in_windows: usize = windows.iter().map(|w| w.packets.len()).sum();
+        let discarded: u64 = windows.iter().map(|w| w.discarded).sum();
+        let total_valid = packets.iter().filter(|p| filter.accept(p)).count();
+        prop_assert_eq!(valid_in_windows + windower.remainder().len(), total_valid);
+        // Everything the filter rejected before the last full window is
+        // counted somewhere (windows or the in-progress remainder).
+        prop_assert!(discarded as usize <= packets.len() - total_valid);
+    }
+
+    /// Prefix membership is consistent with integer masking.
+    #[test]
+    fn prefix_matches_mask(ip in any::<u32>(), prefix in any::<u32>(), len in 0u8..=32) {
+        let member = Ip4(ip).in_prefix(Ip4(prefix), len);
+        let expected = if len == 0 {
+            true
+        } else {
+            let mask = u32::MAX << (32 - len as u32);
+            ip & mask == prefix & mask
+        };
+        prop_assert_eq!(member, expected);
+    }
+
+    /// Display/FromStr round-trips every address.
+    #[test]
+    fn ip_display_round_trip(ip in any::<u32>()) {
+        let parsed: Ip4 = Ip4(ip).to_string().parse().unwrap();
+        prop_assert_eq!(parsed, Ip4(ip));
+    }
+}

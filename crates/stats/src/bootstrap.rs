@@ -1,0 +1,192 @@
+//! Bootstrap confidence intervals for fitted parameters.
+//!
+//! Figs 7 and 8 plot point estimates of α and β per degree bin; a
+//! measurement paper needs to know how tight those estimates are. The
+//! nonparametric bootstrap resamples the months of a temporal curve with
+//! replacement, refits, and reads percentile intervals off the resampled
+//! parameter distribution.
+
+use crate::fit::{fit_modified_cauchy_grid, ModCauchyFit};
+use crate::interval::Interval;
+use crate::summary::quantile;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Bootstrap percentile intervals for a modified-Cauchy fit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BootstrapFit {
+    /// The full-data fit.
+    pub fit: ModCauchyFit,
+    /// Percentile interval on α.
+    pub alpha_ci: Interval,
+    /// Percentile interval on β.
+    pub beta_ci: Interval,
+    /// Number of successful resample fits.
+    pub n_resamples: usize,
+}
+
+/// Resample `(lag, value)` pairs with replacement and refit `n_resamples`
+/// times; return the full-data fit plus `level` (e.g. 0.95) percentile
+/// intervals. Deterministic in `seed`.
+///
+/// Returns `None` if the full-data fit fails or fewer than 10 resamples
+/// produce a fit.
+///
+/// # Panics
+/// Panics unless `0 < level < 1` and the slices pair up.
+pub fn bootstrap_modified_cauchy(
+    lags: &[f64],
+    values: &[f64],
+    alphas: &[f64],
+    betas: &[f64],
+    n_resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapFit> {
+    assert_eq!(lags.len(), values.len());
+    assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+    let fit = fit_modified_cauchy_grid(lags, values, alphas, betas)?;
+    let n = lags.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alpha_samples = Vec::with_capacity(n_resamples);
+    let mut beta_samples = Vec::with_capacity(n_resamples);
+    for _ in 0..n_resamples {
+        let mut rl = Vec::with_capacity(n);
+        let mut rv = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = rng.random_range(0..n);
+            rl.push(lags[k]);
+            rv.push(values[k]);
+        }
+        if let Some(f) = fit_modified_cauchy_grid(&rl, &rv, alphas, betas) {
+            alpha_samples.push(f.alpha);
+            beta_samples.push(f.beta);
+        }
+    }
+    if alpha_samples.len() < 10 {
+        return None;
+    }
+    let tail = (1.0 - level) / 2.0;
+    let ci = |samples: &[f64]| Interval {
+        lo: quantile(samples, tail).unwrap(),
+        hi: quantile(samples, 1.0 - tail).unwrap(),
+    };
+    Some(BootstrapFit {
+        fit,
+        alpha_ci: ci(&alpha_samples),
+        beta_ci: ci(&beta_samples),
+        n_resamples: alpha_samples.len(),
+    })
+}
+
+/// Sample `Rng`-driven bootstrap means of a plain statistic (used for
+/// fraction error bars when the Wilson interval's independence assumption
+/// is in doubt).
+pub fn bootstrap_mean_ci(
+    values: &[f64],
+    n_resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
+    assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+    if values.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = values.len();
+    let means: Vec<f64> = (0..n_resamples)
+        .map(|_| {
+            (0..n).map(|_| values[rng.random_range(0..n)]).sum::<f64>() / n as f64
+        })
+        .collect();
+    let tail = (1.0 - level) / 2.0;
+    Some(Interval { lo: quantile(&means, tail)?, hi: quantile(&means, 1.0 - tail)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{default_mc_alpha_grid, default_mc_beta_grid, TemporalModel};
+
+    fn curve(alpha: f64, beta: f64, noise: f64) -> (Vec<f64>, Vec<f64>) {
+        let model = TemporalModel::ModifiedCauchy { alpha, beta };
+        let lags: Vec<f64> = (-7..=7).map(|m| m as f64).collect();
+        let values: Vec<f64> = lags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let wiggle = noise * (((i * 37) % 11) as f64 / 11.0 - 0.5);
+                (0.8 * model.eval(t) + wiggle).max(0.0)
+            })
+            .collect();
+        (lags, values)
+    }
+
+    fn grids() -> (Vec<f64>, Vec<f64>) {
+        (default_mc_alpha_grid(), default_mc_beta_grid())
+    }
+
+    #[test]
+    fn interval_covers_the_planted_parameter() {
+        let (lags, values) = curve(1.0, 2.0, 0.02);
+        let (a, b) = grids();
+        let boot =
+            bootstrap_modified_cauchy(&lags, &values, &a, &b, 100, 0.95, 7).unwrap();
+        assert!(
+            boot.alpha_ci.contains(1.0),
+            "alpha CI [{:.2}, {:.2}] misses 1.0",
+            boot.alpha_ci.lo,
+            boot.alpha_ci.hi
+        );
+        assert!(boot.beta_ci.contains(2.0) || boot.beta_ci.hi > 1.5);
+        assert!(boot.n_resamples >= 90);
+    }
+
+    #[test]
+    fn noisier_data_gives_wider_intervals() {
+        let (a, b) = grids();
+        let (l1, v1) = curve(1.0, 2.0, 0.005);
+        let (l2, v2) = curve(1.0, 2.0, 0.15);
+        let tight = bootstrap_modified_cauchy(&l1, &v1, &a, &b, 80, 0.95, 1).unwrap();
+        let loose = bootstrap_modified_cauchy(&l2, &v2, &a, &b, 80, 0.95, 1).unwrap();
+        assert!(
+            loose.alpha_ci.half_width() >= tight.alpha_ci.half_width(),
+            "noisy {:.3} vs clean {:.3}",
+            loose.alpha_ci.half_width(),
+            tight.alpha_ci.half_width()
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (lags, values) = curve(1.5, 1.0, 0.05);
+        let (a, b) = grids();
+        let x = bootstrap_modified_cauchy(&lags, &values, &a, &b, 50, 0.9, 3).unwrap();
+        let y = bootstrap_modified_cauchy(&lags, &values, &a, &b, 50, 0.9, 3).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn unfittable_data_gives_none() {
+        let lags = vec![0.0, 1.0, 2.0];
+        let values = vec![0.0, 0.0, 0.0];
+        let (a, b) = grids();
+        assert!(bootstrap_modified_cauchy(&lags, &values, &a, &b, 50, 0.95, 1).is_none());
+    }
+
+    #[test]
+    fn mean_ci_brackets_the_mean() {
+        let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&values, 200, 0.95, 5).unwrap();
+        let mean = 4.5;
+        assert!(ci.contains(mean), "CI [{:.2}, {:.2}]", ci.lo, ci.hi);
+        assert!(ci.half_width() < 1.0);
+        assert!(bootstrap_mean_ci(&[], 10, 0.95, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn bad_level_panics() {
+        let _ = bootstrap_mean_ci(&[1.0], 10, 1.5, 1);
+    }
+}

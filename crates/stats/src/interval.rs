@@ -1,0 +1,107 @@
+//! Confidence intervals for measured fractions.
+//!
+//! Every point in Figs 4-6 is a binomial proportion (sources detected /
+//! sources in bin); the Wilson score interval gives calibrated error bars
+//! even for the small, near-0/near-1 counts at the bright end — exactly
+//! where the naive Wald interval collapses.
+
+/// A two-sided confidence interval on a proportion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower bound (≥ 0).
+    pub lo: f64,
+    /// Upper bound (≤ 1).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Interval half-width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether a value lies inside the interval.
+    pub fn contains(&self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+}
+
+/// The Wilson score interval for `successes` out of `trials` at the given
+/// normal quantile `z` (1.96 ≈ 95 %).
+///
+/// # Panics
+/// Panics if `trials == 0`, `successes > trials`, or `z <= 0`.
+pub fn wilson(successes: u64, trials: u64, z: f64) -> Interval {
+    assert!(trials > 0, "Wilson interval needs at least one trial");
+    assert!(successes <= trials, "successes exceed trials");
+    assert!(z > 0.0, "z must be positive");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let margin = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    Interval { lo: (center - margin).max(0.0), hi: (center + margin).min(1.0) }
+}
+
+/// [`wilson`] at 95 % confidence.
+pub fn wilson95(successes: u64, trials: u64) -> Interval {
+    wilson(successes, trials, 1.959_963_984_540_054)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_value() {
+        // 8/10 at 95%: Wilson gives roughly (0.49, 0.94).
+        let iv = wilson95(8, 10);
+        assert!((iv.lo - 0.49).abs() < 0.01, "lo {}", iv.lo);
+        assert!((iv.hi - 0.943).abs() < 0.01, "hi {}", iv.hi);
+    }
+
+    #[test]
+    fn extremes_stay_in_unit_interval() {
+        let zero = wilson95(0, 20);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.25);
+        let all = wilson95(20, 20);
+        assert_eq!(all.hi, 1.0);
+        assert!(all.lo > 0.75 && all.lo < 1.0);
+    }
+
+    #[test]
+    fn interval_shrinks_with_trials() {
+        let small = wilson95(5, 10);
+        let large = wilson95(500, 1000);
+        assert!(large.half_width() < small.half_width());
+    }
+
+    #[test]
+    fn covers_the_point_estimate() {
+        for (s, n) in [(0u64, 5u64), (1, 7), (3, 9), (9, 9), (50, 100)] {
+            let iv = wilson95(s, n);
+            assert!(iv.contains(s as f64 / n as f64), "{s}/{n}");
+        }
+    }
+
+    #[test]
+    fn higher_confidence_is_wider() {
+        let ninety = wilson(30, 100, 1.6449);
+        let ninety_nine = wilson(30, 100, 2.5758);
+        assert!(ninety_nine.half_width() > ninety.half_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = wilson95(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn impossible_counts_panic() {
+        let _ = wilson95(5, 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Ordinary least-squares regression.
+//!
+//! Used for log-log scaling laws: the paper notes "the number of unique
+//! sources seen at the CAIDA Telescope and other locations is
+//! approximately proportional to `N_V^{1/2}`" — a claim checked by
+//! regressing `log(sources)` on `log(packets)`.
+
+/// An OLS line fit `y ≈ slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect line).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predict `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fit a line by least squares. Returns `None` with fewer than two
+/// points or a degenerate (constant-x) design.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "regression needs paired samples");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x) * (x - mean_x)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit { slope, intercept, r_squared })
+}
+
+/// Fit a power law `y ≈ c·x^e` by OLS in log-log space; returns
+/// `(exponent, r_squared)`. Points with non-positive coordinates are
+/// rejected.
+///
+/// # Panics
+/// Panics if any coordinate is non-positive.
+pub fn power_law_exponent(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    assert!(
+        xs.iter().chain(ys).all(|v| *v > 0.0),
+        "log-log regression needs positive coordinates"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    linear_fit(&lx, &ly).map(|f| (f.slope, f.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_lowers_r_squared() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 1.0).abs() < 0.05);
+        assert!(f.r_squared < 1.0 && f.r_squared > 0.8);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(linear_fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn power_law_exponent_recovers() {
+        let xs: Vec<f64> = (1..=20).map(|i| (1 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(0.5)).collect();
+        let (e, r2) = power_law_exponent(&xs, &ys).unwrap();
+        assert!((e - 0.5).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_y_has_unit_r2_zero_slope() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn log_log_rejects_nonpositive() {
+        let _ = power_law_exponent(&[1.0, 0.0], &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! O(1) weighted sampling via the alias method.
+//!
+//! Synthetic packet emission draws the source of every packet from a
+//! heavy-tailed intensity vector over hundreds of thousands of sources;
+//! Walker/Vose alias tables make each draw two random numbers and one
+//! table lookup, independent of population size.
+
+use rand::{Rng, RngExt};
+
+/// A Walker/Vose alias table over indices `0..n` with the given weights.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(weights.len() <= u32::MAX as usize, "population too large");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one index with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Draw `n` indices.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / 40_000.0;
+            assert!((f - 0.25).abs() < 0.02, "frequency {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_frequencies() {
+        let weights = [8.0, 1.0, 1.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.8).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn heavy_tail_population() {
+        // Zipf-ish weights over 10k categories: sampling must stay in range
+        // and hit the head most often.
+        let weights: Vec<f64> = (1..=10_000).map(|i| 1.0 / (i as f64)).collect();
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws = t.sample_n(&mut rng, 50_000);
+        assert!(draws.iter().all(|&i| i < 10_000));
+        let head = draws.iter().filter(|&&i| i == 0).count() as f64 / 50_000.0;
+        let expect = 1.0 / (1..=10_000).map(|i| 1.0 / i as f64).sum::<f64>();
+        assert!((head - expect).abs() < 0.01, "head {head} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+}

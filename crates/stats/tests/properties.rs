@@ -1,0 +1,163 @@
+//! Property-based tests for the statistics substrate.
+
+use obscor_stats::binning::{bin_representative, differential_cumulative, log2_bin};
+use obscor_stats::fit::{fit_modified_cauchy, one_month_drop, TemporalModel};
+use obscor_stats::norms::{pnorm, residual_pnorm};
+use obscor_stats::summary::{mean, quantile, variance};
+use obscor_stats::zipf::ZipfMandelbrot;
+use obscor_stats::DegreeHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// Bin boundaries: every degree lands in exactly the bin whose
+    /// interval (2^{i-1}, 2^i] contains it.
+    #[test]
+    fn log2_bin_interval_membership(d in 1u64..1u64 << 40) {
+        let i = log2_bin(d);
+        let hi = bin_representative(i);
+        prop_assert!(d <= hi);
+        if i > 0 {
+            prop_assert!(d > bin_representative(i - 1));
+        }
+    }
+
+    /// Pooled mass equals one for any nonempty histogram.
+    #[test]
+    fn pooled_mass_conserved(degrees in prop::collection::vec(1u64..100_000, 1..300)) {
+        let h = DegreeHistogram::from_degrees(degrees);
+        let binned = differential_cumulative(&h);
+        prop_assert!((binned.total() - 1.0).abs() < 1e-9);
+    }
+
+    /// The histogram's cumulative function is monotone and normalized.
+    #[test]
+    fn cumulative_monotone(degrees in prop::collection::vec(1u64..10_000, 1..200)) {
+        let h = DegreeHistogram::from_degrees(degrees);
+        let mut last = 0.0;
+        for d in [1u64, 2, 5, 10, 100, 1_000, 10_000] {
+            let c = h.cumulative(d);
+            prop_assert!(c >= last - 1e-12);
+            last = c;
+        }
+        prop_assert!((h.cumulative(h.d_max()) - 1.0).abs() < 1e-12);
+    }
+
+    /// p-norm axioms that hold for all p > 0: absolute homogeneity and
+    /// zero iff zero vector.
+    #[test]
+    fn pnorm_homogeneous(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..20),
+        scale in 0.1f64..10.0,
+        p in prop::sample::select(vec![0.5f64, 1.0, 2.0]),
+    ) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let lhs = pnorm(&scaled, p);
+        let rhs = scale * pnorm(&xs, p);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+    }
+
+    /// Residual norm is symmetric and zero on equal inputs.
+    #[test]
+    fn residual_symmetric(
+        a in prop::collection::vec(-10.0f64..10.0, 1..15),
+        p in prop::sample::select(vec![0.5f64, 1.0, 2.0]),
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        prop_assert!((residual_pnorm(&a, &b, p) - residual_pnorm(&b, &a, p)).abs() < 1e-9);
+        prop_assert_eq!(residual_pnorm(&a, &a, p), 0.0);
+    }
+
+    /// Zipf-Mandelbrot: pmf sums to one and is monotone decreasing for
+    /// any parameters.
+    #[test]
+    fn zm_pmf_valid(alpha in 0.5f64..3.0, delta in 0.0f64..8.0, dmax in 16u64..2048) {
+        let zm = ZipfMandelbrot::new(alpha, delta, dmax);
+        let total: f64 = (1..=dmax).map(|d| zm.pmf(d)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for d in 1..dmax.min(64) {
+            prop_assert!(zm.pmf(d) >= zm.pmf(d + 1));
+        }
+    }
+
+    /// ZM cdf is the running sum of the pmf.
+    #[test]
+    fn zm_cdf_consistent(alpha in 0.5f64..3.0, dmax in 8u64..512) {
+        let zm = ZipfMandelbrot::new(alpha, 1.0, dmax);
+        let mut acc = 0.0;
+        for d in 1..=dmax {
+            acc += zm.pmf(d);
+            prop_assert!((zm.cdf(d) - acc).abs() < 1e-9);
+        }
+    }
+
+    /// Temporal models: bounded in (0, 1], symmetric, monotone decaying.
+    #[test]
+    fn temporal_models_well_behaved(
+        tau in 0.0f64..20.0,
+        sigma in 0.1f64..10.0,
+        alpha in 0.1f64..4.0,
+        beta in 0.01f64..50.0,
+    ) {
+        for m in [
+            TemporalModel::Gaussian { sigma },
+            TemporalModel::Cauchy { gamma: sigma },
+            TemporalModel::ModifiedCauchy { alpha, beta },
+        ] {
+            let v = m.eval(tau);
+            // The Gaussian may underflow to exactly 0 at extreme tau/sigma.
+            prop_assert!((0.0..=1.0).contains(&v), "{m:?} at {tau}: {v}");
+            prop_assert!((m.eval(-tau) - v).abs() < 1e-12);
+            prop_assert!(m.eval(tau + 1.0) <= v + 1e-12);
+        }
+    }
+
+    /// The fitted modified Cauchy always reproduces the peak at lag 0 and
+    /// never has a negative residual.
+    #[test]
+    fn fit_respects_peak(
+        peak in 0.05f64..1.0,
+        alpha in 0.3f64..2.5,
+        beta in 0.1f64..10.0,
+    ) {
+        let truth = TemporalModel::ModifiedCauchy { alpha, beta };
+        let lags: Vec<f64> = (-7..=7).map(|m| m as f64).collect();
+        let values: Vec<f64> = lags.iter().map(|&t| peak * truth.eval(t)).collect();
+        let fit = fit_modified_cauchy(&lags, &values).unwrap();
+        prop_assert!((fit.peak - peak).abs() < 1e-12);
+        prop_assert!(fit.residual >= 0.0);
+        prop_assert!((fit.eval(0.0) - peak).abs() < 1e-9);
+        // Recovered parameters are in the right region.
+        prop_assert!((fit.alpha - alpha).abs() < 0.4, "alpha {} vs {}", fit.alpha, alpha);
+    }
+
+    /// One-month drop is in (0, 1) and decreasing in beta.
+    #[test]
+    fn drop_monotone_in_beta(beta in 0.01f64..100.0) {
+        let d = one_month_drop(beta);
+        prop_assert!(d > 0.0 && d < 1.0);
+        prop_assert!(one_month_drop(beta * 2.0) < d);
+    }
+
+    /// Quantiles are bounded by the extremes and monotone in q.
+    #[test]
+    fn quantiles_bounded(xs in prop::collection::vec(-1000.0f64..1000.0, 1..60)) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = lo;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = quantile(&xs, q).unwrap();
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prop_assert!(v >= last - 1e-9);
+            last = v;
+        }
+    }
+
+    /// Variance is non-negative and zero for constant data.
+    #[test]
+    fn variance_nonnegative(xs in prop::collection::vec(-100.0f64..100.0, 2..40)) {
+        prop_assert!(variance(&xs) >= 0.0);
+        let constant = vec![xs[0]; xs.len()];
+        prop_assert!(variance(&constant).abs() < 1e-9);
+        prop_assert!((mean(&constant) - xs[0]).abs() < 1e-9);
+    }
+}

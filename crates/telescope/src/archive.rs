@@ -1,0 +1,182 @@
+//! Leaf-matrix archival.
+//!
+//! "The CAIDA Telescope archives its trillions of collected packets at
+//! the supercomputing center at Lawrence Berkeley National Laboratory
+//! where the packets are aggregated into CryptoPAN anonymized GraphBLAS
+//! traffic matrices of `N_V = 2^17` valid contiguous packets. The
+//! `N_V = 2^30` traffic matrices used in this study are constructed by
+//! hierarchically summing `2^13` of these smaller matrices."
+//!
+//! [`WindowArchive`] is that storage layer: a captured window is split
+//! into contiguous leaf matrices (optionally CryptoPAN-anonymized), each
+//! serialized with the compact binary codec; restoration decodes the
+//! leaves and re-sums them with a parallel merge tree, reproducing the
+//! full window matrix bit for bit.
+
+use crate::capture::TelescopeWindow;
+use obscor_anonymize::CryptoPan;
+use obscor_hypersparse::serialize::{decode, encode, CodecError};
+use obscor_hypersparse::{ops, Coo, Csr};
+
+/// A window stored as encoded leaf matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowArchive {
+    /// Table I window label.
+    pub label: String,
+    /// Packets per leaf.
+    pub leaf_nv: usize,
+    /// Serialized leaf matrices, in capture order.
+    pub leaves: Vec<Vec<u8>>,
+}
+
+impl WindowArchive {
+    /// Total serialized size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.leaves.iter().map(|l| l.len()).sum()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+}
+
+/// Archive a window into `n_leaves` contiguous leaf matrices with an
+/// optional index map (CryptoPAN anonymization).
+///
+/// # Panics
+/// Panics if `n_leaves == 0`.
+pub fn archive_window_with(
+    w: &TelescopeWindow,
+    n_leaves: usize,
+    map: impl Fn(u32) -> u32,
+) -> WindowArchive {
+    assert!(n_leaves > 0, "need at least one leaf");
+    let total = w.window.packets.len();
+    let leaf_nv = total.div_ceil(n_leaves);
+    let leaves = w
+        .window
+        .packets
+        .chunks(leaf_nv.max(1))
+        .map(|chunk| {
+            let mut coo = Coo::with_capacity(chunk.len());
+            for p in chunk {
+                coo.push(map(p.src.0), map(p.dst.0), 1u64);
+            }
+            encode(&coo.into_csr())
+        })
+        .collect();
+    WindowArchive { label: w.label.clone(), leaf_nv, leaves }
+}
+
+/// Archive with raw indices.
+pub fn archive_window(w: &TelescopeWindow, n_leaves: usize) -> WindowArchive {
+    archive_window_with(w, n_leaves, |ip| ip)
+}
+
+/// Archive under a CryptoPAN key (what the paper's archive stores).
+pub fn archive_window_anonymized(
+    w: &TelescopeWindow,
+    n_leaves: usize,
+    cp: &CryptoPan,
+) -> WindowArchive {
+    // Memoize: windows touch each unique address many times and CryptoPAN
+    // costs 32 AES calls per fresh address.
+    let mut memo = std::collections::HashMap::new();
+    let mut map = move |ip: u32, cp: &CryptoPan| *memo.entry(ip).or_insert_with(|| cp.anonymize(ip));
+    let total = w.window.packets.len();
+    let leaf_nv = total.div_ceil(n_leaves.max(1));
+    let leaves = w
+        .window
+        .packets
+        .chunks(leaf_nv.max(1))
+        .map(|chunk| {
+            let mut coo = Coo::with_capacity(chunk.len());
+            for p in chunk {
+                coo.push(map(p.src.0, cp), map(p.dst.0, cp), 1u64);
+            }
+            encode(&coo.into_csr())
+        })
+        .collect();
+    WindowArchive { label: w.label.clone(), leaf_nv, leaves }
+}
+
+/// Restore the full window matrix: decode every leaf and re-sum with the
+/// parallel merge tree.
+pub fn restore_matrix(archive: &WindowArchive) -> Result<Csr<u64>, CodecError> {
+    let leaves: Result<Vec<Csr<u64>>, CodecError> =
+        archive.leaves.iter().map(|bytes| decode(bytes)).collect();
+    Ok(ops::merge_all(leaves?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::capture_window;
+    use crate::matrix;
+    use obscor_hypersparse::reduce;
+    use obscor_netmodel::Scenario;
+    use std::sync::OnceLock;
+
+    fn window() -> &'static TelescopeWindow {
+        static W: OnceLock<TelescopeWindow> = OnceLock::new();
+        W.get_or_init(|| {
+            let s = Scenario::paper_scaled(1 << 14, 61);
+            capture_window(&s, &s.caida_windows[0])
+        })
+    }
+
+    #[test]
+    fn restore_reproduces_the_window_matrix() {
+        let w = window();
+        let direct = matrix::build_matrix(w);
+        for n_leaves in [1usize, 2, 8, 64] {
+            let archive = archive_window(w, n_leaves);
+            assert_eq!(archive.n_leaves(), n_leaves.min(w.packets()));
+            let restored = restore_matrix(&archive).unwrap();
+            assert_eq!(restored, direct, "n_leaves = {n_leaves}");
+        }
+    }
+
+    #[test]
+    fn leaves_partition_the_packets() {
+        let w = window();
+        let archive = archive_window(w, 16);
+        let total: u64 = archive
+            .leaves
+            .iter()
+            .map(|b| reduce::valid_packets(&decode::<u64>(b).unwrap()))
+            .sum();
+        assert_eq!(total, w.packets() as u64);
+    }
+
+    #[test]
+    fn anonymized_archive_preserves_quantities() {
+        let w = window();
+        let cp = CryptoPan::new(&[0x44u8; 32]);
+        let anon = restore_matrix(&archive_window_anonymized(w, 8, &cp)).unwrap();
+        let raw = matrix::build_matrix(w);
+        assert_eq!(
+            reduce::NetworkQuantities::compute(&anon),
+            reduce::NetworkQuantities::compute(&raw)
+        );
+        assert_ne!(anon.row_keys(), raw.row_keys());
+    }
+
+    #[test]
+    fn tampered_leaf_is_detected() {
+        let w = window();
+        let mut archive = archive_window(w, 4);
+        archive.leaves[2][0] ^= 0xFF; // smash the magic
+        assert!(restore_matrix(&archive).is_err());
+    }
+
+    #[test]
+    fn archive_size_is_bounded_by_entries() {
+        let w = window();
+        let archive = archive_window(w, 8);
+        // 16 bytes/entry + 16/leaf header; entries <= packets.
+        let cap = 16 * w.packets() + archive.n_leaves() * 16;
+        assert!(archive.byte_size() <= cap);
+    }
+}

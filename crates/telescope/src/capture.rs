@@ -1,0 +1,199 @@
+//! Window capture: drive the world model at a sampling instant and take
+//! exactly `N_V` valid packets.
+
+use crate::darkspace::Darkspace;
+use obscor_netmodel::scenario::CaidaWindowSpec;
+use obscor_netmodel::{PacketStream, Scenario};
+use obscor_pcap::{ConstantPacketWindower, Window};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Seconds per model month (30-day months, matching the model clock).
+const SECS_PER_MONTH: f64 = 30.0 * 24.0 * 3600.0;
+
+/// One captured telescope window: Table I row plus the raw valid packets.
+#[derive(Clone, Debug)]
+pub struct TelescopeWindow {
+    /// Table I timestamp label, e.g. `2020-06-17-12:00:00`.
+    pub label: String,
+    /// Model-time coordinate (months since grid start).
+    pub coord: f64,
+    /// The captured constant-packet window.
+    pub window: Window,
+}
+
+impl TelescopeWindow {
+    /// Number of valid packets (always the scenario's `N_V`).
+    pub fn packets(&self) -> usize {
+        self.window.packets.len()
+    }
+
+    /// Wall-clock duration in seconds (Table I's variable-duration column).
+    pub fn duration_secs(&self) -> f64 {
+        self.window.duration_secs()
+    }
+
+    /// Number of unique sources in the window.
+    pub fn unique_sources(&self) -> usize {
+        let mut srcs: Vec<u32> = self.window.packets.iter().map(|p| p.src.0).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        srcs.len()
+    }
+}
+
+/// The darkspace a scenario's telescope monitors.
+pub fn scenario_darkspace(scenario: &Scenario) -> Darkspace {
+    Darkspace::slash8(scenario.population.config.darkspace_octet, scenario.traffic.n_allocated)
+}
+
+/// Capture one window at a scenario sampling instant.
+///
+/// Deterministic in `(scenario.seed, spec.coord)`: capturing the same
+/// window twice yields identical packets.
+pub fn capture_window(scenario: &Scenario, spec: &CaidaWindowSpec) -> TelescopeWindow {
+    capture_window_at(scenario, spec, scenario.population.config.darkspace_octet)
+}
+
+/// Capture one window as seen by an observatory monitoring a *different*
+/// /8 (`octet`) of the same world — the second-telescope experiment the
+/// paper's discussion motivates ("comparing observations from different
+/// locations on the Internet"). Spray traffic (scanning, backscatter)
+/// reaches every observatory; each observatory samples the beam
+/// independently, so cross-telescope overlap isolates the
+/// brightness-determines-visibility effect from honeyfarm detection
+/// physics.
+pub fn capture_window_at(
+    scenario: &Scenario,
+    spec: &CaidaWindowSpec,
+    octet: u8,
+) -> TelescopeWindow {
+    let ds = Darkspace::slash8(octet, scenario.traffic.n_allocated);
+    let start_micros = (spec.coord * SECS_PER_MONTH * 1e6) as u64;
+    let rng =
+        StdRng::seed_from_u64(scenario.seed ^ spec.coord.to_bits() ^ ((octet as u64) << 48));
+    let stream = PacketStream::at_instant_toward(
+        &scenario.population,
+        spec.coord,
+        scenario.traffic,
+        octet,
+        start_micros,
+        rng,
+    );
+    let mut windower =
+        ConstantPacketWindower::new(stream, ds.validity_filter(), scenario.n_v);
+    let window = windower
+        .next()
+        .expect("endless packet stream must always fill a window");
+    TelescopeWindow { label: spec.label.clone(), coord: spec.coord, window }
+}
+
+/// Capture every scenario window, in parallel.
+pub fn capture_all_windows(scenario: &Scenario) -> Vec<TelescopeWindow> {
+    scenario
+        .caida_windows
+        .par_iter()
+        .map(|spec| capture_window(scenario, spec))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obscor_netmodel::Scenario;
+
+    fn scenario() -> Scenario {
+        Scenario::paper_scaled(1 << 14, 77)
+    }
+
+    #[test]
+    fn window_has_exactly_nv_valid_packets() {
+        let s = scenario();
+        let w = capture_window(&s, &s.caida_windows[0]);
+        assert_eq!(w.packets(), s.n_v);
+        let ds = scenario_darkspace(&s);
+        assert!(w
+            .window
+            .packets
+            .iter()
+            .all(|p| ds.contains(p.dst) && !ds.is_allocated(p.dst)));
+    }
+
+    #[test]
+    fn legitimate_traffic_is_discarded() {
+        let s = scenario();
+        let w = capture_window(&s, &s.caida_windows[0]);
+        assert!(w.window.discarded > 0, "some legitimate packets must have arrived");
+        // Roughly the configured legitimate fraction.
+        let frac = w.window.discarded as f64 / (s.n_v as u64 + w.window.discarded) as f64;
+        assert!(
+            (frac - s.traffic.legit_fraction).abs() < 0.01,
+            "discard fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let s = scenario();
+        let a = capture_window(&s, &s.caida_windows[2]);
+        let b = capture_window(&s, &s.caida_windows[2]);
+        assert_eq!(a.window, b.window);
+    }
+
+    #[test]
+    fn different_windows_differ() {
+        let s = scenario();
+        let a = capture_window(&s, &s.caida_windows[0]);
+        let b = capture_window(&s, &s.caida_windows[1]);
+        assert_ne!(a.window.packets, b.window.packets);
+    }
+
+    #[test]
+    fn duration_matches_arrival_rate() {
+        let s = scenario();
+        let w = capture_window(&s, &s.caida_windows[0]);
+        // N_V packets at the diurnal-adjusted rate take about n_v/rate
+        // seconds (legitimate traffic stretches it a percent or so).
+        let expect = s.n_v as f64 / s.traffic.rate_at(s.caida_windows[0].coord);
+        assert!(
+            (w.duration_secs() - expect).abs() / expect < 0.1,
+            "duration {} vs expected {expect}",
+            w.duration_secs()
+        );
+    }
+
+    #[test]
+    fn parallel_capture_matches_serial() {
+        let s = scenario();
+        let all = capture_all_windows(&s);
+        assert_eq!(all.len(), 5);
+        let serial = capture_window(&s, &s.caida_windows[3]);
+        assert_eq!(all[3].window, serial.window);
+        assert_eq!(all[3].label, "2020-10-28-00:00:00");
+    }
+
+    #[test]
+    fn noon_and_midnight_windows_have_different_durations() {
+        // Table I: constant packets, variable time. The diurnal cycle makes
+        // the 12:00 windows shorter than the 00:00 windows.
+        let s = scenario();
+        let noon = capture_window(&s, &s.caida_windows[0]); // ...-12:00:00
+        let midnight = capture_window(&s, &s.caida_windows[1]); // ...-00:00:00
+        assert!(
+            noon.duration_secs() < midnight.duration_secs(),
+            "noon {:.2}s should be shorter than midnight {:.2}s",
+            noon.duration_secs(),
+            midnight.duration_secs()
+        );
+    }
+
+    #[test]
+    fn sources_are_plausible() {
+        let s = scenario();
+        let w = capture_window(&s, &s.caida_windows[0]);
+        let n = w.unique_sources();
+        assert!(n > 10, "too few sources: {n}");
+        assert!(n <= s.population.len());
+    }
+}

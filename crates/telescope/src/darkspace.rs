@@ -1,0 +1,87 @@
+//! Darkspace definition and the telescope's validity filter.
+
+use obscor_pcap::{Ip4, Packet, PacketFilter};
+
+/// A globally routed /8 darkspace with a handful of allocated addresses at
+/// its base (which carry legitimate traffic and are excluded from
+/// analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Darkspace {
+    /// First octet of the /8.
+    pub octet: u8,
+    /// Number of allocated addresses at the base of the prefix.
+    pub n_allocated: u32,
+}
+
+impl Darkspace {
+    /// A /8 darkspace at `octet.0.0.0/8` with `n_allocated` live hosts.
+    pub fn slash8(octet: u8, n_allocated: u32) -> Self {
+        Self { octet, n_allocated }
+    }
+
+    /// Whether an address lies inside the /8.
+    pub fn contains(&self, ip: Ip4) -> bool {
+        (ip.0 >> 24) as u8 == self.octet
+    }
+
+    /// Whether an address is one of the allocated (non-dark) hosts.
+    pub fn is_allocated(&self, ip: Ip4) -> bool {
+        self.contains(ip) && (ip.0 & 0x00FF_FFFF) < self.n_allocated
+    }
+
+    /// The packet validity filter: destination in the darkspace and *not*
+    /// an allocated address — i.e. genuinely unsolicited traffic. This is
+    /// the paper's "discarding the small amount of legitimate traffic".
+    pub fn validity_filter(&self) -> DarkspaceFilter {
+        DarkspaceFilter { ds: *self }
+    }
+}
+
+/// [`PacketFilter`] implementation for a [`Darkspace`].
+#[derive(Clone, Copy, Debug)]
+pub struct DarkspaceFilter {
+    ds: Darkspace,
+}
+
+impl PacketFilter for DarkspaceFilter {
+    fn accept(&self, p: &Packet) -> bool {
+        self.ds.contains(p.dst) && !self.ds.is_allocated(p.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obscor_pcap::Protocol;
+
+    fn pkt(dst: u32) -> Packet {
+        Packet { dst: Ip4(dst), proto: Protocol::Tcp, ..Packet::default() }
+    }
+
+    #[test]
+    fn membership_and_allocation() {
+        let ds = Darkspace::slash8(44, 256);
+        assert!(ds.contains(Ip4(0x2C01_0203)));
+        assert!(!ds.contains(Ip4(0x2D01_0203)));
+        assert!(ds.is_allocated(Ip4(0x2C00_0001)));
+        assert!(ds.is_allocated(Ip4(0x2C00_00FF)));
+        assert!(!ds.is_allocated(Ip4(0x2C00_0100)));
+        assert!(!ds.is_allocated(Ip4(0x2D00_0001)), "allocation implies membership");
+    }
+
+    #[test]
+    fn filter_keeps_dark_traffic_only() {
+        let ds = Darkspace::slash8(44, 256);
+        let f = ds.validity_filter();
+        assert!(f.accept(&pkt(0x2C12_3456)), "dark destination accepted");
+        assert!(!f.accept(&pkt(0x2C00_0001)), "legitimate destination dropped");
+        assert!(!f.accept(&pkt(0x0808_0808)), "external destination dropped");
+    }
+
+    #[test]
+    fn zero_allocated_keeps_whole_prefix_dark() {
+        let ds = Darkspace::slash8(10, 0);
+        assert!(!ds.is_allocated(Ip4(0x0A00_0000)));
+        assert!(ds.validity_filter().accept(&pkt(0x0A00_0000)));
+    }
+}

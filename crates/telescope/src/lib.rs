@@ -1,0 +1,23 @@
+//! The darknet telescope observatory.
+//!
+//! Models the CAIDA Telescope: a passive /8 darkspace whose incoming
+//! packets — after discarding the small amount of legitimate traffic to
+//! its few allocated addresses — are cut into constant-packet windows of
+//! `N_V` valid packets and aggregated into CryptoPAN-anonymized
+//! hypersparse GraphBLAS traffic matrices (hierarchically, from
+//! `2^17`-packet leaves in the paper; scaled leaves here).
+//!
+//! Because the telescope is a darkspace, only the external → internal
+//! quadrant of its traffic matrix is ever populated (Fig 1) — a property
+//! the integration tests assert.
+
+pub mod archive;
+pub mod capture;
+pub mod darkspace;
+pub mod inventory;
+pub mod matrix;
+
+pub use archive::{archive_window, restore_matrix, WindowArchive};
+pub use capture::{capture_all_windows, capture_window, capture_window_at, TelescopeWindow};
+pub use darkspace::Darkspace;
+pub use inventory::{inventory, InventoryRow};

@@ -1,0 +1,67 @@
+//! Hybrid power-law models: when one Zipf–Mandelbrot isn't enough.
+//!
+//! The paper's discussion points to generative models that extend
+//! preferential attachment "with parameters to describe adversarial
+//! traffic" (ref [59]). This example builds a world whose degree
+//! distribution is a *mixture* — benign background + adversarial beam —
+//! and shows the single-component fit failing where the hybrid succeeds.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_models
+//! ```
+
+use obscor::netmodel::HybridPowerLaw;
+use obscor::stats::binning::differential_cumulative;
+use obscor::stats::zipf::{
+    default_alpha_grid, default_delta_grid, fit_zipf_mandelbrot, ZipfMandelbrot,
+};
+use obscor::stats::DegreeHistogram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Ground truth: 70% dim benign background (steep), 30% adversarial
+    // scanning beam (shallow, bright).
+    let truth = HybridPowerLaw::background_plus_beam(
+        0.7,
+        ZipfMandelbrot::new(2.5, 0.0, 64),
+        ZipfMandelbrot::new(0.6, 50.0, 1 << 12),
+    );
+    let mut rng = StdRng::seed_from_u64(2024);
+    let degrees = truth.sample_n(&mut rng, 300_000);
+    let data = differential_cumulative(&DegreeHistogram::from_degrees(degrees));
+
+    println!("observed D(d_i) from 300k sources (mixture world):");
+    for (d, v) in data.iter() {
+        if v > 0.0 {
+            println!("  2^{:<2} {:.5}  {}", (d as f64).log2() as u32, v, bar(v));
+        }
+    }
+
+    // A single Zipf-Mandelbrot does its best...
+    let single = fit_zipf_mandelbrot(
+        &data,
+        truth.d_max(),
+        &default_alpha_grid(),
+        &default_delta_grid(),
+    )
+    .unwrap();
+    let single_curve =
+        ZipfMandelbrot::new(single.alpha, single.delta, truth.d_max()).binned();
+    let single_res = obscor::netmodel::hybrid::binned_residual(&single_curve, &data);
+
+    // ...the true hybrid does better.
+    let hybrid_res = obscor::netmodel::hybrid::binned_residual(&truth.binned(), &data);
+
+    println!("\nsingle ZM fit:  alpha={:.2} delta={:.2}  1/2-norm residual {:.3}", single.alpha, single.delta, single_res);
+    println!("hybrid model:   2 components              1/2-norm residual {:.3}", hybrid_res);
+    println!(
+        "\nhybrid improves the fit by {:.0}% — the signature of adversarial\n\
+         traffic riding on a benign background.",
+        (1.0 - hybrid_res / single_res) * 100.0
+    );
+}
+
+fn bar(v: f64) -> String {
+    "#".repeat(((v.log10() + 6.0).max(0.0) * 6.0) as usize)
+}

@@ -1,0 +1,77 @@
+//! Two telescopes, one Internet: cross-observatory source overlap.
+//!
+//! The paper contrasts its findings with earlier work on DDoS attacks
+//! (its ref 21): "IXPs and honeypots observe mostly disjoint sets of
+//! attacks: 96% of IXP-inferred attacks were invisible to a sizable
+//! honeypot platform" — yet CAIDA's bright sources are almost always in
+//! GreyNoise. This example probes that tension with a second darkspace
+//! observing the same synthetic world: cross-telescope visibility rises
+//! monotonically with brightness, saturating at certainty above a few
+//! packets per window. (The synthetic population floors brightness at one
+//! packet per window, so the *sub*-unit-brightness dim mass that drives
+//! the ref-21 disjointness on the real Internet is under-represented —
+//! see the honest-reporting notes in EXPERIMENTS.md.)
+//!
+//! ```sh
+//! cargo run --release --example two_telescopes
+//! ```
+
+use obscor::netmodel::Scenario;
+use obscor::stats::binning::log2_bin;
+use obscor::telescope::{capture_window, capture_window_at, matrix};
+use obscor::hypersparse::reduce;
+use std::collections::HashMap;
+
+fn main() {
+    let scenario = Scenario::paper_scaled(1 << 18, 33);
+    let spec = &scenario.caida_windows[0];
+    println!("capturing the same instant from two /8 darkspaces...\n");
+
+    let a = capture_window(&scenario, spec); // 44.0.0.0/8
+    let b = capture_window_at(&scenario, spec, 45); // 45.0.0.0/8
+
+    let deg = |w| -> HashMap<u32, u64> {
+        reduce::source_packets(&matrix::build_matrix(w)).into_iter().collect()
+    };
+    let (da, db) = (deg(&a), deg(&b));
+    println!(
+        "telescope A (44/8): {} sources    telescope B (45/8): {} sources",
+        da.len(),
+        db.len()
+    );
+    let both = da.keys().filter(|ip| db.contains_key(*ip)).count();
+    println!(
+        "seen by both: {} ({:.0}% of A)\n",
+        both,
+        100.0 * both as f64 / da.len() as f64
+    );
+
+    // Cross-visibility by brightness bin: the paper's Fig 4 shape, with a
+    // telescope (not the honeyfarm) as the second instrument.
+    let mut bins: std::collections::BTreeMap<u32, (usize, usize)> = Default::default();
+    for (ip, &d) in &da {
+        let e = bins.entry(log2_bin(d)).or_insert((0, 0));
+        e.0 += 1;
+        if db.contains_key(ip) {
+            e.1 += 1;
+        }
+    }
+    println!("A-sources also seen by B, by A-window brightness:");
+    println!("  d        sources  fraction");
+    for (bin, (n, shared)) in &bins {
+        if *n >= 10 {
+            println!(
+                "  2^{:<6} {:>7} {:>9.3}",
+                bin,
+                n,
+                *shared as f64 / *n as f64
+            );
+        }
+    }
+
+    println!(
+        "\ncross-visibility rises with brightness and saturates above a few\n\
+         packets per window: brightness, not vantage, decides who is seen\n\
+         everywhere — the paper's resolution of the ref-21 disjointness."
+    );
+}

@@ -1,0 +1,42 @@
+//! # obscor — Temporal Correlation of Internet Observatories and Outposts
+//!
+//! A from-scratch Rust reproduction of Kepner et al. (IPDPS Workshops
+//! 2022): hypersparse GraphBLAS-style traffic matrices, D4M associative
+//! arrays, prefix-preserving anonymization, a packet-capture layer, a
+//! generative Internet-background-radiation world model, synthetic
+//! telescope and honeyfarm observers, and the full correlation pipeline
+//! that regenerates every table and figure of the paper.
+//!
+//! This meta-crate re-exports the workspace crates under one namespace:
+//!
+//! ```
+//! use obscor::netmodel::Scenario;
+//! use obscor::core::{pipeline, AnalysisConfig};
+//!
+//! let scenario = Scenario::paper_scaled(1 << 14, 42);
+//! let analysis = pipeline::run(&scenario, &AnalysisConfig::fast());
+//! assert_eq!(analysis.caida_inventory.len(), 5);
+//! assert_eq!(analysis.greynoise_inventory.len(), 15);
+//! ```
+//!
+//! See the crate-level docs of each member for the full story:
+//!
+//! * [`hypersparse`] — DCSR matrices, hierarchical accumulation, Table II,
+//! * [`assoc`] — D4M associative arrays and key-set algebra,
+//! * [`pcap`] — packets, libpcap codec, constant-packet windows,
+//! * [`anonymize`] — AES-128, CryptoPAN, trusted-sharing workflows,
+//! * [`stats`] — log2 binning, Zipf–Mandelbrot, modified-Cauchy fits,
+//! * [`netmodel`] — the synthetic world (brightness, churn, classes),
+//! * [`telescope`] — the darknet observatory,
+//! * [`honeyfarm`] — the engaging outpost,
+//! * [`core`] — the paper's correlation pipeline and reports.
+
+pub use obscor_anonymize as anonymize;
+pub use obscor_assoc as assoc;
+pub use obscor_core as core;
+pub use obscor_honeyfarm as honeyfarm;
+pub use obscor_hypersparse as hypersparse;
+pub use obscor_netmodel as netmodel;
+pub use obscor_pcap as pcap;
+pub use obscor_stats as stats;
+pub use obscor_telescope as telescope;

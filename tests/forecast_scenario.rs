@@ -1,0 +1,77 @@
+//! Integration: forecasting on real scenario data.
+
+use obscor::anonymize::sharing::Holder;
+use obscor::core::forecast::{forecast_all, forecast_curve};
+use obscor::core::temporal::temporal_curves;
+use obscor::core::{AnalysisConfig, WindowDegrees};
+use obscor::honeyfarm::observe_all_months;
+use obscor::netmodel::Scenario;
+
+#[test]
+fn scenario_forecasts_are_produced_and_bounded() {
+    let scenario = Scenario::paper_scaled(1 << 15, 404);
+    let config = AnalysisConfig::fast();
+    let holder = Holder::new("t", &[6u8; 32]);
+    let months = observe_all_months(&scenario);
+    let monthly: Vec<_> = months.iter().map(|m| m.source_keys().clone()).collect();
+    let wd = WindowDegrees::capture(&scenario, 0, &holder);
+    let curves = temporal_curves(&wd, &monthly, 30);
+    assert!(!curves.is_empty());
+
+    let evals = forecast_all(&curves, 10, &config);
+    assert!(!evals.is_empty(), "first window leaves a held-out tail");
+    for e in &evals {
+        assert_eq!(e.held_out, vec![10, 11, 12, 13, 14]);
+        assert_eq!(e.predicted.len(), 5);
+        // Predictions are probabilities.
+        assert!(e.predicted.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Errors are bounded by the trivial worst case.
+        assert!(e.model_mae() <= 1.0);
+        assert!(e.baseline_mae() <= 1.0);
+    }
+}
+
+#[test]
+fn model_is_competitive_with_persistence_overall() {
+    let scenario = Scenario::paper_scaled(1 << 15, 405);
+    let config = AnalysisConfig::fast();
+    let holder = Holder::new("t", &[6u8; 32]);
+    let months = observe_all_months(&scenario);
+    let monthly: Vec<_> = months.iter().map(|m| m.source_keys().clone()).collect();
+    let mut curves = Vec::new();
+    for w in 0..2 {
+        let wd = WindowDegrees::capture(&scenario, w, &holder);
+        curves.extend(temporal_curves(&wd, &monthly, 30));
+    }
+    let evals = forecast_all(&curves, 10, &config);
+    assert!(evals.len() >= 5, "need several curves, got {}", evals.len());
+    let model: f64 = evals.iter().map(|e| e.model_mae()).sum::<f64>() / evals.len() as f64;
+    let baseline: f64 =
+        evals.iter().map(|e| e.baseline_mae()).sum::<f64>() / evals.len() as f64;
+    // The model need not win every curve (persistence is strong on flat
+    // dim curves), but it must not be grossly worse in aggregate.
+    assert!(
+        model <= baseline * 1.5,
+        "model MAE {model:.4} vs persistence {baseline:.4}"
+    );
+}
+
+#[test]
+fn forecast_respects_cutoff_boundaries() {
+    let scenario = Scenario::paper_scaled(1 << 14, 406);
+    let config = AnalysisConfig::fast();
+    let holder = Holder::new("t", &[6u8; 32]);
+    let months = observe_all_months(&scenario);
+    let monthly: Vec<_> = months.iter().map(|m| m.source_keys().clone()).collect();
+    let wd = WindowDegrees::capture(&scenario, 0, &holder);
+    let curves = temporal_curves(&wd, &monthly, 20);
+    if let Some(curve) = curves.first() {
+        for cutoff in [6usize, 10, 13] {
+            if let Some(e) = forecast_curve(curve, cutoff, &config) {
+                assert_eq!(e.cutoff, cutoff);
+                assert_eq!(e.held_out.len(), 15 - cutoff);
+                assert_eq!(e.held_out[0], cutoff);
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Integration: the full pipeline reproduces the paper's qualitative
+//! results on the synthetic world — recovered from raw packets, not read
+//! from the generator.
+
+use obscor::core::fitscan::{alpha_by_degree, drop_by_degree};
+use obscor::core::{pipeline, AnalysisConfig, PaperAnalysis};
+use obscor::netmodel::Scenario;
+use obscor::stats::fit::{fit_cauchy, fit_gaussian};
+use std::sync::OnceLock;
+
+fn analysis() -> &'static (Scenario, PaperAnalysis) {
+    static A: OnceLock<(Scenario, PaperAnalysis)> = OnceLock::new();
+    A.get_or_init(|| {
+        let s = Scenario::paper_scaled(1 << 16, 4242);
+        let a = pipeline::run(&s, &AnalysisConfig::fast());
+        (s, a)
+    })
+}
+
+#[test]
+fn table1_inventory_matches_paper_layout() {
+    let (s, a) = analysis();
+    assert_eq!(a.greynoise_inventory.len(), 15, "15 GreyNoise months");
+    assert_eq!(a.caida_inventory.len(), 5, "5 CAIDA windows");
+    assert_eq!(a.greynoise_inventory[0].label, "2020-02");
+    assert_eq!(a.greynoise_inventory[14].label, "2021-04");
+    for r in &a.caida_inventory {
+        assert_eq!(r.packets, s.n_v as u64, "constant packet windows");
+        assert!(r.duration_secs > 0.0, "variable time");
+    }
+    // GreyNoise months see more sources than a telescope window: the
+    // outpost integrates over a month (Table I's 1-14M vs 0.5-0.8M).
+    let mean_gn: f64 = a.greynoise_inventory.iter().map(|r| r.sources as f64).sum::<f64>() / 15.0;
+    let mean_caida: f64 =
+        a.caida_inventory.iter().map(|r| r.sources as f64).sum::<f64>() / 5.0;
+    assert!(
+        mean_gn > mean_caida,
+        "GreyNoise mean {mean_gn} should exceed CAIDA mean {mean_caida}"
+    );
+}
+
+#[test]
+fn table1_config_change_spikes_present() {
+    let (_, a) = analysis();
+    // Table I: "sharp increases in 2020-03 and 2021-04 are a result of
+    // configuration changes".
+    let baseline = a.greynoise_inventory[2].sources as f64; // 2020-04
+    assert!(a.greynoise_inventory[1].sources as f64 > 1.5 * baseline, "2020-03 spike");
+    assert!(a.greynoise_inventory[14].sources as f64 > 1.5 * baseline, "2021-04 spike");
+}
+
+#[test]
+fn fig3_zipf_mandelbrot_fits_each_window() {
+    let (_, a) = analysis();
+    for dist in &a.distributions {
+        let fit = dist.fit.expect("every window fits");
+        // The planted brightness law has alpha = 1.3; realized degrees are
+        // Poisson-thinned so the recovered exponent is close but not exact.
+        assert!(
+            (0.8..=2.0).contains(&fit.alpha),
+            "window {}: recovered ZM alpha {} far from planted 1.3",
+            dist.window_label,
+            fit.alpha
+        );
+        // Distributions are heavy-tailed: d_max far beyond the mean.
+        assert!(dist.d_max > 100);
+    }
+}
+
+#[test]
+fn fig4_bright_sources_nearly_always_coeval() {
+    let (_, a) = analysis();
+    // Paper: "bright CAIDA sources with d > sqrt(N_V) are nearly always
+    // also seen by the GreyNoise observations during the same month"
+    // (abstract: ~70% of the brightest consistently detected; our
+    // synthetic honeyfarm has no sensor outages so it is higher).
+    let mut bright_bins = 0;
+    for peak in &a.peaks {
+        for p in &peak.points {
+            if (p.d as f64).log2() >= a.bright_log2 && p.n_sources >= 5 {
+                assert!(
+                    p.fraction >= 0.7,
+                    "window {} bright bin 2^{}: fraction {}",
+                    peak.window_label,
+                    p.bin,
+                    p.fraction
+                );
+                bright_bins += 1;
+            }
+        }
+    }
+    assert!(bright_bins >= 3, "too few bright bins measured: {bright_bins}");
+}
+
+#[test]
+fn fig4_faint_sources_follow_log_law() {
+    let (_, a) = analysis();
+    // Paper: p(d) ≈ log2(d)/log2(sqrt(N_V)) below the knee.
+    let mut total_abs_err = 0.0;
+    let mut n = 0;
+    for peak in &a.peaks {
+        for p in &peak.points {
+            if (p.d as f64).log2() < a.bright_log2 && p.n_sources >= 30 {
+                total_abs_err += (p.fraction - p.empirical_law).abs();
+                n += 1;
+            }
+        }
+    }
+    assert!(n >= 10, "need faint bins with statistics, got {n}");
+    let mean_err = total_abs_err / n as f64;
+    assert!(mean_err < 0.12, "mean |measured - log law| = {mean_err:.3}");
+}
+
+#[test]
+fn fig5_modified_cauchy_beats_gaussian_and_cauchy() {
+    let (_, a) = analysis();
+    // Paper Fig 5: the modified Cauchy is the best of the three models.
+    // Check on every well-populated curve.
+    let mut mc_wins_gaussian = 0;
+    let mut comparisons = 0;
+    for f in &a.fits {
+        if f.n_sources < 30 {
+            continue;
+        }
+        let curve = a
+            .curves
+            .iter()
+            .find(|c| c.window_label == f.window_label && c.bin == f.bin)
+            .unwrap();
+        // Refit with the *dense* default grids so the three models are
+        // compared at equal grid resolution (the pipeline's `fast` config
+        // uses a coarse β grid that can lose to the dense γ scan).
+        let mc = obscor::stats::fit::fit_modified_cauchy(&curve.lags, &curve.fractions).unwrap();
+        let g = fit_gaussian(&curve.lags, &curve.fractions).unwrap();
+        let c = fit_cauchy(&curve.lags, &curve.fractions).unwrap();
+        comparisons += 1;
+        if mc.residual <= g.residual {
+            mc_wins_gaussian += 1;
+        }
+        // The modified Cauchy generalizes the Cauchy (α=2, β=γ²), so at
+        // comparable grid density it can never lose to it meaningfully.
+        assert!(
+            mc.residual <= c.residual * 1.05,
+            "modified Cauchy lost to plain Cauchy on {} bin {}: {} vs {}",
+            f.window_label,
+            f.bin,
+            mc.residual,
+            c.residual
+        );
+    }
+    assert!(comparisons >= 10, "too few curves compared: {comparisons}");
+    assert!(
+        mc_wins_gaussian as f64 / comparisons as f64 > 0.8,
+        "modified Cauchy beat Gaussian on only {mc_wins_gaussian}/{comparisons} curves"
+    );
+}
+
+#[test]
+fn fig7_alpha_is_order_one() {
+    let (_, a) = analysis();
+    // Paper: "these observations suggest that 1 is a typical value of α".
+    let series = alpha_by_degree(&a.fits);
+    assert!(!series.is_empty());
+    let well_measured: Vec<f64> = a
+        .fits
+        .iter()
+        .filter(|f| f.n_sources >= 30)
+        .map(|f| f.modified_cauchy.alpha)
+        .collect();
+    assert!(well_measured.len() >= 10);
+    let mean = well_measured.iter().sum::<f64>() / well_measured.len() as f64;
+    assert!(
+        (0.5..=2.5).contains(&mean),
+        "mean alpha {mean:.2} is not order-one"
+    );
+}
+
+#[test]
+fn fig8_drop_peaks_at_mid_brightness() {
+    let (_, a) = analysis();
+    // Paper: the one-month drop is above ~20 % and largest (≈50 %) at
+    // mid brightness (d ≈ 10^3 at N_V = 2^30), smaller for the brightest
+    // beam.
+    let series = drop_by_degree(&a.fits);
+    let well: Vec<(u64, f64)> = series
+        .into_iter()
+        .filter(|(d, _)| {
+            a.fits.iter().any(|f| f.d == *d && f.n_sources >= 30)
+        })
+        .collect();
+    assert!(well.len() >= 4, "need several measured bins");
+    let knee = 2f64.powf(a.bright_log2 - 5.0);
+    let mid: Vec<f64> = well
+        .iter()
+        .filter(|(d, _)| (*d as f64) >= knee / 2.0 && (*d as f64) <= knee * 4.0)
+        .map(|(_, v)| *v)
+        .collect();
+    let bright: Vec<f64> = well
+        .iter()
+        .filter(|(d, _)| (*d as f64) >= 2f64.powf(a.bright_log2 - 1.0))
+        .map(|(_, v)| *v)
+        .collect();
+    if !mid.is_empty() && !bright.is_empty() {
+        let mid_mean = mid.iter().sum::<f64>() / mid.len() as f64;
+        let bright_mean = bright.iter().sum::<f64>() / bright.len() as f64;
+        assert!(
+            mid_mean > bright_mean,
+            "mid drop {mid_mean:.2} should exceed bright drop {bright_mean:.2}"
+        );
+        assert!(bright_mean > 0.03, "bright drop {bright_mean:.2} implausibly small");
+    }
+}
+
+#[test]
+fn fig1_quadrants_distinguish_instruments() {
+    let (_, a) = analysis();
+    // Telescope: only external→internal. Honeyfarm: both quadrants.
+    assert!(a.quadrants.telescope_ext_to_int > 0);
+    assert_eq!(a.quadrants.telescope_int_to_ext, 0);
+    assert!(a.quadrants.honeyfarm_ext_to_int > 0);
+    assert!(a.quadrants.honeyfarm_int_to_ext > 0);
+}
+
+#[test]
+fn temporal_correlation_decays_and_levels_off() {
+    let (_, a) = analysis();
+    // Paper Fig 5: "the correlation ... drops quickly and then levels off
+    // to a background level."
+    let mut checked = 0;
+    for c in &a.curves {
+        if c.n_sources < 50 || c.bin < 6 {
+            continue;
+        }
+        let peak = c.peak_fraction();
+        let far: Vec<f64> = c
+            .lags
+            .iter()
+            .zip(&c.fractions)
+            .filter(|(l, _)| l.abs() >= 5.0)
+            .map(|(_, f)| *f)
+            .collect();
+        let far_mean = far.iter().sum::<f64>() / far.len().max(1) as f64;
+        assert!(peak > far_mean, "no decay in {} bin {}", c.window_label, c.bin);
+        checked += 1;
+    }
+    assert!(checked >= 5, "too few curves checked: {checked}");
+}

@@ -1,0 +1,74 @@
+//! Integration: cross-telescope visibility of the same world.
+
+use obscor::hypersparse::reduce;
+use obscor::netmodel::Scenario;
+use obscor::stats::binning::log2_bin;
+use obscor::telescope::{capture_window, capture_window_at, matrix};
+use std::collections::{BTreeMap, HashMap};
+
+fn cross_visibility(nv: usize, seed: u64) -> BTreeMap<u32, (usize, usize)> {
+    let scenario = Scenario::paper_scaled(nv, seed);
+    let spec = &scenario.caida_windows[0];
+    let a = capture_window(&scenario, spec);
+    let b = capture_window_at(&scenario, spec, 45);
+    let da: HashMap<u32, u64> =
+        reduce::source_packets(&matrix::build_matrix(&a)).into_iter().collect();
+    let db: HashMap<u32, u64> =
+        reduce::source_packets(&matrix::build_matrix(&b)).into_iter().collect();
+    let mut bins: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+    for (ip, &d) in &da {
+        let e = bins.entry(log2_bin(d)).or_insert((0, 0));
+        e.0 += 1;
+        if db.contains_key(ip) {
+            e.1 += 1;
+        }
+    }
+    bins
+}
+
+#[test]
+fn bright_sources_are_seen_by_both_telescopes() {
+    let bins = cross_visibility(1 << 15, 5150);
+    let mut checked = 0;
+    for (&bin, &(n, shared)) in &bins {
+        if bin >= 5 && n >= 10 {
+            let frac = shared as f64 / n as f64;
+            assert!(frac > 0.95, "bin 2^{bin}: cross-visibility {frac}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "too few bright bins: {checked}");
+}
+
+#[test]
+fn cross_visibility_rises_with_brightness() {
+    let bins = cross_visibility(1 << 15, 5151);
+    let fracs: Vec<(u32, f64)> = bins
+        .iter()
+        .filter(|(_, (n, _))| *n >= 15)
+        .map(|(&b, &(n, s))| (b, s as f64 / n as f64))
+        .collect();
+    assert!(fracs.len() >= 3);
+    let dimmest = fracs.first().unwrap().1;
+    let brightest = fracs.last().unwrap().1;
+    assert!(
+        brightest >= dimmest,
+        "visibility should not fall with brightness: {dimmest} -> {brightest}"
+    );
+    assert!(dimmest < 0.999, "even the dimmest bin is fully shared — no contrast");
+}
+
+#[test]
+fn second_telescope_window_is_well_formed() {
+    let scenario = Scenario::paper_scaled(1 << 14, 5152);
+    let w = capture_window_at(&scenario, &scenario.caida_windows[1], 45);
+    assert_eq!(w.packets(), scenario.n_v);
+    // Every packet targets the second darkspace.
+    assert!(w.window.packets.iter().all(|p| (p.dst.0 >> 24) as u8 == 45));
+    // Determinism.
+    let w2 = capture_window_at(&scenario, &scenario.caida_windows[1], 45);
+    assert_eq!(w.window, w2.window);
+    // And it differs from the first telescope's view.
+    let primary = capture_window(&scenario, &scenario.caida_windows[1]);
+    assert_ne!(w.window.packets, primary.window.packets);
+}
