@@ -67,18 +67,76 @@ impl<V: Clone + PartialEq> Assoc<V> {
         let mut vals = Vec::with_capacity(triples.len());
         let mut cur_row = 0usize;
         for (r, c, v) in &triples {
+            // audit:allow(panic-path) — row_keys was built from these same triples, so lookup cannot fail
             let ri = row_keys.index_of(r).expect("row key present");
             while cur_row < ri {
                 row_ptr.push(col_idx.len());
                 cur_row += 1;
             }
+            // audit:allow(panic-path) — col_keys was built from these same triples, so lookup cannot fail
             col_idx.push(col_keys.index_of(c).expect("col key present"));
             vals.push(v.clone());
         }
         while row_ptr.len() < row_keys.len() + 1 {
             row_ptr.push(col_idx.len());
         }
-        Self { row_keys, col_keys, row_ptr, col_idx, vals }
+        let assoc = Self { row_keys, col_keys, row_ptr, col_idx, vals };
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(msg) = assoc.check_invariants() {
+                // audit:allow(panic-path) — strict-invariants mode aborts on broken invariants by contract
+                panic!("triple construction produced an invalid Assoc: {msg}");
+            }
+        }
+        assoc
+    }
+
+    /// Internal consistency check: sorted unique keys on both axes,
+    /// monotone row pointers with correct endpoints, strictly increasing
+    /// in-row column indices, and every axis key occupied. Used by tests
+    /// and the pipeline's `strict-invariants` stage checks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.row_keys.check_invariants().map_err(|e| format!("row_keys: {e}"))?;
+        self.col_keys.check_invariants().map_err(|e| format!("col_keys: {e}"))?;
+        if self.row_ptr.len() != self.row_keys.len() + 1 {
+            return Err("row_ptr length mismatch".into());
+        }
+        if self.row_ptr.first().copied() != Some(0)
+            || self.row_ptr.last().copied() != Some(self.vals.len())
+        {
+            return Err("row_ptr endpoints wrong".into());
+        }
+        if self.col_idx.len() != self.vals.len() {
+            return Err("col_idx/vals length mismatch".into());
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err("row_ptr not monotone".into());
+            }
+        }
+        for (ri, w) in self.row_ptr.windows(2).enumerate() {
+            if w[0] == w[1] {
+                return Err(format!("row {ri} has no entries (unused key not pruned)"));
+            }
+            let row = &self.col_idx[w[0]..w[1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!("col_idx not strictly increasing in row {ri}"));
+                }
+            }
+            if row.last().is_some_and(|&c| c >= self.col_keys.len()) {
+                return Err(format!("col_idx out of range in row {ri}"));
+            }
+        }
+        // Every column key must be referenced at least once.
+        let mut seen = vec![false; self.col_keys.len()];
+        for &c in &self.col_idx {
+            seen[c] = true;
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("unused column key not pruned".into());
+        }
+        Ok(())
     }
 
     /// Number of occupied rows.

@@ -10,7 +10,10 @@ use crate::Assoc;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TsvError {
     /// A line had fewer than three tab-separated fields.
-    BadLine { line_no: usize },
+    BadLine {
+        /// 1-based line number of the malformed line.
+        line_no: usize,
+    },
 }
 
 impl std::fmt::Display for TsvError {

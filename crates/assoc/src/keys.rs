@@ -20,6 +20,11 @@ impl KeySet {
     }
 
     /// Build from any iterator of keys; sorts and deduplicates.
+    ///
+    /// Also reachable through the `FromIterator` impls below; the inherent
+    /// name stays because it reads better at call sites that build sets
+    /// explicitly.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut keys: Vec<String> = iter.into_iter().collect();
         keys.sort_unstable();
@@ -90,7 +95,7 @@ impl KeySet {
     pub fn union(&self, other: &KeySet) -> KeySet {
         let mut out = Vec::with_capacity(self.len() + other.len());
         let (mut i, mut j) = (0, 0);
-        while i < self.keys.len() || j < other.keys.len() {
+        loop {
             match (self.keys.get(i), other.keys.get(j)) {
                 (Some(a), Some(b)) => match a.cmp(b) {
                     std::cmp::Ordering::Less => {
@@ -115,7 +120,8 @@ impl KeySet {
                     out.push(b.clone());
                     j += 1;
                 }
-                (None, None) => unreachable!(),
+                // Both sides exhausted: the merge is complete.
+                (None, None) => break,
             }
         }
         KeySet { keys: out }
@@ -152,6 +158,18 @@ impl KeySet {
             return None;
         }
         Some(self.intersect(other).len() as f64 / self.len() as f64)
+    }
+
+    /// Internal consistency check: keys must be strictly increasing (sorted
+    /// and unique). Used by tests and the pipeline's `strict-invariants`
+    /// stage checks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.keys.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("keys not strictly increasing at `{}` >= `{}`", w[0], w[1]));
+            }
+        }
+        Ok(())
     }
 
     /// Keys with the given prefix (contiguous range via binary search).

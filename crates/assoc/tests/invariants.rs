@@ -1,0 +1,98 @@
+//! Every public constructor of `Assoc` and `KeySet` produces a value
+//! satisfying `check_invariants`, as required by the `cargo xtask audit`
+//! invariant-coverage rule, plus property tests that the invariants survive
+//! the set algebra and array transforms used by the correlation pipeline.
+
+use obscor_assoc::{Assoc, KeySet};
+use proptest::prelude::*;
+
+#[test]
+fn keyset_new_satisfies_invariants() {
+    assert!(KeySet::new().check_invariants().is_ok());
+}
+
+#[test]
+fn keyset_from_iter_satisfies_invariants() {
+    let ks = KeySet::from_iter(vec!["b".to_string(), "a".to_string(), "b".to_string()]);
+    assert!(ks.check_invariants().is_ok());
+    assert_eq!(ks.len(), 2);
+}
+
+#[test]
+fn keyset_from_sorted_unique_satisfies_invariants() {
+    let ks = KeySet::from_sorted_unique(vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+    assert!(ks.check_invariants().is_ok());
+}
+
+#[test]
+fn assoc_new_satisfies_invariants() {
+    assert!(Assoc::<String>::new().check_invariants().is_ok());
+}
+
+#[test]
+fn assoc_from_triples_last_satisfies_invariants() {
+    let a = Assoc::from_triples_last(vec![
+        ("r2".into(), "c1".into(), "x".to_string()),
+        ("r1".into(), "c2".into(), "y".to_string()),
+        ("r2".into(), "c1".into(), "z".to_string()),
+    ]);
+    assert!(a.check_invariants().is_ok());
+    assert_eq!(a.get("r2", "c1"), Some(&"z".to_string()));
+}
+
+#[test]
+fn assoc_from_triples_with_satisfies_invariants() {
+    let a = Assoc::from_triples_with(
+        vec![
+            ("r".into(), "c".into(), 1u64),
+            ("r".into(), "c".into(), 2),
+            ("s".into(), "c".into(), 3),
+        ],
+        |old, new| old + new,
+    );
+    assert!(a.check_invariants().is_ok());
+    assert_eq!(a.get("r", "c"), Some(&3));
+}
+
+#[test]
+fn assoc_from_triples_sum_satisfies_invariants() {
+    let a = Assoc::from_triples_sum(vec![
+        ("r".into(), "c".into(), 1.5),
+        ("r".into(), "c".into(), 2.5),
+    ]);
+    assert!(a.check_invariants().is_ok());
+    assert_eq!(a.get("r", "c"), Some(&4.0));
+}
+
+fn arb_keys() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,5}", 0..30)
+}
+
+fn arb_triples() -> impl Strategy<Value = Vec<(String, String, String)>> {
+    prop::collection::vec(("[a-z]{1,4}", "[a-z]{1,3}", "[a-z0-9]{0,6}"), 0..50)
+}
+
+proptest! {
+    /// Every KeySet construction path lands in the invariant set, and the
+    /// set algebra maps it into itself.
+    #[test]
+    fn keyset_algebra_preserves_invariants(a in arb_keys(), b in arb_keys()) {
+        let ka = KeySet::from_iter(a);
+        let kb = KeySet::from_iter(b);
+        prop_assert!(ka.check_invariants().is_ok());
+        prop_assert!(ka.intersect(&kb).check_invariants().is_ok());
+        prop_assert!(ka.union(&kb).check_invariants().is_ok());
+        prop_assert!(ka.minus(&kb).check_invariants().is_ok());
+    }
+
+    /// Assoc construction and its transforms (transpose, row/col selection,
+    /// map) all preserve the structural invariants.
+    #[test]
+    fn assoc_transforms_preserve_invariants(t in arb_triples(), p in "[a-z]{0,2}") {
+        let a = Assoc::from_triples_last(t);
+        prop_assert!(a.check_invariants().is_ok());
+        prop_assert!(a.transpose().check_invariants().is_ok());
+        prop_assert!(a.rows_with_prefix(&p).check_invariants().is_ok());
+        prop_assert!(a.map(|v| v.len()).check_invariants().is_ok());
+    }
+}

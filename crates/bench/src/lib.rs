@@ -32,7 +32,9 @@ pub struct BenchFixture {
     pub monthly_sources: Vec<KeySet>,
 }
 
-static CACHE: Mutex<Option<HashMap<(usize, u64), Arc<BenchFixture>>>> = Mutex::new(None);
+type FixtureCache = HashMap<(usize, u64), Arc<BenchFixture>>;
+
+static CACHE: Mutex<Option<FixtureCache>> = Mutex::new(None);
 
 /// Read the bench window size from `OBSCOR_BENCH_NV` (supports `2^NN`),
 /// defaulting to [`BENCH_NV`].

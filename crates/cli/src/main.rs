@@ -223,6 +223,58 @@ fn generate(o: Options) -> Result<(), String> {
     Ok(())
 }
 
+fn forecast(o: Options) -> Result<(), String> {
+    use obscor_core::forecast::forecast_all;
+    use obscor_core::temporal::temporal_curves;
+    let scenario = build_scenario(&o);
+    let config = if o.fast { AnalysisConfig::fast() } else { AnalysisConfig::default() };
+    eprintln!("measuring temporal curves...");
+    let holder = obscor_anonymize::sharing::Holder::new("telescope", &[5u8; 32]);
+    let months = obscor_honeyfarm::observe_all_months(&scenario);
+    let monthly: Vec<_> = months.iter().map(|m| m.source_keys().clone()).collect();
+    let mut curves = Vec::new();
+    for w in 0..scenario.caida_windows.len() {
+        let wd = obscor_core::WindowDegrees::capture(&scenario, w, &holder);
+        curves.extend(temporal_curves(&wd, &monthly, config.min_bin_sources.max(30)));
+    }
+    let evals = forecast_all(&curves, o.cutoff, &config);
+    println!("fit on months 0..{}, predict months {}..15", o.cutoff, o.cutoff);
+    println!("window                bin     model MAE  persistence MAE  winner");
+    let mut wins = 0usize;
+    for e in &evals {
+        if e.model_wins() {
+            wins += 1;
+        }
+        println!(
+            "{:<21} d=2^{:<3} {:>9.4} {:>16.4}  {}",
+            e.window_label,
+            e.bin,
+            e.model_mae(),
+            e.baseline_mae(),
+            if e.model_wins() { "model" } else { "persistence" }
+        );
+    }
+    println!("model beats persistence on {wins}/{} curves", evals.len());
+    Ok(())
+}
+
+fn info(o: Options) -> Result<(), String> {
+    let scenario = build_scenario(&o);
+    println!("scenario calibration");
+    println!("  N_V                  {}", scenario.n_v);
+    println!("  sqrt(N_V) knee       {:.0} (log2 = {:.1})", scenario.sqrt_nv(), scenario.bright_log2());
+    println!("  population           {} sources", scenario.population.len());
+    println!("  brightness->degree   {:.3}", scenario.brightness_to_degree);
+    println!("  months               {} ({} .. {})",
+        scenario.grid.len(), scenario.grid.label(0), scenario.grid.label(scenario.grid.len() - 1));
+    println!("  windows:");
+    for w in &scenario.caida_windows {
+        println!("    {} (t = {:.2} months)", w.label, w.coord);
+    }
+    Ok(())
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,55 +333,4 @@ mod tests {
         // generate without --out fails before doing any work.
         assert!(run(args("generate --nv 2^12")).is_err());
     }
-}
-
-fn forecast(o: Options) -> Result<(), String> {
-    use obscor_core::forecast::forecast_all;
-    use obscor_core::temporal::temporal_curves;
-    let scenario = build_scenario(&o);
-    let config = if o.fast { AnalysisConfig::fast() } else { AnalysisConfig::default() };
-    eprintln!("measuring temporal curves...");
-    let holder = obscor_anonymize::sharing::Holder::new("telescope", &[5u8; 32]);
-    let months = obscor_honeyfarm::observe_all_months(&scenario);
-    let monthly: Vec<_> = months.iter().map(|m| m.source_keys().clone()).collect();
-    let mut curves = Vec::new();
-    for w in 0..scenario.caida_windows.len() {
-        let wd = obscor_core::WindowDegrees::capture(&scenario, w, &holder);
-        curves.extend(temporal_curves(&wd, &monthly, config.min_bin_sources.max(30)));
-    }
-    let evals = forecast_all(&curves, o.cutoff, &config);
-    println!("fit on months 0..{}, predict months {}..15", o.cutoff, o.cutoff);
-    println!("window                bin     model MAE  persistence MAE  winner");
-    let mut wins = 0usize;
-    for e in &evals {
-        if e.model_wins() {
-            wins += 1;
-        }
-        println!(
-            "{:<21} d=2^{:<3} {:>9.4} {:>16.4}  {}",
-            e.window_label,
-            e.bin,
-            e.model_mae(),
-            e.baseline_mae(),
-            if e.model_wins() { "model" } else { "persistence" }
-        );
-    }
-    println!("model beats persistence on {wins}/{} curves", evals.len());
-    Ok(())
-}
-
-fn info(o: Options) -> Result<(), String> {
-    let scenario = build_scenario(&o);
-    println!("scenario calibration");
-    println!("  N_V                  {}", scenario.n_v);
-    println!("  sqrt(N_V) knee       {:.0} (log2 = {:.1})", scenario.sqrt_nv(), scenario.bright_log2());
-    println!("  population           {} sources", scenario.population.len());
-    println!("  brightness->degree   {:.3}", scenario.brightness_to_degree);
-    println!("  months               {} ({} .. {})",
-        scenario.grid.len(), scenario.grid.label(0), scenario.grid.label(scenario.grid.len() - 1));
-    println!("  windows:");
-    for w in &scenario.caida_windows {
-        println!("    {} (t = {:.2} months)", w.label, w.coord);
-    }
-    Ok(())
 }

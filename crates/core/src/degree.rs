@@ -60,6 +60,7 @@ impl WindowDegrees {
         // (workflow 1; the subset is the per-window source list).
         let returned = holder
             .deanonymize_subset(&anon_ips, anon_ips.len())
+            // audit:allow(panic-path) — the cap equals the subset size by construction (workflow 1 contract)
             .expect("send-back within agreed cap");
         let mut degrees: Vec<(u32, u64)> = returned
             .into_iter()
@@ -73,6 +74,7 @@ impl WindowDegrees {
     pub fn capture(scenario: &Scenario, window_index: usize, holder: &Holder) -> Self {
         let spec = &scenario.caida_windows[window_index];
         let w = capture_window(scenario, spec);
+        // audit:allow(panic-path) — caida_windows come from the scenario's own grid, so lookup cannot fail
         let month = scenario.window_month(spec).expect("window on grid");
         Self::from_window(&w, holder, month)
     }

@@ -103,6 +103,12 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         .zip(&matrices)
         .map(|(w, m)| (w.label.clone(), NetworkQuantities::compute(m)))
         .collect();
+    if cfg!(any(debug_assertions, feature = "strict-invariants")) {
+        for (m, (label, q)) in matrices.iter().zip(&quantities) {
+            stage_check(label, m.check_invariants());
+            stage_check(label, q.check_invariants());
+        }
+    }
 
     // 3. Degrees through the anonymization workflow (reusing the
     // already-built matrices).
@@ -123,6 +129,12 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         .collect();
     let monthly_sources: Vec<KeySet> =
         months.iter().map(|m| m.source_keys().clone()).collect();
+    if cfg!(any(debug_assertions, feature = "strict-invariants")) {
+        for (m, keys) in months.iter().zip(&monthly_sources) {
+            stage_check(&m.label, m.assoc.check_invariants());
+            stage_check(&m.label, keys.check_invariants());
+        }
+    }
 
     // Fig 1 quadrant occupancy.
     let telescope_ext_to_int: u64 =
@@ -247,6 +259,16 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         class_structure,
         subnet_top,
         scaling,
+    }
+}
+
+/// Abort on a stage-boundary invariant violation. Runs in debug builds
+/// and whenever the `strict-invariants` feature is enabled; callers skip
+/// the checks entirely otherwise.
+fn stage_check(label: &str, result: Result<(), String>) {
+    if let Err(msg) = result {
+        // audit:allow(panic-path) — invariant violations are programming errors; aborting is the stage contract
+        panic!("pipeline invariant violated at stage `{label}`: {msg}");
     }
 }
 

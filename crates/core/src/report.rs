@@ -90,7 +90,7 @@ impl PaperAnalysis {
             s.push_str("  d_i        D(d_i)\n");
             for (d, v) in dist.binned.iter() {
                 if v > 0.0 {
-                    s.push_str(&format!("  2^{:<7} {:.6}\n", (d as f64).log2() as u32, v));
+                    s.push_str(&format!("  2^{:<7} {:.6}\n", d.max(1).ilog2(), v));
                 }
             }
         }
@@ -182,7 +182,7 @@ impl PaperAnalysis {
         for (d, alpha, spread) in alpha_by_degree_with_spread(&self.fits) {
             s.push_str(&format!(
                 "  2^{:<6} {:>9.2} {:>8.2}\n",
-                (d as f64).log2() as u32,
+                d.max(1).ilog2(),
                 alpha,
                 spread
             ));
@@ -197,7 +197,7 @@ impl PaperAnalysis {
         for (d, drop, spread) in drop_by_degree_with_spread(&self.fits) {
             s.push_str(&format!(
                 "  2^{:<6} {:>9.3} {:>8.3}\n",
-                (d as f64).log2() as u32,
+                d.max(1).ilog2(),
                 drop,
                 spread
             ));

@@ -42,6 +42,22 @@ impl<V: Value> Coo<V> {
         }
     }
 
+    /// Internal consistency check: the three coordinate/value columns must
+    /// stay in lockstep. (Duplicates and explicit zeros are legal in the
+    /// pre-compaction buffer; [`Coo::into_csr`] removes both.) Used by
+    /// tests and the pipeline's `strict-invariants` stage checks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.rows.len() != self.cols.len() || self.rows.len() != self.vals.len() {
+            return Err(format!(
+                "column lengths diverge: rows={} cols={} vals={}",
+                self.rows.len(),
+                self.cols.len(),
+                self.vals.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Append one triple.
     #[inline]
     pub fn push(&mut self, row: Index, col: Index, val: V) {
@@ -87,11 +103,19 @@ impl<V: Value> Coo<V> {
     /// Compact into an immutable hypersparse CSR matrix, choosing the
     /// parallel path automatically for large buffers.
     pub fn into_csr(self) -> Csr<V> {
-        if self.len() >= PAR_SORT_THRESHOLD {
+        let csr = if self.len() >= PAR_SORT_THRESHOLD {
             self.into_csr_parallel()
         } else {
             self.into_csr_serial()
+        };
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(msg) = csr.check_invariants() {
+                // audit:allow(panic-path) — strict-invariants mode aborts on broken invariants by contract
+                panic!("compaction produced an invalid CSR: {msg}");
+            }
         }
+        csr
     }
 
     /// Serial compaction: sort triples by `(row, col)`, then sum runs.

@@ -63,7 +63,7 @@ impl<V: Value> Csr<V> {
             }
             debug_assert!(
                 col_keys.len() + 1 == 1
-                    || *row_ptr.last().unwrap() == col_keys.len()
+                    || row_ptr.last().copied() == Some(col_keys.len())
                     || col_keys.last().map(|&lc| lc < c).unwrap_or(true),
                 "cols must be strictly increasing within a row"
             );
@@ -157,7 +157,9 @@ impl<V: Value> Csr<V> {
         if self.row_ptr.len() != self.row_keys.len() + 1 {
             return Err("row_ptr length mismatch".into());
         }
-        if *self.row_ptr.first().unwrap() != 0 || *self.row_ptr.last().unwrap() != self.nnz() {
+        if self.row_ptr.first().copied() != Some(0)
+            || self.row_ptr.last().copied() != Some(self.nnz())
+        {
             return Err("row_ptr endpoints wrong".into());
         }
         for w in self.row_keys.windows(2) {

@@ -55,7 +55,15 @@ impl<V: Value> Dcsc<V> {
         if col_keys.is_empty() {
             return Self::empty();
         }
-        Self { col_keys, col_ptr, row_keys, vals }
+        let dcsc = Self { col_keys, col_ptr, row_keys, vals };
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(msg) = dcsc.check_invariants() {
+                // audit:allow(panic-path) — strict-invariants mode aborts on broken invariants by contract
+                panic!("CSR→DCSC conversion produced an invalid matrix: {msg}");
+            }
+        }
+        dcsc
     }
 
     /// Number of stored entries.
@@ -109,6 +117,45 @@ impl<V: Value> Dcsc<V> {
         (0..self.n_cols())
             .map(|i| (self.col_keys[i], self.col_at(i).0.len() as u64))
             .collect()
+    }
+
+    /// Internal consistency check mirroring [`Csr::check_invariants`]:
+    /// strictly increasing occupied `col_keys`, monotone *strictly*
+    /// increasing `col_ptr` (every stored column is nonempty) with correct
+    /// endpoints, strictly increasing row indices within each column, and
+    /// no explicit zeros. Used by tests and the pipeline's
+    /// `strict-invariants` stage checks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.col_ptr.len() != self.col_keys.len() + 1 {
+            return Err("col_ptr length mismatch".into());
+        }
+        if self.col_ptr.first().copied() != Some(0)
+            || self.col_ptr.last().copied() != Some(self.row_keys.len())
+        {
+            return Err("col_ptr endpoints wrong".into());
+        }
+        if self.row_keys.len() != self.vals.len() {
+            return Err("row_keys/vals length mismatch".into());
+        }
+        for w in self.col_keys.windows(2) {
+            if w[0] >= w[1] {
+                return Err("col_keys not strictly increasing".into());
+            }
+        }
+        for (i, w) in self.col_ptr.windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(format!("stored column {i} is empty (col_ptr not strictly increasing)"));
+            }
+            for pair in self.row_keys[w[0]..w[1]].windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!("row indices not strictly increasing in column {i}"));
+                }
+            }
+        }
+        if self.vals.iter().any(|v| v.is_zero()) {
+            return Err("explicit zero stored".into());
+        }
+        Ok(())
     }
 
     /// Convert back to row orientation.

@@ -107,6 +107,39 @@ impl<V: Value> HierarchicalAccumulator<V> {
                 }
             }
         }
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(msg) = self.check_invariants() {
+                // audit:allow(panic-path) — strict-invariants mode aborts on broken invariants by contract
+                panic!("accumulator invalid after leaf flush: {msg}");
+            }
+        }
+    }
+
+    /// Internal consistency check: positive leaf capacity, a partial leaf
+    /// strictly below capacity, a consistent COO buffer, every carry matrix
+    /// internally valid, and counters that account for all pushed triples.
+    /// Used by tests and the pipeline's `strict-invariants` stage checks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.leaf_capacity == 0 {
+            return Err("leaf_capacity is zero".into());
+        }
+        if self.buffer.len() >= self.leaf_capacity {
+            return Err("partial leaf at or above capacity (missed flush)".into());
+        }
+        self.buffer.check_invariants().map_err(|e| format!("buffer: {e}"))?;
+        for (k, level) in self.levels.iter().enumerate() {
+            if let Some(csr) = level {
+                csr.check_invariants().map_err(|e| format!("level {k}: {e}"))?;
+            }
+        }
+        if self.stats.leaves > self.stats.pushed {
+            return Err("more leaves than pushed triples".into());
+        }
+        if self.stats.merges >= self.stats.leaves.max(1) {
+            return Err("more merges than a binary carry chain allows".into());
+        }
+        Ok(())
     }
 
     /// Merge counters so far.

@@ -19,7 +19,7 @@ pub fn ewise_add<V: Value>(a: &Csr<V>, b: &Csr<V>) -> Csr<V> {
     let mut triples: Vec<(Index, Index, V)> = Vec::with_capacity(a.nnz() + b.nnz());
     let (mut ia, mut ib) = (0usize, 0usize);
     let (ra, rb) = (a.row_keys(), b.row_keys());
-    while ia < ra.len() || ib < rb.len() {
+    loop {
         let next_a = ra.get(ia).copied();
         let next_b = rb.get(ib).copied();
         match (next_a, next_b) {
@@ -44,7 +44,8 @@ pub fn ewise_add<V: Value>(a: &Csr<V>, b: &Csr<V>) -> Csr<V> {
                 copy_row(s, b.row_at(ib), &mut triples);
                 ib += 1;
             }
-            (None, None) => unreachable!(),
+            // Both sides exhausted: the merge is complete.
+            (None, None) => break,
         }
     }
     Csr::from_sorted_dedup_triples(triples)
@@ -63,7 +64,7 @@ fn merge_rows<V: Value>(
     out: &mut Vec<(Index, Index, V)>,
 ) {
     let (mut i, mut j) = (0usize, 0usize);
-    while i < ca.len() || j < cb.len() {
+    loop {
         match (ca.get(i), cb.get(j)) {
             (Some(&c), Some(&d)) if c == d => {
                 let mut v = va[i];
@@ -90,7 +91,8 @@ fn merge_rows<V: Value>(
                 out.push((r, d, vb[j]));
                 j += 1;
             }
-            (None, None) => unreachable!(),
+            // Both sides exhausted: the merge is complete.
+            (None, None) => break,
         }
     }
 }
@@ -108,7 +110,8 @@ pub fn merge_all<V: Value>(mut parts: Vec<Csr<V>>) -> Csr<V> {
             .map(|pair| match pair {
                 [a, b] => ewise_add(a, b),
                 [a] => a.clone(),
-                _ => unreachable!(),
+                // par_chunks(2) never yields empty chunks.
+                _ => Csr::empty(),
             })
             .collect();
     }

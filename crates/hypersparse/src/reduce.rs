@@ -125,14 +125,23 @@ fn distinct_cols<V: Value>(a: &Csr<V>) -> usize {
 /// paper lists them.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetworkQuantities {
+    /// Total packets in the window, `Σ_{i,j} A(i,j)`.
     pub valid_packets: u64,
+    /// Occupied (source, destination) pairs, `Σ |A|_0`.
     pub unique_links: u64,
+    /// Heaviest single link, `max A(i,j)`.
     pub max_link_packets: u64,
+    /// Occupied rows — distinct sending addresses.
     pub unique_sources: u64,
+    /// Heaviest source row sum, `max_i Σ_j A(i,j)`.
     pub max_source_packets: u64,
+    /// Widest source, `max_i Σ_j |A(i,j)|_0`.
     pub max_source_fan_out: u64,
+    /// Occupied columns — distinct receiving addresses.
     pub unique_destinations: u64,
+    /// Heaviest destination column sum, `max_j Σ_i A(i,j)`.
     pub max_destination_packets: u64,
+    /// Widest destination, `max_j Σ_i |A(i,j)|_0`.
     pub max_destination_fan_in: u64,
 }
 
@@ -150,6 +159,30 @@ impl NetworkQuantities {
             max_destination_packets: max_destination_packets(a),
             max_destination_fan_in: max_destination_fan_in(a),
         }
+    }
+
+    /// Internal consistency check: the Table II aggregates obey a fixed set
+    /// of order relations (a maximum over a subset cannot exceed the total,
+    /// a per-link count cannot exceed its endpoint's count, a fan cannot
+    /// exceed the opposite axis size). Used by tests and the pipeline's
+    /// `strict-invariants` stage checks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let checks: [(&str, bool); 8] = [
+            ("unique_sources <= unique_links", self.unique_sources <= self.unique_links),
+            ("unique_destinations <= unique_links", self.unique_destinations <= self.unique_links),
+            ("max_link_packets <= max_source_packets", self.max_link_packets <= self.max_source_packets),
+            ("max_link_packets <= max_destination_packets", self.max_link_packets <= self.max_destination_packets),
+            ("max_source_packets <= valid_packets", self.max_source_packets <= self.valid_packets),
+            ("max_destination_packets <= valid_packets", self.max_destination_packets <= self.valid_packets),
+            ("max_source_fan_out <= unique_destinations", self.max_source_fan_out <= self.unique_destinations),
+            ("max_destination_fan_in <= unique_sources", self.max_destination_fan_in <= self.unique_sources),
+        ];
+        for (label, ok) in checks {
+            if !ok {
+                return Err(format!("Table II relation violated: {label}"));
+            }
+        }
+        Ok(())
     }
 
     /// Render as aligned `name value` rows (the shape of Table II's left

@@ -58,23 +58,25 @@ pub fn decode<V: Value>(bytes: &[u8]) -> Result<Csr<V>, CodecError> {
     if bytes[..8] != MAGIC {
         return Err(CodecError::BadMagic);
     }
-    let nnz = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let nnz_raw =
+        u64::from_le_bytes(bytes[8..16].try_into().map_err(|_| CodecError::Truncated)?);
+    let nnz = usize::try_from(nnz_raw).map_err(|_| CodecError::Corrupt("nnz overflow"))?;
     let need = 16 + nnz.checked_mul(16).ok_or(CodecError::Corrupt("nnz overflow"))?;
     if bytes.len() < need {
         return Err(CodecError::Truncated);
     }
     let mut coo = Coo::with_capacity(nnz);
-    let mut off = 16;
-    for _ in 0..nnz {
-        let r = Index::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
-        let c = Index::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
-        let bits = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
+    for record in bytes[16..need].chunks_exact(16) {
+        let r = Index::from_le_bytes(record[..4].try_into().map_err(|_| CodecError::Truncated)?);
+        let c =
+            Index::from_le_bytes(record[4..8].try_into().map_err(|_| CodecError::Truncated)?);
+        let bits =
+            u64::from_le_bytes(record[8..16].try_into().map_err(|_| CodecError::Truncated)?);
         let v = V::from_bits(bits);
         if v.is_zero() {
             return Err(CodecError::Corrupt("explicit zero entry"));
         }
         coo.push(r, c, v);
-        off += 16;
     }
     Ok(coo.into_csr())
 }

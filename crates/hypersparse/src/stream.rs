@@ -53,6 +53,24 @@ impl<V: Value> StreamingBuilder<V> {
         Self { senders, handles, next_worker: 0, sent: 0 }
     }
 
+    /// Internal consistency check: one live channel per worker thread and
+    /// a round-robin cursor inside the pool. (The built matrix is checked
+    /// separately — [`Csr::check_invariants`] on the result of
+    /// [`StreamingBuilder::finish`].) Used by tests and the pipeline's
+    /// `strict-invariants` stage checks.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.senders.is_empty() {
+            return Err("no workers".into());
+        }
+        if self.senders.len() != self.handles.len() {
+            return Err("senders/handles length mismatch".into());
+        }
+        if self.next_worker >= self.senders.len() {
+            return Err("round-robin cursor out of range".into());
+        }
+        Ok(())
+    }
+
     /// Hand one batch to the pool (round-robin sharding).
     ///
     /// # Panics
@@ -61,6 +79,7 @@ impl<V: Value> StreamingBuilder<V> {
         self.sent += batch.len() as u64;
         self.senders[self.next_worker]
             .send(batch)
+            // audit:allow(panic-path) — documented `# Panics` contract: a dead worker is unrecoverable
             .expect("streaming worker thread terminated early");
         self.next_worker = (self.next_worker + 1) % self.senders.len();
     }
@@ -75,6 +94,7 @@ impl<V: Value> StreamingBuilder<V> {
         drop(self.senders);
         let mut acc: Option<Csr<V>> = None;
         for handle in self.handles {
+            // audit:allow(panic-path) — propagating a worker panic to the caller is the documented contract
             let part = handle.join().expect("streaming worker panicked");
             acc = Some(match acc {
                 None => part,

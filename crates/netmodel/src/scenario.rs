@@ -96,6 +96,7 @@ impl Scenario {
         let pilot = SourcePopulation::generate(base.clone());
         let mid = grid.span() / 2.0;
         let per_source = pilot.active_brightness(mid) / pilot.len() as f64;
+        // audit:allow(index-cast) — float-to-usize `as` saturates, and clamp bounds the result
         let n_sources = ((n_v as f64 / per_source.max(1e-9)) as usize).clamp(4_000, 2_000_000);
         let population = SourcePopulation::generate(PopulationConfig { n_sources, ..base });
         let brightness_to_degree = n_v as f64 / population.active_brightness(mid).max(1.0);

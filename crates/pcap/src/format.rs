@@ -236,9 +236,11 @@ impl PcapWriter {
         let frame = synthesize_frame(p);
         self.buf.put_u32_le((p.ts_micros / 1_000_000) as u32);
         self.buf.put_u32_le((p.ts_micros % 1_000_000) as u32);
+        // audit:allow(index-cast) — synthesized frames are MTU-bounded, far below u32::MAX
         self.buf.put_u32_le(frame.len() as u32);
         // orig_len: at least the frame we synthesized; the Packet's wire
         // length if it claims more.
+        // audit:allow(index-cast) — same MTU-bounded frame length as above
         self.buf.put_u32_le(u32::from(p.length).max(frame.len() as u32));
         self.buf.extend_from_slice(&frame);
         self.records += 1;

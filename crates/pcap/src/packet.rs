@@ -11,6 +11,7 @@ pub struct Ip4(pub u32);
 impl Ip4 {
     /// Build from dotted-quad octets.
     pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        // audit:allow(index-cast) — widening u8→u32 casts; `From` is not callable in const fn
         Ip4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
     }
 
@@ -26,6 +27,7 @@ impl Ip4 {
         if len == 0 {
             return true;
         }
+        // audit:allow(index-cast) — widening u8→u32 cast of a checked prefix length
         let mask = u32::MAX << (32 - len as u32);
         (self.0 & mask) == (prefix.0 & mask)
     }
@@ -77,9 +79,12 @@ impl FromStr for Ip4 {
 /// Transport protocol of a packet, by IANA protocol number.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Protocol {
+    /// ICMP (protocol number 1).
     Icmp,
+    /// TCP (protocol number 6).
     #[default]
     Tcp,
+    /// UDP (protocol number 17).
     Udp,
     /// Any other protocol number.
     Other(u8),

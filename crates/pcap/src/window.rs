@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn filter_discards_count() {
         // Accept only even sources: half the packets are invalid.
-        let f = |p: &Packet| p.src.0 % 2 == 0;
+        let f = |p: &Packet| p.src.0.is_multiple_of(2);
         let windows: Vec<_> = ConstantPacketWindower::new(stream(100), f, 25).collect();
         assert_eq!(windows.len(), 2);
         // Window 0 fills at source 48 having skipped odds 1..47 (24

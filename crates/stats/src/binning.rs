@@ -71,6 +71,7 @@ impl Log2Binned {
     /// Normalize so the pooled masses sum to one (no-op on empty/zero).
     pub fn normalized(&self) -> Log2Binned {
         let t = self.total();
+        // audit:allow(float-eq) — exact-zero sentinel: only an all-zero histogram sums to literal 0.0
         if t == 0.0 {
             return self.clone();
         }
@@ -111,9 +112,10 @@ pub fn linear_binned(h: &DegreeHistogram, width: u64) -> Vec<(u64, f64)> {
     let mut out: Vec<(u64, f64)> = Vec::new();
     for (d, c) in h.iter() {
         let bin_start = ((d - 1) / width) * width + 1;
+        let mass = c as f64 / total;
         match out.last_mut() {
-            Some((s, acc)) if *s == bin_start => *acc += c as f64 / total,
-            _ => out.push((bin_start, c as f64 / total)),
+            Some((s, acc)) if *s == bin_start => *acc += mass,
+            _ => out.push((bin_start, mass)),
         }
     }
     out
@@ -216,7 +218,7 @@ mod tests {
 
     #[test]
     fn pooled_mass_is_conserved() {
-        let h = DegreeHistogram::from_degrees((1..=1000).map(|d| d));
+        let h = DegreeHistogram::from_degrees(1..=1000);
         let binned = differential_cumulative(&h);
         assert!((binned.total() - 1.0).abs() < 1e-9);
     }

@@ -32,6 +32,7 @@ pub fn residual_pnorm(a: &[f64], b: &[f64], p: f64) -> f64 {
 /// The zero-"norm": the number of nonzero entries (the `| |_0` of
 /// Table II applied to a vector).
 pub fn zero_norm(xs: &[f64]) -> usize {
+    // audit:allow(float-eq) — the zero-"norm" counts exact nonzeros by definition (Table II)
     xs.iter().filter(|x| **x != 0.0).count()
 }
 

@@ -35,6 +35,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     let mean_x = xs.iter().sum::<f64>() / nf;
     let mean_y = ys.iter().sum::<f64>() / nf;
     let sxx: f64 = xs.iter().map(|x| (x - mean_x) * (x - mean_x)).sum();
+    // audit:allow(float-eq) — degenerate-regression guard: sxx is literally 0.0 only when all x coincide
     if sxx == 0.0 {
         return None;
     }
@@ -50,6 +51,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
             e * e
         })
         .sum();
+    // audit:allow(float-eq) — constant-y guard: ss_tot is literally 0.0 only when all y coincide
     let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
     Some(LinearFit { slope, intercept, r_squared })
 }

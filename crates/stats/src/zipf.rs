@@ -53,7 +53,10 @@ impl ZipfMandelbrot {
             return 0.0;
         }
         let i = (d - 1) as usize;
-        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        let lo = match i.checked_sub(1) {
+            Some(prev) => self.cdf[prev],
+            None => 0.0,
+        };
         self.cdf[i] - lo
     }
 

@@ -1,0 +1,86 @@
+//! CLI entry point: `cargo xtask audit [--json] [--root <dir>]`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask audit [--json] [--root <dir>]
+
+Runs the workspace static-analysis gate. Rules:
+  index-cast           truncating `as u32`/`as usize`/`as Index` casts
+  panic-path           unwrap/expect/panic! in panic-free crates
+  float-eq             floating-point ==/!= in stats and core::fitscan
+  invariant-coverage   public constructors without check_invariants tests
+
+Suppress a single site with `// audit:allow(<rule>) — justification`.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory argument\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if command.is_none() && !arg.starts_with('-') => command = Some(arg),
+            _ => {
+                eprintln!("error: unrecognized argument `{arg}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if command.as_deref() != Some("audit") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace directory `cargo xtask` runs from (cargo
+    // sets the cwd to the invocation directory; the alias lives in the
+    // workspace `.cargo/config.toml`, so this is the workspace root), or
+    // CARGO_MANIFEST_DIR's grandparent when run via `cargo run -p xtask`.
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    match xtask::audit(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for d in &report.diagnostics {
+                    println!("{}", d.render());
+                }
+                if report.is_clean() {
+                    println!("audit: clean ({} files scanned)", report.files_scanned);
+                } else {
+                    println!(
+                        "audit: {} violation(s) ({} files scanned)",
+                        report.diagnostics.len(),
+                        report.files_scanned
+                    );
+                }
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: audit failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! The four audit rules.
+//!
+//! Each rule scans preprocessed [`SourceFile`]s (comments/strings blanked,
+//! test lines marked) and emits [`Diagnostic`]s. Rules are suppressible
+//! per-site with an inline `// audit:allow(<rule>) — justification` marker
+//! on the offending line or the line above it.
+//!
+//! | rule                 | scope                                  | what it catches |
+//! |----------------------|----------------------------------------|-----------------|
+//! | `index-cast`         | all library code                       | truncating `as u32` / `as usize` / `as Index` casts whose source context mentions a wider type |
+//! | `panic-path`         | `core`, `hypersparse`, `assoc`, `anonymize` lib code | `unwrap()`, `expect(...)`, `panic!`, `unreachable!`, `todo!` |
+//! | `float-eq`           | `stats` lib code + `core/src/fitscan.rs` | `==` / `!=` between floating-point expressions |
+//! | `invariant-coverage` | `hypersparse`, `assoc`                 | public constructors not exercised by any `check_invariants` test |
+
+use crate::scan::{find_token, has_token, SourceFile};
+
+/// One audit finding, pointing at a concrete `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `panic-path`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as the canonical `file:line: [rule] message` form.
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Crates whose library code must be panic-free.
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "hypersparse", "assoc", "anonymize"];
+
+/// Crates whose public constructors require invariant-test coverage.
+pub const INVARIANT_CRATES: &[&str] = &["hypersparse", "assoc"];
+
+/// Rule `index-cast`: flag `as u32` / `as Index` / `as usize` casts whose
+/// surrounding expression mentions a wider source type, i.e. the places a
+/// silent truncation can corrupt an index. Pure narrowing of already-narrow
+/// values (e.g. `u8 as u32`) carries no wide-source marker and passes.
+pub fn rule_index_cast(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "index-cast";
+    let mut out = Vec::new();
+    for (line_no, line) in file.code_lines() {
+        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+            continue;
+        }
+        for target in ["u32", "usize", "Index"] {
+            let mut from = 0;
+            while let Some(as_pos) = find_token(line, "as", from) {
+                from = as_pos + 2;
+                let after = line[as_pos + 2..].trim_start();
+                if !after.starts_with(target)
+                    || after[target.len()..]
+                        .starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    continue;
+                }
+                let left = &line[..as_pos];
+                let wide = match target {
+                    // usize is 64-bit here; only 64-bit+ sources can truncate.
+                    "usize" => ["u64", "i64", "u128", "i128", "f64"]
+                        .iter()
+                        .any(|t| has_token(left, t)),
+                    // u32 / Index also truncate from usize-width sources.
+                    _ => {
+                        ["u64", "i64", "u128", "i128", "f64", "usize"]
+                            .iter()
+                            .any(|t| has_token(left, t))
+                            || left.contains(".len()")
+                            || left.contains(">>")
+                            || left.contains("<<")
+                    }
+                };
+                if wide {
+                    out.push(Diagnostic {
+                        rule: RULE,
+                        file: file.rel.clone(),
+                        line: line_no,
+                        message: format!(
+                            "truncating `as {target}` cast from a wide source; use \
+                             `try_from`/`try_into` or annotate with audit:allow({RULE})"
+                        ),
+                    });
+                    break; // one diagnostic per line per target is enough
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rule `panic-path`: no `unwrap` / `expect` / `panic!` / `unreachable!` /
+/// `todo!` in library code of the panic-free crates. Test code is exempt.
+pub fn rule_panic_path(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "panic-path";
+    let mut out = Vec::new();
+    for (line_no, line) in file.code_lines() {
+        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+            continue;
+        }
+        for (needle, label) in [
+            (".unwrap()", "`unwrap()`"),
+            (".expect(", "`expect(...)`"),
+            ("panic!", "`panic!`"),
+            ("unreachable!", "`unreachable!`"),
+            ("todo!", "`todo!`"),
+            ("unimplemented!", "`unimplemented!`"),
+        ] {
+            let hit = if needle.starts_with('.') {
+                line.contains(needle)
+            } else {
+                // Macro names must be whole tokens (`catch_panic!` is fine).
+                find_token(line, needle.trim_end_matches('!'), 0)
+                    .is_some_and(|p| line[p..].trim_start_matches(char::is_alphanumeric)
+                        .trim_start_matches('_')
+                        .starts_with('!'))
+            };
+            if hit {
+                // `debug_assert!`-style macros legitimately contain `panic`
+                // semantics but are debug-only; they never match the needles
+                // above, so no carve-out is needed.
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.rel.clone(),
+                    line: line_no,
+                    message: format!(
+                        "{label} in panic-free library code; return a Result or \
+                         annotate a documented contract with audit:allow({RULE})"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule `float-eq`: no `==` / `!=` where either side shows floating-point
+/// evidence (an `f64`/`f32` token or a float literal on the line).
+pub fn rule_float_eq(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "float-eq";
+    let mut out = Vec::new();
+    for (line_no, line) in file.code_lines() {
+        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+            continue;
+        }
+        if !line_has_float_evidence(line) {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            let two = &bytes[i..i + 2];
+            let is_eq = two == b"==";
+            let is_ne = two == b"!=";
+            if (is_eq || is_ne)
+                && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'!' | b'=' | b'&' | b'|'))
+                && (i + 2 >= bytes.len() || bytes[i + 2] != b'=')
+            {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.rel.clone(),
+                    line: line_no,
+                    message: format!(
+                        "floating-point `{}` comparison; use an epsilon/ULP helper or \
+                         total ordering, or annotate with audit:allow({RULE})",
+                        if is_eq { "==" } else { "!=" }
+                    ),
+                });
+                i += 2;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Float evidence: an `f64`/`f32` token or a numeric literal with a decimal
+/// point (`1.0`, `2.5e-3`). Integer-only lines never match.
+fn line_has_float_evidence(line: &str) -> bool {
+    if has_token(line, "f64") || has_token(line, "f32") {
+        return true;
+    }
+    let bytes = line.as_bytes();
+    for i in 1..bytes.len().saturating_sub(1) {
+        if bytes[i] == b'.'
+            && bytes[i - 1].is_ascii_digit()
+            && bytes[i + 1].is_ascii_digit()
+            // Exclude tuple-index-like `x.0.1` chains: require the char before
+            // the leading digit run to not be `.` or identifier-ish.
+            && {
+                let mut j = i - 1;
+                while j > 0 && bytes[j - 1].is_ascii_digit() {
+                    j -= 1;
+                }
+                j == 0 || !(bytes[j - 1] == b'.' || bytes[j - 1].is_ascii_alphanumeric() || bytes[j - 1] == b'_')
+            }
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// A public constructor discovered by [`find_constructors`].
+#[derive(Debug, Clone)]
+pub struct Constructor {
+    /// The type the `impl` block belongs to.
+    pub type_name: String,
+    /// The function name.
+    pub fn_name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// Find `pub fn` constructors (no `self` receiver, returns `Self` or the
+/// impl type) in inherent `impl` blocks of `file`.
+pub fn find_constructors(file: &SourceFile) -> Vec<Constructor> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(impl_pos) = find_token(code, "impl", search) {
+        search = impl_pos + 4;
+        // Header runs to the opening brace.
+        let Some(brace_rel) = code[impl_pos..].find('{') else { break };
+        let brace = impl_pos + brace_rel;
+        let header = &code[impl_pos..brace];
+        // Skip trait impls (`impl Trait for Type`).
+        if has_token(header, "for") {
+            continue;
+        }
+        let Some(type_name) = impl_type_name(header) else { continue };
+        // Match braces to find the impl body span.
+        let mut depth = 0usize;
+        let mut end = brace;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let body = &code[brace..end.min(bytes.len())];
+        let body_offset = brace;
+        let mut fns = 0;
+        while let Some(pub_rel) = find_token(body, "pub", fns) {
+            fns = pub_rel + 3;
+            let after_pub = body[pub_rel + 3..].trim_start();
+            // `pub(crate) fn` etc. are not public API.
+            if !after_pub.starts_with("fn") {
+                continue;
+            }
+            let fn_rel = pub_rel + 3 + (body[pub_rel + 3..].len() - after_pub.len());
+            let rest = &body[fn_rel + 2..];
+            let rest = rest.trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            // Find the parameter list: the first `(` outside the generic
+            // parameter list (`Fn(..)` bounds inside `<..>` don't count).
+            let Some(paren_rel) = param_list_paren(rest) else { continue };
+            let params_and_on = &rest[paren_rel..];
+            let Some(close) = matching_paren(params_and_on) else { continue };
+            let params = &params_and_on[1..close];
+            let first_param = params.split(',').next().unwrap_or("");
+            if has_token(first_param, "self") {
+                continue; // a method, not a constructor
+            }
+            // Return type between `)` and the body `{` (or `;`).
+            let after_params = &params_and_on[close + 1..];
+            let sig_end = after_params
+                .find(['{', ';'])
+                .unwrap_or(after_params.len());
+            let ret = &after_params[..sig_end];
+            let Some(arrow) = ret.find("->") else { continue };
+            let ret_ty = &ret[arrow + 2..];
+            if has_token(ret_ty, "Self") || has_token(ret_ty, &type_name) {
+                let abs = body_offset + fn_rel;
+                let line = 1 + code[..abs].bytes().filter(|&b| b == b'\n').count();
+                if file.is_test_line(line) || file.is_allowed("invariant-coverage", line) {
+                    continue;
+                }
+                out.push(Constructor {
+                    type_name: type_name.clone(),
+                    fn_name: name,
+                    file: file.rel.clone(),
+                    line,
+                });
+            }
+        }
+        search = end.max(search);
+    }
+    out
+}
+
+/// Offset of the first `(` at angle-bracket depth 0, skipping the `>` of
+/// `->` arrows inside generic bounds like `<F: Fn(V, V) -> V>`.
+fn param_list_paren(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut depth = 0usize;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] != b'-' => depth = depth.saturating_sub(1),
+            b'(' if depth == 0 => return Some(i),
+            b'{' | b';' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Offset of the `)` matching the `(` at byte 0 of `s`.
+fn matching_paren(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, b) in s.bytes().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extract `Csr` from headers like `impl<V: Value> Csr<V>`.
+fn impl_type_name(header: &str) -> Option<String> {
+    let mut rest = header.trim_start().strip_prefix("impl")?;
+    // Skip generic parameter list.
+    if rest.trim_start().starts_with('<') {
+        let s = rest.trim_start();
+        let mut depth = 0usize;
+        let mut cut = s.len();
+        for (i, c) in s.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &s[cut..];
+    }
+    let ty = rest.trim();
+    // Last path segment before any generic args.
+    let base = ty.split('<').next()?.trim();
+    let name = base.rsplit("::").next()?.trim();
+    let name: String = name
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || !name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Rule `invariant-coverage`, run over a whole crate at once:
+///
+/// * every type in an invariant crate that defines `check_invariants` must
+///   have each of its public constructors mentioned, together with the type
+///   name, in some test source that also calls `check_invariants`;
+/// * a type with public constructors but *no* `check_invariants` method is
+///   itself a finding (anchored at its first constructor).
+///
+/// `lib_files` are the crate's library sources; `test_corpus` is the
+/// concatenation of every test source that mentions `check_invariants`
+/// (crate `tests/` files plus `#[cfg(test)]` regions).
+pub fn rule_invariant_coverage(
+    lib_files: &[SourceFile],
+    test_corpus: &str,
+) -> Vec<Diagnostic> {
+    const RULE: &str = "invariant-coverage";
+    let mut out = Vec::new();
+    // Types that define check_invariants anywhere in this crate.
+    let mut checked_types = std::collections::HashSet::new();
+    for f in lib_files {
+        let code = &f.code;
+        let mut search = 0;
+        while let Some(pos) = find_token(code, "check_invariants", search) {
+            search = pos + 1;
+            // Attribute to the nearest enclosing inherent impl: rescan impls.
+            for c in find_impl_spans(f) {
+                if c.1 <= pos && pos < c.2 {
+                    checked_types.insert(c.0.clone());
+                }
+            }
+        }
+    }
+    for f in lib_files {
+        for ctor in find_constructors(f) {
+            if !checked_types.contains(&ctor.type_name) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: ctor.file.clone(),
+                    line: ctor.line,
+                    message: format!(
+                        "type `{}` has public constructor `{}` but no \
+                         `check_invariants()` method",
+                        ctor.type_name, ctor.fn_name
+                    ),
+                });
+                continue;
+            }
+            let covered = has_token(test_corpus, &ctor.type_name)
+                && has_token(test_corpus, &ctor.fn_name);
+            if !covered {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: ctor.file,
+                    line: ctor.line,
+                    message: format!(
+                        "public constructor `{}::{}` is not exercised by any \
+                         `check_invariants` test",
+                        ctor.type_name, ctor.fn_name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// All inherent-impl spans in a file: `(type_name, start_byte, end_byte)`.
+fn find_impl_spans(file: &SourceFile) -> Vec<(String, usize, usize)> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(impl_pos) = find_token(code, "impl", search) {
+        search = impl_pos + 4;
+        let Some(brace_rel) = code[impl_pos..].find('{') else { break };
+        let brace = impl_pos + brace_rel;
+        let header = &code[impl_pos..brace];
+        if has_token(header, "for") {
+            continue;
+        }
+        let Some(name) = impl_type_name(header) else { continue };
+        let mut depth = 0usize;
+        let mut end = brace;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        out.push((name, impl_pos, end.min(bytes.len())));
+        search = end.max(search);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn prep(src: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from("mem.rs"), "mem.rs".into(), src.to_string())
+    }
+
+    #[test]
+    fn index_cast_flags_wide_sources_only() {
+        let f = prep("let a = (x as u64 * 3) as u32;\nlet b = small_u8 as u32;\nlet c = v.len() as u32;\n");
+        let d = rule_index_cast(&f);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn index_cast_allow_marker() {
+        let f = prep("// audit:allow(index-cast) — bounded by construction\nlet a = v.len() as u32;\n");
+        assert!(rule_index_cast(&f).is_empty());
+    }
+
+    #[test]
+    fn panic_path_flags_lib_not_tests() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests { fn t() { None::<u8>.unwrap(); } }\n";
+        let f = prep(src);
+        let d = rule_panic_path(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn panic_macros_are_whole_tokens() {
+        let f = prep("my_panic!(x);\nlog_unreachable!(y);\n");
+        assert!(rule_panic_path(&f).is_empty());
+        let g = prep("panic!(\"boom\");\n");
+        assert_eq!(rule_panic_path(&g).len(), 1);
+    }
+
+    #[test]
+    fn float_eq_needs_float_evidence() {
+        let f = prep("if a == b { }\nif x == 0.0 { }\nif (y as f64) != z { }\nif i <= 3.0 { }\n");
+        let d = rule_float_eq(&f);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn constructors_are_found() {
+        let src = "impl<V: Value> Csr<V> {\n\
+                       pub fn new(n: usize) -> Self { todo() }\n\
+                       pub fn rows(&self) -> usize { 0 }\n\
+                       pub(crate) fn internal() -> Self { todo() }\n\
+                       pub fn from_coo(c: Coo<V>) -> Csr<V> { todo() }\n\
+                   }\n";
+        let f = prep(src);
+        let ctors = find_constructors(&f);
+        let names: Vec<_> = ctors.iter().map(|c| c.fn_name.as_str()).collect();
+        assert_eq!(names, vec!["new", "from_coo"]);
+        assert!(ctors.iter().all(|c| c.type_name == "Csr"));
+    }
+
+    #[test]
+    fn invariant_coverage_logic() {
+        let lib = prep(
+            "impl Csr {\n\
+                 pub fn new() -> Self { x }\n\
+                 pub fn check_invariants(&self) -> Result<(), String> { Ok(()) }\n\
+             }\n\
+             impl Naked {\n\
+                 pub fn make() -> Self { y }\n\
+             }\n",
+        );
+        let corpus_ok = "let c = Csr::new(); c.check_invariants();";
+        let d = rule_invariant_coverage(std::slice::from_ref(&lib), corpus_ok);
+        // Csr::new covered; Naked::make lacks check_invariants entirely.
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Naked"));
+
+        let d2 = rule_invariant_coverage(std::slice::from_ref(&lib), "");
+        assert_eq!(d2.len(), 2);
+    }
+}

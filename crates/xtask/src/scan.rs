@@ -1,0 +1,395 @@
+//! Source-file model for the audit pass.
+//!
+//! Rust source is loaded once and preprocessed into a form the rules can
+//! scan without tripping over comments, string literals, or test code:
+//!
+//! * [`SourceFile::code`] is the original text with every comment and every
+//!   string/char literal blanked out (replaced by spaces, newlines kept),
+//!   so byte offsets and line numbers still line up with the original.
+//! * [`SourceFile::test_lines`] marks lines inside `#[cfg(test)]` /
+//!   `#[test]` items — project rules apply to *library* code only.
+//! * [`SourceFile::allows`] carries `audit:allow(<rule>)` markers collected
+//!   from comments. A marker suppresses the named rule on its own line and
+//!   on the following line, so it can sit either inline or just above the
+//!   code it justifies. Markers are expected to carry a trailing
+//!   justification comment; the audit does not parse it, reviewers do.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+/// A preprocessed Rust source file.
+pub struct SourceFile {
+    /// Absolute (or caller-relative) path used for reading.
+    pub path: PathBuf,
+    /// Workspace-relative path used in diagnostics.
+    pub rel: String,
+    /// Original text.
+    pub raw: String,
+    /// Text with comments and string/char literals blanked.
+    pub code: String,
+    /// 1-based line -> set of rule names allowed on that line.
+    pub allows: Vec<HashSet<String>>,
+    /// 1-based line -> true when the line belongs to test-only code.
+    pub test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Load and preprocess one file. `rel` is the path shown in diagnostics.
+    pub fn load(path: PathBuf, rel: String) -> std::io::Result<Self> {
+        let raw = std::fs::read_to_string(&path)?;
+        Ok(Self::from_source(path, rel, raw))
+    }
+
+    /// Preprocess in-memory source (used by the fixture tests).
+    pub fn from_source(path: PathBuf, rel: String, raw: String) -> Self {
+        let code = blank_comments_and_strings(&raw);
+        let n_lines = raw.lines().count() + 1;
+        let mut allows = vec![HashSet::new(); n_lines + 1];
+        for (i, line) in raw.lines().enumerate() {
+            for rule in parse_allow_markers(line) {
+                allows[i + 1].insert(rule.clone());
+                if i + 2 <= n_lines {
+                    allows[i + 2].insert(rule);
+                }
+            }
+        }
+        let test_lines = mark_test_lines(&code, n_lines);
+        Self { path, rel, raw, code, allows, test_lines }
+    }
+
+    /// Lines of the blanked code, 1-based alongside their line numbers.
+    pub fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.code.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+
+    /// Whether `rule` is suppressed on `line` (1-based).
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.get(line).is_some_and(|s| s.contains(rule))
+    }
+
+    /// Whether `line` (1-based) is test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+}
+
+/// Extract every `audit:allow(<rule>)` marker on a line.
+fn parse_allow_markers(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(at) = rest.find("audit:allow(") {
+        let tail = &rest[at + "audit:allow(".len()..];
+        if let Some(close) = tail.find(')') {
+            let rule = tail[..close].trim();
+            if !rule.is_empty() {
+                out.push(rule.to_string());
+            }
+            rest = &tail[close + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Replace comments and string/char literal *contents* with spaces,
+/// preserving newlines so line numbers are unchanged.
+fn blank_comments_and_strings(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Helper closures operate on `out`: push the original byte, or a blank.
+    fn blank(b: u8) -> u8 {
+        if b == b'\n' {
+            b'\n'
+        } else {
+            b' '
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Line comment.
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(blank(bytes[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let mut depth = 1;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else {
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string literal r"..." / r#"..."# (and byte-raw br...).
+        if b == b'r' || (b == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'r') {
+            let start = if b == b'b' { i + 1 } else { i };
+            let mut j = start + 1;
+            let mut hashes = 0;
+            while j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'"' && is_token_boundary(bytes, i) {
+                // Emit the prefix verbatim, blank the contents.
+                for &pb in &bytes[i..=j] {
+                    out.push(pb);
+                }
+                i = j + 1;
+                'raw: while i < bytes.len() {
+                    if bytes[i] == b'"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            for &pb in &bytes[i..k] {
+                                out.push(pb);
+                            }
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string literal (and b"...").
+        if b == b'"' || (b == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"') {
+            if b == b'b' {
+                out.push(b'b');
+                i += 1;
+            }
+            out.push(b'"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a char; 'a (no closing
+        // quote within two chars) is a lifetime.
+        if b == b'\'' {
+            if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                // Escaped char literal: skip to closing quote.
+                out.push(b'\'');
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    out.push(b' ');
+                    i += 1;
+                }
+                if i < bytes.len() {
+                    out.push(b'\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                out.push(b'\'');
+                out.push(b' ');
+                out.push(b'\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime: keep the tick, scanning continues normally.
+            out.push(b'\'');
+            i += 1;
+            continue;
+        }
+        out.push(b);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A raw-string prefix must not be glued to a preceding identifier
+/// (`writer"x"` is not a raw string; `r"x"` after a boundary is).
+fn is_token_boundary(bytes: &[u8], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = bytes[i - 1];
+    !(prev.is_ascii_alphanumeric() || prev == b'_')
+}
+
+/// Mark every line covered by a `#[cfg(test)]` or `#[test]` item.
+fn mark_test_lines(code: &str, n_lines: usize) -> Vec<bool> {
+    let mut marked = vec![false; n_lines + 2];
+    let bytes = code.as_bytes();
+    let line_of = build_line_index(code);
+    let mut search = 0;
+    while let Some(found) = find_from(code, search, "#[cfg(test)]").or_else(|| {
+        // `#[test]` fns outside a cfg(test) mod are still test code.
+        find_from(code, search, "#[test]")
+    }) {
+        // Find the opening brace of the annotated item, then match braces.
+        let mut j = found;
+        while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] == b';' {
+            search = found + 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let (start_line, end_line) = (line_of(found), line_of(k.min(bytes.len() - 1)));
+        for line in start_line..=end_line {
+            if line < marked.len() {
+                marked[line] = true;
+            }
+        }
+        search = k.max(found + 1);
+    }
+    marked
+}
+
+/// Earliest occurrence of either needle at/after `from`.
+fn find_from(haystack: &str, from: usize, needle: &str) -> Option<usize> {
+    haystack.get(from..).and_then(|h| h.find(needle)).map(|p| p + from)
+}
+
+/// Byte offset -> 1-based line number lookup.
+fn build_line_index(s: &str) -> impl Fn(usize) -> usize + '_ {
+    let starts: Vec<usize> = std::iter::once(0)
+        .chain(s.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i + 1))
+        .collect();
+    move |offset: usize| match starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// True when `tok` occurs in `s` as a whole identifier-ish token.
+pub fn has_token(s: &str, tok: &str) -> bool {
+    find_token(s, tok, 0).is_some()
+}
+
+/// Offset of the first whole-token occurrence of `tok` at/after `from`.
+pub fn find_token(s: &str, tok: &str, from: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut at = from;
+    while let Some(pos) = s.get(at..).and_then(|h| h.find(tok)).map(|p| p + at) {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + tok.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        at = pos + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn prep(src: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from("mem.rs"), "mem.rs".into(), src.to_string())
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = prep("let x = \"panic!(boo)\"; // unwrap() here\nlet y = 1;\n");
+        assert!(!f.code.contains("panic!"));
+        assert!(!f.code.contains("unwrap"));
+        assert!(f.code.contains("let y = 1;"));
+        assert_eq!(f.code.lines().count(), f.raw.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = prep("let p = r#\"x as u32\"#; let q = 2;\n");
+        assert!(!f.code.contains("as u32"));
+        assert!(f.code.contains("let q = 2;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = prep("fn f<'a>(x: &'a str) -> char { 'y' }\nlet z = '\\n';\n");
+        assert!(f.code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!f.code.contains('y'));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let f = prep(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+    }
+
+    #[test]
+    fn allow_markers_cover_their_line_and_the_next() {
+        let src = "// audit:allow(panic-path) — justified\nx.unwrap();\ny.unwrap();\n";
+        let f = prep(src);
+        assert!(f.is_allowed("panic-path", 1));
+        assert!(f.is_allowed("panic-path", 2));
+        assert!(!f.is_allowed("panic-path", 3));
+    }
+
+    #[test]
+    fn token_search_respects_boundaries() {
+        assert!(has_token("x as u32", "u32"));
+        assert!(!has_token("x as u32x", "u32"));
+        assert!(!has_token("au32", "u32"));
+        assert_eq!(find_token("u32 u32", "u32", 1), Some(4));
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the audit gate.
+//!
+//! The fixture trees under `tests/fixtures/` are scanned (never compiled):
+//! `bad/` seeds at least one violation of every rule and must fail with
+//! `file:line` diagnostics; `clean/` must pass. The real workspace is also
+//! audited and must be clean — this test IS the gate CI relies on.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn bad_fixture_trips_every_rule() {
+    let report = xtask::audit(&fixture("bad")).expect("audit runs");
+    assert!(!report.is_clean());
+    let rules: std::collections::HashSet<&str> =
+        report.diagnostics.iter().map(|d| d.rule).collect();
+    for rule in ["index-cast", "panic-path", "float-eq", "invariant-coverage"] {
+        assert!(rules.contains(rule), "rule {rule} not tripped: {:?}", report.diagnostics);
+    }
+    // Diagnostics carry concrete file:line positions.
+    for d in &report.diagnostics {
+        assert!(d.line > 0, "diagnostic without a line: {d:?}");
+        assert!(d.file.ends_with(".rs"), "diagnostic without a file: {d:?}");
+        let rendered = d.render();
+        assert!(rendered.contains(&format!(":{}: [", d.line)), "bad render: {rendered}");
+    }
+}
+
+#[test]
+fn bad_fixture_diagnostics_point_at_seeded_lines() {
+    let report = xtask::audit(&fixture("bad")).expect("audit runs");
+    let has = |rule: &str, file_part: &str, line: usize| {
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == rule && d.file.contains(file_part) && d.line == line)
+    };
+    // Lines match the seeded markers in the fixture sources.
+    assert!(has("panic-path", "core/src/lib.rs", 7), "panic! line");
+    assert!(has("index-cast", "core/src/lib.rs", 9), ".len() as u32 line");
+    assert!(has("index-cast", "core/src/lib.rs", 10), "u64 as usize line");
+    assert!(has("panic-path", "core/src/lib.rs", 11), "unwrap line");
+    assert!(has("float-eq", "stats/src/lib.rs", 4), "x == 0.0 line");
+    assert!(has("invariant-coverage", "hypersparse/src/lib.rs", 10), "Grid::new line");
+    assert!(has("invariant-coverage", "hypersparse/src/lib.rs", 28), "Loose::make line");
+    // Test code in the bad fixture is exempt: nothing past line 15 in core.
+    assert!(
+        !report.diagnostics.iter().any(|d| d.file.contains("core/src/lib.rs") && d.line > 15),
+        "test code was not exempted: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let report = xtask::audit(&fixture("clean")).expect("audit runs");
+    assert!(report.is_clean(), "unexpected diagnostics: {:?}", report.diagnostics);
+    assert!(report.files_scanned >= 3);
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let report = xtask::audit(&workspace_root()).expect("audit runs");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(report.is_clean(), "workspace audit failed:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn cli_exits_nonzero_with_file_line_output_on_bad_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["audit", "--root"])
+        .arg(fixture("bad"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "expected exit 1: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("src/lib.rs:"), "no file:line in output:\n{stdout}");
+    assert!(stdout.contains("[panic-path]"), "missing rule tag:\n{stdout}");
+    assert!(stdout.contains("violation(s)"), "missing summary:\n{stdout}");
+}
+
+#[test]
+fn cli_json_mode_is_machine_readable() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["audit", "--json", "--root"])
+        .arg(fixture("bad"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{') && stdout.trim_end().ends_with('}'));
+    assert!(stdout.contains("\"ok\":false"));
+    for rule in ["index-cast", "panic-path", "float-eq", "invariant-coverage"] {
+        assert!(stdout.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule}:\n{stdout}");
+    }
+    assert!(stdout.contains("\"line\":"));
+}
+
+#[test]
+fn cli_json_mode_clean_exit_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["audit", "--json", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "expected exit 0: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"ok\":true"));
+    assert!(stdout.contains("\"violations\":[]"));
+}
+
+#[test]
+fn cli_usage_error_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn cli_nonexistent_root_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["audit", "--root", "/definitely/not/a/real/dir"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "a bad root must not report clean");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a directory"), "stderr: {stderr}");
+}

@@ -1,0 +1,24 @@
+// Audit fixture: seeds `index-cast` and `panic-path` violations.
+// This file is never compiled; it exists only as input for the audit's
+// integration tests.
+
+pub fn pick(v: &[u64]) -> u64 {
+    if v.is_empty() {
+        panic!("empty input"); // seeded panic-path violation (panic!)
+    }
+    let i = v.len() as u32; // seeded index-cast violation (.len() source)
+    let wide = (v[0] & (u64::MAX >> 8)) as usize; // seeded index-cast violation (u64 source)
+    let first = v.first().unwrap(); // seeded panic-path violation (unwrap)
+    *first + u64::from(i) + wide as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be reported.
+    #[test]
+    fn exempt() {
+        let v: Vec<u64> = vec![1];
+        let _ = v.first().unwrap();
+        let _ = v.len() as u32;
+    }
+}

@@ -1,0 +1,31 @@
+// Audit fixture: seeds two `invariant-coverage` violations.
+
+pub struct Grid {
+    n: usize,
+}
+
+impl Grid {
+    // Seeded violation: no test corpus in this fixture tree exercises
+    // Grid::new together with check_invariants.
+    pub fn new(n: usize) -> Self {
+        Grid { n }
+    }
+
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.n < usize::MAX {
+            Ok(())
+        } else {
+            Err("grid too large".into())
+        }
+    }
+}
+
+pub struct Loose;
+
+impl Loose {
+    // Seeded violation: Loose has a public constructor but defines no
+    // check_invariants method at all.
+    pub fn make() -> Self {
+        Loose
+    }
+}

@@ -1,0 +1,9 @@
+// Audit fixture: seeds a `float-eq` violation.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0 // seeded float-eq violation
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12 // fine: epsilon comparison
+}

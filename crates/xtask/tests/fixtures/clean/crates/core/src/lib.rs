@@ -1,0 +1,19 @@
+// Audit fixture: a clean library file; the audit must report nothing.
+
+pub fn total(v: &[u32]) -> u64 {
+    v.iter().map(|&x| u64::from(x)).sum()
+}
+
+pub fn checked_index(i: u64) -> Option<u32> {
+    u32::try_from(i).ok()
+}
+
+pub fn narrow(b: u8) -> u32 {
+    // A cast with a provably narrow source is not a violation.
+    b as u32
+}
+
+pub fn annotated(v: &[u8]) -> u32 {
+    // audit:allow(index-cast) — length is bounded by the 16-bit packet size
+    v.len() as u32
+}

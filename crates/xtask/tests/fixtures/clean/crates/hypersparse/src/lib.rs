@@ -1,0 +1,20 @@
+// Audit fixture: a type whose constructor IS covered by an invariant test
+// (see ../tests/invariants.rs).
+
+pub struct Grid {
+    n: usize,
+}
+
+impl Grid {
+    pub fn new(n: usize) -> Self {
+        Grid { n }
+    }
+
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.n < usize::MAX {
+            Ok(())
+        } else {
+            Err("grid too large".into())
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Provides the [`Buf`] (reading cursor over `&[u8]`) and [`BufMut`]
+//! (appending writer over `Vec<u8>`) trait surface the pcap codec uses.
+//! Little-endian accessors mirror upstream's `*_le` methods.
+
+#![forbid(unsafe_code)]
+
+/// A readable byte cursor. Implemented for `&[u8]`, where each read
+/// advances the slice in place.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Skip `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `cnt` bytes remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read the next byte.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian `u16`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Read a big-endian `u16`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16;
+
+    /// Read a big-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes([head[0], head[1]])
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes([head[0], head[1], head[2], head[3]])
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes([head[0], head[1]])
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes([head[0], head[1], head[2], head[3]])
+    }
+}
+
+/// An appendable byte sink. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i32_le(&mut self, v: i32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn round_trip_le() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(0xA1B2_C3D4);
+        buf.put_u16_le(0x0102);
+        buf.put_i32_le(-7);
+        buf.put_u8(9);
+        let mut rd: &[u8] = &buf;
+        assert_eq!(rd.remaining(), 11);
+        assert_eq!(rd.get_u32_le(), 0xA1B2_C3D4);
+        assert_eq!(rd.get_u16_le(), 0x0102);
+        assert_eq!(rd.get_u32_le() as i32, -7);
+        assert_eq!(rd.get_u8(), 9);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4, 5, 6];
+        let mut rd: &[u8] = &data;
+        rd.advance(4);
+        assert_eq!(rd.get_u16_le(), u16::from_le_bytes([5, 6]));
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple median-of-samples wall-clock harness instead of criterion's full
+//! statistical machinery. Results print to stderr as `name  median ns/iter`.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Declared throughput of a benchmark, echoed in its report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An identifier that is only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the median of `samples` batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed batches.
+        let _ = std::hint::black_box(routine());
+        let mut batch = 1u64;
+        let mut timings = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                let _ = std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64 / batch as f64;
+            timings.push(elapsed);
+            // Grow the batch until one batch costs ~1ms, for timer resolution.
+            if elapsed * (batch as f64) < 1.0e6 {
+                batch = (batch * 2).min(1 << 20);
+            }
+        }
+        timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.median_ns = timings[timings.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(2);
+        self
+    }
+
+    /// Record the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        self.parent.run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        self.parent.run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), parent: self, throughput: None }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher { samples: self.sample_size, median_ns: f64::NAN };
+        f(&mut b);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if b.median_ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / b.median_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if b.median_ns > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 / b.median_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        eprintln!("bench: {label:<48} {:>14.1} ns/iter{rate}", b.median_ns);
+    }
+
+    /// Compatibility hook for `criterion_main!`; no persistent reports here.
+    pub fn final_summary(&self) {}
+}
+
+/// Declare a group-runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 5), &5u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+}

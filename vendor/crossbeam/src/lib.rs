@@ -1,0 +1,107 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the [`channel`] module is provided — bounded/unbounded channels with
+//! the blocking-send backpressure semantics the workspace's
+//! `StreamingBuilder` relies on — implemented over [`std::sync::mpsc`].
+//! (Real crossbeam channels are MPMC; every use in this workspace is MPSC,
+//! which std's channels provide directly.)
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels with bounded-capacity backpressure.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The sending half of a channel.
+    #[derive(Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Send `msg`, blocking while the channel is full.
+        ///
+        /// # Errors
+        /// Returns the message back if the receiving side has disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator over received messages; ends when all senders
+        /// have disconnected.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+
+        /// Receive one message, blocking until one is available.
+        ///
+        /// # Errors
+        /// Fails when every sender has disconnected and the buffer is empty.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.inner.recv()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    /// Create a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn round_trip_and_disconnect() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..8 {
+                tx.send(i).unwrap();
+            }
+        });
+        std::thread::spawn(move || {
+            for i in 8..16 {
+                tx2.send(i).unwrap();
+            }
+        });
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+}

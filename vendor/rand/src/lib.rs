@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal, dependency-free implementation of the
+//! exact API surface it uses: [`SeedableRng::seed_from_u64`], the [`Rng`]
+//! core trait, the [`RngExt`] extension methods (`random`, `random_range`,
+//! `random_bool`), and [`rngs::StdRng`].
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and statistically strong enough for the synthetic-traffic and
+//! bootstrap workloads in this workspace. It is **not** the same stream as
+//! upstream `rand`'s `StdRng`, so seeds are stable only within this
+//! repository.
+
+#![forbid(unsafe_code)]
+
+/// A source of random bits.
+///
+/// Only [`next_u64`](Rng::next_u64) is required; everything user-facing
+/// lives on [`RngExt`] so that `R: Rng + ?Sized` bounds stay object-safe
+/// friendly and mirror upstream's split between core and extension traits.
+pub trait Rng {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce the next 32 random bits (upper half of [`next_u64`](Rng::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the `StandardUniform`
+/// distribution in upstream terms).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] accepts, producing values of `T`.
+///
+/// `T` is a type parameter (not an associated type) so that integer
+/// literals in a range infer their type from the call site's expected
+/// output, exactly as with upstream `rand`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let v = reduce_u64(rng.next_u64(), span);
+                ((self.start as $wide as u64).wrapping_add(v)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let v = reduce_u64(rng.next_u64(), span + 1);
+                ((start as $wide as u64).wrapping_add(v)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u: f64 = Standard::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Debiased reduction of a raw 64-bit draw onto `[0, span)` (`span > 0`).
+fn reduce_u64(raw: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Widening multiply: maps raw uniformly onto [0, span) with bias at most
+    // 2^-64 per bucket — immaterial for the simulation workloads here.
+    (((raw as u128) * (span as u128)) >> 64) as u64
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Sample a value of type `T` from its standard uniform distribution.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let u: f64 = Standard::sample(self);
+        u < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// RNGs that can be constructed from a small seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(0u8..=32);
+            assert!(w <= 32);
+            let x = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

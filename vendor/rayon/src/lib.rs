@@ -1,0 +1,140 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! exact parallel-iterator surface the workspace uses — `par_iter`,
+//! `into_par_iter`, `par_chunks`, `par_sort_unstable_by_key`, and
+//! [`join`] — executed **sequentially**. Because every call site in the
+//! workspace uses these APIs for order-independent map/collect work, the
+//! sequential execution is observationally identical (and the
+//! `StreamingBuilder` concurrency path still exercises real threads via
+//! `std::thread`).
+//!
+//! The adapters return ordinary [`std::iter::Iterator`]s, so the full std
+//! combinator set (`map`, `zip`, `flat_map`, `filter_map`, `collect`, …)
+//! is available exactly as it is on rayon's parallel iterators.
+
+#![forbid(unsafe_code)]
+
+/// Run two closures (sequentially here; in parallel in real rayon) and
+/// return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    /// `collection.par_iter()` — borrowing pseudo-parallel iteration.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Iterate by reference ("in parallel").
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `collection.into_par_iter()` — consuming pseudo-parallel iteration.
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Iterate by value ("in parallel").
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Iter = C::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Chunked slice access (`par_chunks`).
+    pub trait ParallelSlice<T> {
+        /// Non-overlapping chunks of up to `chunk_size` elements.
+        ///
+        /// # Panics
+        /// Panics if `chunk_size == 0`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// In-place slice sorts (`par_sort*`).
+    pub trait ParallelSliceMut<T> {
+        /// Sort ("in parallel") — stable.
+        fn par_sort(&mut self)
+        where
+            T: Ord;
+        /// Sort ("in parallel") — unstable.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// Sort unstable by key ("in parallel").
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+        /// Sort stable by key ("in parallel").
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort();
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+            self.sort_unstable_by_key(key);
+        }
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+            self.sort_by_key(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable_by_key(|&x| x);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

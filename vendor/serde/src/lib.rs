@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker [`Serialize`]/[`Deserialize`] traits and re-exports the
+//! inert derives from the vendored `serde_derive` stub. The workspace only
+//! *derives* these traits (for upstream API parity); all real persistence
+//! goes through the hand-rolled codecs in `obscor-hypersparse::serialize`
+//! and `obscor-assoc::io`, so no serializer implementation is needed here.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` for API
+//! parity with the upstream crates, but nothing in the workspace calls the
+//! serde machinery (persistence uses the hand-rolled bit-level codecs in
+//! `obscor-hypersparse::serialize` and `obscor-assoc::io`). These derives
+//! therefore expand to nothing; they exist so the attribute positions, and
+//! any inert `#[serde(...)]` field attributes, keep compiling offline.
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
