@@ -1,0 +1,45 @@
+//! Whole-pipeline per-stage timing: run the paper pipeline once with full
+//! instrumentation, dump the per-stage span report as `BENCH_pipeline.json`
+//! (the perf trajectory future PRs diff against), then benchmark the
+//! end-to-end run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obscor_bench::bench_nv;
+use obscor_core::{pipeline, AnalysisConfig};
+use obscor_netmodel::Scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::paper_scaled(bench_nv(), 42);
+    let config = AnalysisConfig::fast();
+
+    // One observed run: its metrics snapshot (obscor.metrics.v1) carries a
+    // span histogram per stage plus the work counters.
+    let analysis = pipeline::run(&scenario, &config);
+    let json = analysis.metrics.to_json();
+    let out = std::env::var("OBSCOR_BENCH_PIPELINE_OUT")
+        .unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    std::fs::write(&out, &json).expect("write pipeline stage report");
+
+    eprintln!("\n=== PIPELINE STAGES (N_V = {}) -> {out} ===", scenario.n_v);
+    for (name, h) in &analysis.metrics.histograms {
+        if let Some(stage) = name.strip_prefix("span.").and_then(|n| n.strip_suffix(".ns")) {
+            eprintln!(
+                "{stage:<44} calls {:>7}  total {:>13} ns  max {:>12} ns",
+                h.count,
+                h.sum,
+                h.max.unwrap_or(0)
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("run_full", |b| {
+        b.iter(|| black_box(pipeline::run(&scenario, &config)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -40,9 +40,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   obscor reproduce [--nv N] [--seed S] [--fast] [--tsv] [--check] [--only ARTIFACT]
+                   [--metrics FILE]
   obscor generate  [--nv N] [--seed S] [--window 0..4] [--filter EXPR] --out FILE
   obscor forecast  [--nv N] [--seed S] [--cutoff K]
   obscor info      [--nv N] [--seed S]
+
+Flags given without a subcommand run `reproduce` (e.g. `obscor --metrics m.json`).
+--metrics FILE writes the run's per-stage observability report (span timings,
+counters, gauges) as obscor.metrics.v1 JSON.
 
 ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 classes subnets scaling";
 
@@ -57,6 +62,7 @@ struct Options {
     out: Option<String>,
     cutoff: usize,
     filter: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -71,6 +77,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         out: None,
         cutoff: 10,
         filter: None,
+        metrics: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -95,6 +102,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--out" => o.out = Some(value("--out")?),
             "--filter" => o.filter = Some(value("--filter")?),
+            "--metrics" => o.metrics = Some(value("--metrics")?),
             "--cutoff" => {
                 o.cutoff = value("--cutoff")?.parse().map_err(|_| "bad --cutoff")?;
                 if !(4..15).contains(&o.cutoff) {
@@ -122,6 +130,11 @@ fn parse_nv(s: &str) -> Result<usize, String> {
 
 fn run(args: Vec<String>) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    // Bare flags imply the default subcommand: `obscor --metrics m.json`
+    // is `obscor reproduce --metrics m.json`.
+    if cmd.starts_with('-') && !matches!(cmd.as_str(), "--help" | "-h") {
+        return reproduce(parse(&args)?);
+    }
     let o = parse(rest)?;
     match cmd.as_str() {
         "reproduce" => reproduce(o),
@@ -155,6 +168,15 @@ fn reproduce(o: Options) -> Result<(), String> {
         scenario.n_v
     );
     let analysis = pipeline::run(&scenario, &config);
+    if let Some(path) = &o.metrics {
+        let json = analysis.metrics.to_json();
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} metrics ({} bytes) to {path}",
+            analysis.metrics.metric_names().len(),
+            json.len()
+        );
+    }
     if o.check {
         let v = obscor_core::validate::validate(&analysis, !o.fast);
         eprintln!("{}", v.render());
@@ -323,6 +345,13 @@ mod tests {
     #[test]
     fn unknown_flags_rejected() {
         assert!(parse(&args("--frobnicate")).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_parses() {
+        let o = parse(&args("--metrics out.json")).unwrap();
+        assert_eq!(o.metrics.as_deref(), Some("out.json"));
+        assert!(parse(&args("--metrics")).is_err());
     }
 
     #[test]

@@ -112,6 +112,69 @@ fn generate_with_filter_keeps_matching_packets_only() {
 }
 
 #[test]
+fn metrics_flag_writes_schema_valid_json_with_all_stage_spans() {
+    let dir = std::env::temp_dir().join("obscor_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    // No subcommand: bare flags run the default `reproduce`.
+    let out = obscor()
+        .args([
+            "--nv",
+            "2^13",
+            "--seed",
+            "9",
+            "--fast",
+            "--only",
+            "table1",
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(stderr.contains("wrote") && stderr.contains("metrics"), "stderr:\n{stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let snap = obscor_obs::MetricsSnapshot::from_json(&text).expect("schema-valid JSON");
+    // Every pipeline stage must surface both a span timing and a call
+    // counter (the ISSUE's acceptance criterion).
+    for stage in [
+        "pipeline.run",
+        "stage.capture",
+        "stage.matrices",
+        "stage.quantities",
+        "stage.degrees",
+        "stage.honeyfarm",
+        "stage.quadrants",
+        "stage.distributions",
+        "stage.peaks",
+        "stage.curves",
+        "stage.fits",
+        "telescope.capture_window",
+        "telescope.build_matrix",
+        "hypersparse.leaf_compact",
+        "hypersparse.accumulator.finalize",
+        "hypersparse.merge_all",
+        "core.degrees",
+        "core.binning",
+        "core.zm_fit",
+        "core.peak_correlation",
+        "core.temporal_curves",
+        "core.fit_curves",
+    ] {
+        let h = format!("span.{stage}.ns");
+        let c = format!("span.{stage}.calls_total");
+        assert!(snap.histograms.contains_key(&h), "missing histogram {h}");
+        assert!(snap.counters.get(&c).copied().unwrap_or(0) > 0, "missing counter {c}");
+    }
+    // Work counters reflect the run: 5 windows of 2^13 valid packets each.
+    assert_eq!(snap.counters["telescope.capture.valid_packets_total"], 5 * (1 << 13));
+    assert_eq!(snap.counters["stage.capture.windows_total"], 5);
+    assert_eq!(snap.gauges["config.n_v"], 1 << 13);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn bad_invocations_fail_with_usage() {
     for args in [
         vec!["reproduce", "--only", "fig99"],

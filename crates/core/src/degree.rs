@@ -52,7 +52,9 @@ impl WindowDegrees {
         m: &obscor_hypersparse::Csr<u64>,
         holder: &Holder,
     ) -> Self {
+        let _span = obscor_obs::span("core.degrees");
         let reduced = reduce::source_packets(m);
+        obscor_obs::counter("core.degrees.sources_total").add(reduced.len() as u64);
         // The archive publishes the reduced product anonymized...
         let real_ips: Vec<u32> = reduced.iter().map(|&(ip, _)| ip).collect();
         let anon_ips = holder.publish(&real_ips);

@@ -36,10 +36,17 @@ pub fn binned_distribution(
     config: &AnalysisConfig,
 ) -> DegreeDistribution {
     let raw: Vec<u64> = degrees.into_iter().filter(|&d| d > 0).collect();
-    let h = obscor_stats::DegreeHistogram::from_degrees(raw.iter().copied());
-    let binned = differential_cumulative(&h);
-    let d_max = h.d_max();
-    let fit = fit_zipf_mandelbrot(&binned, d_max.max(2), &config.zm_alphas, &config.zm_deltas);
+    let (binned, d_max) = {
+        let _span = obscor_obs::span("core.binning");
+        obscor_obs::counter("core.binning.values_total").add(raw.len() as u64);
+        let h = obscor_stats::DegreeHistogram::from_degrees(raw.iter().copied());
+        (differential_cumulative(&h), h.d_max())
+    };
+    let fit = {
+        let _span = obscor_obs::span("core.zm_fit");
+        obscor_obs::counter("core.zm_fit.fits_total").inc();
+        fit_zipf_mandelbrot(&binned, d_max.max(2), &config.zm_alphas, &config.zm_deltas)
+    };
     let tail_fit = fit_power_law(&raw, 50);
     DegreeDistribution { window_label: label.to_string(), binned, d_max, fit, tail_fit }
 }

@@ -61,7 +61,11 @@ pub fn fit_curve(curve: &TemporalCurve, config: &AnalysisConfig) -> Option<BinFi
 
 /// Fit every curve in parallel, dropping unfittable ones (all-zero data).
 pub fn fit_curves(curves: &[TemporalCurve], config: &AnalysisConfig) -> Vec<BinFit> {
-    curves.par_iter().filter_map(|c| fit_curve(c, config)).collect()
+    let _span = obscor_obs::span("core.fit_curves");
+    let fits: Vec<BinFit> = curves.par_iter().filter_map(|c| fit_curve(c, config)).collect();
+    obscor_obs::counter("core.fit_curves.fitted_total").add(fits.len() as u64);
+    obscor_obs::counter("core.fit_curves.dropped_total").add((curves.len() - fits.len()) as u64);
+    fits
 }
 
 /// Fig 7 series: `(d, mean best-fit α over windows)` per bin.

@@ -53,6 +53,8 @@ pub fn peak_correlation(
     bright_log2: f64,
     min_bin_sources: usize,
 ) -> PeakCorrelation {
+    let _span = obscor_obs::span("core.peak_correlation");
+    obscor_obs::counter("core.peak_correlation.windows_total").inc();
     let points = window
         .bin_key_sets(min_bin_sources)
         .into_iter()

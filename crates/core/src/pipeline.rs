@@ -14,6 +14,7 @@ use obscor_assoc::KeySet;
 use obscor_honeyfarm::observe_all_months;
 use obscor_hypersparse::reduce::NetworkQuantities;
 use obscor_netmodel::Scenario;
+use obscor_obs::MetricsSnapshot;
 use obscor_telescope::{capture_all_windows, inventory, matrix, InventoryRow};
 use rayon::prelude::*;
 
@@ -77,6 +78,11 @@ pub struct PaperAnalysis {
     /// Scaling extension: per-window sources-vs-packets exponent and R²
     /// (the paper's `sources ∝ N_V^{1/2}` observation).
     pub scaling: Vec<(String, f64, f64)>,
+    /// Per-run observability: every counter, gauge, and span timing the
+    /// pipeline recorded (the change in the global registry over this
+    /// run). Serializes with [`MetricsSnapshot::to_json`]; written out by
+    /// the CLI's `--metrics` flag.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Run the complete paper pipeline on a scenario.
@@ -92,17 +98,41 @@ pub struct PaperAnalysis {
 ///    Figs 5/6 temporal curves,
 /// 6. fit every curve (Figs 5-8).
 pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
+    // Scope this run's metrics against the process-global registry so
+    // `PaperAnalysis::metrics` reports only what this call recorded (the
+    // registry outlives the run — e.g. across parallel tests).
+    let metrics_baseline = obscor_obs::snapshot();
+    let pipeline_span = obscor_obs::span("pipeline.run");
+    obscor_obs::gauge("config.n_v").set_max(scenario.n_v as u64);
+    obscor_obs::gauge("config.window_count").set_max(scenario.caida_windows.len() as u64);
+    obscor_obs::gauge("config.month_count").set_max(scenario.grid.len() as u64);
+    obscor_obs::gauge("config.min_bin_sources").set_max(config.min_bin_sources as u64);
+
     let holder = Holder::new("telescope-operator", &holder_key(scenario.seed));
 
     // 1-2. Capture and matrix per window.
-    let windows = capture_all_windows(scenario);
+    let windows = {
+        let _s = obscor_obs::span("stage.capture");
+        capture_all_windows(scenario)
+    };
+    obscor_obs::counter("stage.capture.windows_total").add(windows.len() as u64);
     let caida_inventory = inventory(&windows);
-    let matrices: Vec<_> = windows.par_iter().map(matrix::build_matrix).collect();
-    let quantities: Vec<(String, NetworkQuantities)> = windows
-        .iter()
-        .zip(&matrices)
-        .map(|(w, m)| (w.label.clone(), NetworkQuantities::compute(m)))
-        .collect();
+    let matrices: Vec<_> = {
+        let _s = obscor_obs::span("stage.matrices");
+        windows.par_iter().map(matrix::build_matrix).collect()
+    };
+    obscor_obs::counter("stage.matrices.built_total").add(matrices.len() as u64);
+    obscor_obs::counter("stage.matrices.nnz_total")
+        .add(matrices.iter().map(|m| m.nnz() as u64).sum());
+    let quantities: Vec<(String, NetworkQuantities)> = {
+        let _s = obscor_obs::span("stage.quantities");
+        windows
+            .iter()
+            .zip(&matrices)
+            .map(|(w, m)| (w.label.clone(), NetworkQuantities::compute(m)))
+            .collect()
+    };
+    obscor_obs::counter("stage.quantities.computed_total").add(quantities.len() as u64);
     if cfg!(any(debug_assertions, feature = "strict-invariants")) {
         for (m, (label, q)) in matrices.iter().zip(&quantities) {
             stage_check(label, m.check_invariants());
@@ -112,17 +142,25 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
 
     // 3. Degrees through the anonymization workflow (reusing the
     // already-built matrices).
-    let degrees: Vec<WindowDegrees> = windows
-        .par_iter()
-        .zip(&matrices)
-        .map(|(w, m)| {
-            let month = (w.coord.floor() as usize).min(scenario.grid.len() - 1);
-            WindowDegrees::from_matrix(&w.label, w.coord, month, m, &holder)
-        })
-        .collect();
+    let degrees: Vec<WindowDegrees> = {
+        let _s = obscor_obs::span("stage.degrees");
+        windows
+            .par_iter()
+            .zip(&matrices)
+            .map(|(w, m)| {
+                let month = (w.coord.floor() as usize).min(scenario.grid.len() - 1);
+                WindowDegrees::from_matrix(&w.label, w.coord, month, m, &holder)
+            })
+            .collect()
+    };
+    obscor_obs::counter("stage.degrees.windows_total").add(degrees.len() as u64);
 
     // 4. Honeyfarm months.
-    let months = observe_all_months(scenario);
+    let months = {
+        let _s = obscor_obs::span("stage.honeyfarm");
+        observe_all_months(scenario)
+    };
+    obscor_obs::counter("stage.honeyfarm.months_total").add(months.len() as u64);
     let greynoise_inventory: Vec<GreyNoiseInventoryRow> = months
         .iter()
         .map(|m| GreyNoiseInventoryRow { label: m.label.clone(), sources: m.n_sources() })
@@ -137,6 +175,7 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
     }
 
     // Fig 1 quadrant occupancy.
+    let _quadrant_span = obscor_obs::span("stage.quadrants");
     let telescope_ext_to_int: u64 =
         matrices.iter().map(|m| m.nnz() as u64).sum();
     let honeyfarm_engaged: u64 = months
@@ -155,10 +194,19 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         honeyfarm_ext_to_int: honeyfarm_seen,
         honeyfarm_int_to_ext: honeyfarm_engaged,
     };
+    obscor_obs::counter("stage.quadrants.entries_total").add(
+        quadrants.telescope_ext_to_int
+            + quadrants.honeyfarm_ext_to_int
+            + quadrants.honeyfarm_int_to_ext,
+    );
+    drop(_quadrant_span);
 
     // 5. Per-window analyses.
-    let distributions: Vec<DegreeDistribution> =
-        degrees.par_iter().map(|wd| degree_distribution(wd, config)).collect();
+    let distributions: Vec<DegreeDistribution> = {
+        let _s = obscor_obs::span("stage.distributions");
+        degrees.par_iter().map(|wd| degree_distribution(wd, config)).collect()
+    };
+    obscor_obs::counter("stage.distributions.computed_total").add(distributions.len() as u64);
     // Fig 2: the wider quantity menu, on the first window's matrix.
     let quantity_distributions: Vec<(String, DegreeDistribution)> = match matrices.first() {
         None => Vec::new(),
@@ -202,24 +250,36 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
             ]
         }
     };
-    let peaks: Vec<PeakCorrelation> = degrees
-        .par_iter()
-        .map(|wd| {
-            peak_correlation(
-                wd,
-                &monthly_sources[wd.month],
-                scenario.bright_log2(),
-                config.min_bin_sources,
-            )
-        })
-        .collect();
-    let curves: Vec<TemporalCurve> = degrees
-        .par_iter()
-        .flat_map(|wd| temporal_curves(wd, &monthly_sources, config.min_bin_sources))
-        .collect();
+    let peaks: Vec<PeakCorrelation> = {
+        let _s = obscor_obs::span("stage.peaks");
+        degrees
+            .par_iter()
+            .map(|wd| {
+                peak_correlation(
+                    wd,
+                    &monthly_sources[wd.month],
+                    scenario.bright_log2(),
+                    config.min_bin_sources,
+                )
+            })
+            .collect()
+    };
+    obscor_obs::counter("stage.peaks.computed_total").add(peaks.len() as u64);
+    let curves: Vec<TemporalCurve> = {
+        let _s = obscor_obs::span("stage.curves");
+        degrees
+            .par_iter()
+            .flat_map(|wd| temporal_curves(wd, &monthly_sources, config.min_bin_sources))
+            .collect()
+    };
+    obscor_obs::counter("stage.curves.computed_total").add(curves.len() as u64);
 
     // 6. Fits.
-    let fits = fit_curves(&curves, config);
+    let fits = {
+        let _s = obscor_obs::span("stage.fits");
+        fit_curves(&curves, config)
+    };
+    obscor_obs::counter("stage.fits.fitted_total").add(fits.len() as u64);
 
     // Enrichment-aware extension: class split of the coeval overlap.
     let class_structure: Vec<ClassCorrelation> =
@@ -244,6 +304,10 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         })
         .collect();
 
+    // Close the whole-run span, then freeze this run's metric delta.
+    drop(pipeline_span);
+    let metrics = obscor_obs::snapshot().delta_since(&metrics_baseline);
+
     PaperAnalysis {
         n_v: scenario.n_v,
         bright_log2: scenario.bright_log2(),
@@ -259,6 +323,7 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         class_structure,
         subnet_top,
         scaling,
+        metrics,
     }
 }
 

@@ -49,7 +49,8 @@ pub fn temporal_curves(
     monthly_sources: &[KeySet],
     min_bin_sources: usize,
 ) -> Vec<TemporalCurve> {
-    window
+    let _span = obscor_obs::span("core.temporal_curves");
+    let curves: Vec<TemporalCurve> = window
         .bin_key_sets(min_bin_sources)
         .into_iter()
         .map(|(bin, keys)| {
@@ -71,7 +72,9 @@ pub fn temporal_curves(
                 fractions,
             }
         })
-        .collect()
+        .collect();
+    obscor_obs::counter("core.temporal_curves.curves_total").add(curves.len() as u64);
+    curves
 }
 
 /// Select the Fig 5 curve: the first window's bin at degrees

@@ -86,6 +86,9 @@ impl<V: Value> HierarchicalAccumulator<V> {
         if self.buffer.is_empty() {
             return;
         }
+        let _span = obscor_obs::span("hypersparse.leaf_compact");
+        obscor_obs::histogram("hypersparse.leaf_compact.triples")
+            .observe(self.buffer.len() as u64);
         let leaf = std::mem::replace(&mut self.buffer, Coo::with_capacity(self.leaf_capacity));
         let mut carry = leaf.into_csr();
         self.stats.leaves += 1;
@@ -103,6 +106,7 @@ impl<V: Value> HierarchicalAccumulator<V> {
                 Some(existing) => {
                     carry = ewise_add(&existing, &carry);
                     self.stats.merges += 1;
+                    obscor_obs::counter("hypersparse.accumulator.carry_merges_total").inc();
                     k += 1;
                 }
             }
@@ -152,17 +156,27 @@ impl<V: Value> HierarchicalAccumulator<V> {
         self.stats.pushed
     }
 
+    /// Triples currently buffered in the partial leaf (not yet compacted).
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.len()
+    }
+
     /// Finish: flush the partial leaf and fold all levels into one matrix.
+    ///
+    /// Surfaces the lifetime [`AccumulatorStats`] into the global metrics
+    /// registry (`hypersparse.accumulator.{pushed,leaves,merges}_total`) so
+    /// per-run snapshots carry the carry-chain behaviour.
     pub fn finalize(mut self) -> Csr<V> {
+        let _span = obscor_obs::span("hypersparse.accumulator.finalize");
         self.flush_leaf();
-        let mut acc: Option<Csr<V>> = None;
-        for level in self.levels.into_iter().flatten() {
-            acc = Some(match acc {
-                None => level,
-                Some(a) => ewise_add(&a, &level),
-            });
-        }
-        acc.unwrap_or_else(Csr::empty)
+        let stats = self.stats;
+        obscor_obs::counter("hypersparse.accumulator.pushed_total").add(stats.pushed);
+        obscor_obs::counter("hypersparse.accumulator.leaves_total").add(stats.leaves);
+        obscor_obs::counter("hypersparse.accumulator.merges_total").add(stats.merges);
+        // Fold the remaining per-level carries with the same parallel merge
+        // tree used for window re-assembly (ewise_add is associative and
+        // commutative, so this equals the serial left-fold).
+        crate::ops::merge_all(self.levels.into_iter().flatten().collect())
     }
 }
 
@@ -220,6 +234,34 @@ mod tests {
         acc.extend(t.iter().copied());
         assert_eq!(acc.stats().leaves, 4);
         assert_eq!(acc.finalize(), accumulate_flat(t));
+    }
+
+    #[test]
+    fn stats_obey_binary_counter_law_for_every_push_count() {
+        // Property: after pushing n triples into leaves of capacity c,
+        //   pushed == leaves * c + buffered_len()   (conservation), and
+        //   merges == leaves - popcount(leaves)     (binary-counter carries:
+        // every full leaf enters the counter and each pairwise merge
+        // destroys exactly one entry, leaving one per set bit).
+        for c in [1usize, 2, 3, 7, 16] {
+            for n in 0..200usize {
+                let mut acc = HierarchicalAccumulator::with_leaf_capacity(c);
+                acc.extend(triples(n));
+                let s = acc.stats();
+                assert_eq!(s.pushed, n as u64, "pushed (c={c}, n={n})");
+                assert_eq!(s.leaves, (n / c) as u64, "leaves (c={c}, n={n})");
+                assert_eq!(
+                    s.pushed,
+                    s.leaves * c as u64 + acc.buffered_len() as u64,
+                    "conservation (c={c}, n={n})"
+                );
+                assert_eq!(
+                    s.merges,
+                    s.leaves - u64::from(s.leaves.count_ones()),
+                    "carry count (c={c}, n={n})"
+                );
+            }
+        }
     }
 
     #[test]

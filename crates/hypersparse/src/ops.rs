@@ -104,16 +104,25 @@ fn merge_rows<V: Value>(
 /// re-assemble a window from its archived leaves.
 pub fn merge_all<V: Value>(mut parts: Vec<Csr<V>>) -> Csr<V> {
     use rayon::prelude::*;
+    let _span = obscor_obs::span("hypersparse.merge_all");
+    obscor_obs::counter("hypersparse.merge_all.parts_total").add(parts.len() as u64);
+    let pair_merges = obscor_obs::counter("hypersparse.merge_all.pair_merges_total");
     while parts.len() > 1 {
-        parts = parts
+        // An odd tail is popped off and re-appended after the round, so it
+        // is moved — never cloned — and rejoins the reduction next round.
+        let tail = if parts.len() % 2 == 1 { parts.pop() } else { None };
+        let mut merged: Vec<Csr<V>> = parts
             .par_chunks(2)
             .map(|pair| match pair {
                 [a, b] => ewise_add(a, b),
-                [a] => a.clone(),
-                // par_chunks(2) never yields empty chunks.
+                // len is even here and par_chunks(2) never yields empty
+                // chunks, so only full pairs occur.
                 _ => Csr::empty(),
             })
             .collect();
+        pair_merges.add(merged.len() as u64);
+        merged.extend(tail);
+        parts = merged;
     }
     parts.pop().unwrap_or_else(Csr::empty)
 }
@@ -216,6 +225,21 @@ mod tests {
             .collect();
         let folded = parts.iter().skip(1).fold(parts[0].clone(), |acc, x| ewise_add(&acc, x));
         assert_eq!(merge_all(parts), folded);
+    }
+
+    #[test]
+    fn merge_all_matches_left_fold_for_all_small_part_counts() {
+        // 1..=9 covers even, odd, power-of-two, and repeated-odd-tail
+        // rounds (9 -> 5 -> 3 -> 2 -> 1); each part is distinct so a
+        // dropped or double-counted tail changes the result.
+        for n in 1..=9u32 {
+            let parts: Vec<Csr<u64>> = (0..n)
+                .map(|k| m(&[(k, k, 1), (0, 0, 1), (k % 3, 5, 2), (7, k % 4, u64::from(k) + 1)]))
+                .collect();
+            let folded =
+                parts.iter().skip(1).fold(parts[0].clone(), |acc, x| ewise_add(&acc, x));
+            assert_eq!(merge_all(parts), folded, "n = {n}");
+        }
     }
 
     #[test]

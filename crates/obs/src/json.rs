@@ -1,0 +1,259 @@
+//! Minimal JSON support for the metrics snapshot schema.
+//!
+//! The snapshot schema (see [`crate::snapshot`]) needs only objects,
+//! strings, and unsigned integers, so this module implements exactly that
+//! subset — a stable writer (keys in insertion order, which snapshot code
+//! keeps sorted via `BTreeMap`) and a recursive-descent parser for the
+//! round-trip validation path. The workspace policy is hand-rolled codecs
+//! (`DESIGN.md` §7: the vendored `serde` is an inert API stub), and this
+//! keeps `obscor-obs` dependency-free.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value of the metrics-schema subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// An object with string keys; insertion order preserved by sorting.
+    Object(BTreeMap<String, Json>),
+    /// A string.
+    String(String),
+    /// An unsigned integer (the only number form the schema uses).
+    Number(u64),
+}
+
+impl Json {
+    /// The object map, if this value is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this value is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a complete JSON document of the schema subset.
+///
+/// Errors carry a byte offset and a short description. Arrays, floats,
+/// booleans, and `null` are outside the schema and rejected.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'0'..=b'9') => Ok(Json::Number(self.number()?)),
+            Some(other) => Err(format!(
+                "unexpected `{}` at byte {} (schema allows objects, strings, unsigned integers)",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(start..start + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("invalid codepoint \\u{hex}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("bad escape `{other:?}` at byte {}", self.pos))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences are
+                    // passed through verbatim).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(format!("non-integer number at byte {start} (schema uses u64 only)"));
+        }
+        text.parse::<u64>().map_err(|_| format!("number out of u64 range at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_objects() {
+        let v = parse(r#"{ "a": 1, "b": { "c": "x", "d": 2 } }"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj["a"].as_u64(), Some(1));
+        let b = obj["b"].as_object().unwrap();
+        assert_eq!(b["c"].as_str(), Some("x"));
+        assert_eq!(b["d"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "a\"b\\c\nd\te";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(s));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.as_object().unwrap()["k"].as_str(), Some(s));
+    }
+
+    #[test]
+    fn rejects_out_of_schema_forms() {
+        assert!(parse("[1,2]").is_err());
+        assert!(parse("{\"a\": 1.5}").is_err());
+        assert!(parse("{\"a\": true}").is_err());
+        assert!(parse("{\"a\": -1}").is_err());
+        assert!(parse("{\"a\": 1} garbage").is_err());
+        assert!(parse("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(parse("{\"a\"").is_err());
+    }
+
+    #[test]
+    fn u64_bounds() {
+        let v = parse(&format!("{{\"m\": {}}}", u64::MAX)).unwrap();
+        assert_eq!(v.as_object().unwrap()["m"].as_u64(), Some(u64::MAX));
+        assert!(parse("{\"m\": 18446744073709551616}").is_err());
+    }
+}

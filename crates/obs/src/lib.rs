@@ -1,0 +1,89 @@
+//! Pipeline observability: a dependency-free metrics layer for the whole
+//! workspace.
+//!
+//! The paper this repository reproduces is fundamentally a performance
+//! paper — insert rates and stage costs are headline results — so every
+//! pipeline stage records what it does through this crate:
+//!
+//! * [`Counter`] — monotonic event counts (`stage.capture.packets_total`)
+//! * [`Gauge`] — instantaneous values (`config.window_count`)
+//! * [`Histogram`] — log2-bucketed distributions (durations, batch sizes)
+//! * [`SpanTimer`] — RAII wall-clock spans; dropping one records
+//!   `span.<name>.ns` (histogram) and `span.<name>.calls_total` (counter)
+//!
+//! All metrics live in a process-global [`Registry`] (lock-free to update,
+//! locked only on name lookup) and can be frozen into a
+//! [`MetricsSnapshot`], which serializes to the stable `obscor.metrics.v1`
+//! JSON schema (see [`snapshot`]) consumed by `obscor --metrics <path>` and
+//! the bench crate's `BENCH_pipeline.json`.
+//!
+//! # Naming scheme
+//!
+//! Dot-separated lowercase paths, most-general first:
+//!
+//! * `span.<stage>.ns` / `span.<stage>.calls_total` — reserved for
+//!   [`SpanTimer`]; never written directly.
+//! * `stage.<stage>.<what>_total` — counters of work done inside a stage.
+//! * `hypersparse.<structure>.<what>` — data-structure internals
+//!   (leaf compactions, carry merges).
+//! * `config.<knob>` — gauges mirroring run configuration.
+//!
+//! # Scoping a run
+//!
+//! The global registry lives for the whole process, so a caller that wants
+//! metrics for *one* pipeline run (e.g. parallel tests) snapshots before and
+//! takes [`MetricsSnapshot::delta_since`] after:
+//!
+//! ```
+//! let before = obscor_obs::snapshot();
+//! {
+//!     let _span = obscor_obs::span("demo.stage");
+//!     obscor_obs::counter("demo.items_total").add(3);
+//! }
+//! let run = obscor_obs::snapshot().delta_since(&before);
+//! assert_eq!(run.counters["demo.items_total"], 3);
+//! assert_eq!(run.counters["span.demo.stage.calls_total"], 1);
+//! ```
+//!
+//! This crate is deliberately dependency-free (it sits below every other
+//! workspace crate) and is the single sanctioned home of `Instant::now()` —
+//! the `instant-timing` rule in `cargo xtask audit` rejects ad-hoc timing
+//! elsewhere so measurements cannot bypass the registry.
+
+mod json;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{global, Registry};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SCHEMA};
+pub use span::SpanTimer;
+
+use std::sync::Arc;
+
+/// The global counter named `name` (created at zero on first use).
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// The global gauge named `name` (created at zero on first use).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// The global histogram named `name` (created empty on first use).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Start an RAII timing span against the global registry.
+pub fn span(name: &str) -> SpanTimer {
+    SpanTimer::start(name)
+}
+
+/// Freeze the current state of the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}

@@ -1,0 +1,246 @@
+//! The three metric primitives: monotonic counters, gauges, and
+//! log2-bucketed histograms.
+//!
+//! All three are lock-free (plain atomics) so they can sit on hot paths —
+//! a leaf compaction or a rayon-parallel fit records without taking any
+//! lock. Registry lookups (name → metric) do lock; callers on hot paths
+//! hold the returned `Arc` across iterations instead of re-resolving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket `0` holds zero-valued observations,
+/// bucket `i` (1..=64) holds values `v` with `floor(log2 v) == i - 1`,
+/// i.e. `v` in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (sizes, configuration knobs).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v`.
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` observations (durations in
+/// nanoseconds, sizes in entries) with total count, sum, min, and max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of value `v` (see [`HISTOGRAM_BUCKETS`]).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            // 1 + floor(log2 v); v >= 1 so ilog2 is defined, max 63 -> 64.
+            1 + v.ilog2() as usize
+        }
+    }
+
+    /// The lower bound of bucket `i`'s value range (0 for bucket 0).
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observed value, if any observation was made.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observed value, if any observation was made.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Occupied `(bucket index, count)` pairs in bucket order.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    Some((i as u32, n))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_overwrites_and_maxes() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.set_max(10);
+        g.set_max(5);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_floor(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for v in [0u64, 1, 5, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for v in 0..1000u64 {
+                        h.observe(v);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().expect("worker panicked");
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), 4 * (999 * 1000 / 2));
+    }
+}

@@ -1,0 +1,121 @@
+//! Name → metric registry, plus the process-wide global instance.
+//!
+//! A [`Registry`] owns three maps (counters, gauges, histograms) keyed by
+//! metric name. Lookups take a `Mutex`; the returned `Arc` is lock-free to
+//! update, so hot paths resolve once and record many times. The global
+//! registry (via [`global`]) is what the convenience functions in the crate
+//! root and [`crate::span::SpanTimer`] use; an owned `Registry` is available
+//! for tests that need isolation.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// A set of named metrics.
+///
+/// Metric names are dot-separated lowercase paths (`stage.capture.packets_total`);
+/// the same name always resolves to the same metric object for the lifetime
+/// of the registry. Counters, gauges, and histograms live in separate
+/// namespaces, but reusing one name across kinds is confusing and the
+/// snapshot schema tests treat it as a smell — don't.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// A point-in-time copy of every registered metric.
+    ///
+    /// Concurrent recording may land between the three map snapshots; each
+    /// individual metric is read atomically, so values are never torn, only
+    /// possibly from slightly different instants.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = {
+            let map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+            map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+        };
+        let gauges = {
+            let map = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+            map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+        };
+        let histograms = {
+            let map = self.histograms.lock().unwrap_or_else(PoisonError::into_inner);
+            map.iter().map(|(k, v)| (k.clone(), HistogramSnapshot::of(v))).collect()
+        };
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// The process-wide registry used by the crate-root convenience functions.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = Registry::new();
+        r.counter("a.total").add(3);
+        r.counter("a.total").add(4);
+        assert_eq!(r.counter("a.total").get(), 7);
+    }
+
+    #[test]
+    fn kinds_are_separate_namespaces() {
+        let r = Registry::new();
+        r.counter("x").add(1);
+        r.gauge("x").set(9);
+        r.histogram("x").observe(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["x"], 1);
+        assert_eq!(snap.gauges["x"], 9);
+        assert_eq!(snap.histograms["x"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z.last").inc();
+        r.counter("a.first").inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+    }
+
+    #[test]
+    fn global_is_shared() {
+        global().counter("obs.test.global_is_shared").add(2);
+        assert_eq!(global().counter("obs.test.global_is_shared").get(), 2);
+    }
+}

@@ -1,0 +1,398 @@
+//! Point-in-time metric snapshots and the stable `obscor.metrics.v1` JSON
+//! schema.
+//!
+//! # Schema
+//!
+//! ```json
+//! {
+//!   "schema": "obscor.metrics.v1",
+//!   "counters":   { "<name>": <u64>, ... },
+//!   "gauges":     { "<name>": <u64>, ... },
+//!   "histograms": {
+//!     "<name>": {
+//!       "count": <u64>,
+//!       "sum":   <u64>,
+//!       "min":   <u64>,            // omitted when count == 0
+//!       "max":   <u64>,            // omitted when count == 0
+//!       "buckets": { "<index>": <u64>, ... }   // nonzero log2 buckets only
+//!     }, ...
+//!   }
+//! }
+//! ```
+//!
+//! Keys are emitted in sorted order (all maps are `BTreeMap`s), values are
+//! unsigned integers only, and absent sections are written as empty objects
+//! — so byte-identical inputs produce byte-identical documents and the file
+//! diffs cleanly across runs. Bucket `<index>` is the log2 bucket number of
+//! [`crate::metrics::Histogram::bucket_of`]; its value range floor is
+//! [`crate::metrics::Histogram::bucket_floor`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+use crate::metrics::Histogram;
+
+/// The schema identifier embedded in every serialized snapshot.
+pub const SCHEMA: &str = "obscor.metrics.v1";
+
+/// Frozen summary of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value, when `count > 0`.
+    pub min: Option<u64>,
+    /// Largest observed value, when `count > 0`.
+    pub max: Option<u64>,
+    /// Occupied log2 buckets: bucket index → observation count.
+    pub buckets: BTreeMap<u32, u64>,
+}
+
+impl HistogramSnapshot {
+    /// Freeze the current contents of a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            buckets: h.nonzero_buckets().into_iter().collect(),
+        }
+    }
+
+    /// Fold another snapshot into this one (bucketwise addition).
+    ///
+    /// Commutative and associative, so multi-way merges are order-independent.
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = self.max.max(other.max);
+        for (&bucket, &n) in &other.buckets {
+            *self.buckets.entry(bucket).or_default() += n;
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`crate::registry::Registry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Every metric name in the snapshot, across all three kinds.
+    pub fn metric_names(&self) -> BTreeSet<String> {
+        self.counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .cloned()
+            .collect()
+    }
+
+    /// Fold `other` into `self`: counters and histograms add, gauges take
+    /// the maximum. All three operations are commutative and associative.
+    pub fn merge(&mut self, other: &Self) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_default() += v;
+        }
+        for (name, v) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_default();
+            *slot = (*slot).max(*v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The change since `baseline`, for scoping one pipeline run against a
+    /// long-lived global registry (e.g. other tests in the same process).
+    ///
+    /// Every metric present in `self` is kept — names are stable even when a
+    /// value did not move. Counter and histogram quantities subtract
+    /// (saturating); gauges are instantaneous, so the current value is kept
+    /// as-is. Histogram `min`/`max` likewise describe the whole life of the
+    /// metric, not just the delta window.
+    pub fn delta_since(&self, baseline: &Self) -> Self {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| {
+                let before = baseline.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let mut delta = h.clone();
+                if let Some(before) = baseline.histograms.get(name) {
+                    delta.count = delta.count.saturating_sub(before.count);
+                    delta.sum = delta.sum.saturating_sub(before.sum);
+                    for (&bucket, &n) in &before.buckets {
+                        if let Some(slot) = delta.buckets.get_mut(&bucket) {
+                            *slot = slot.saturating_sub(n);
+                        }
+                    }
+                    delta.buckets.retain(|_, n| *n > 0);
+                }
+                (name.clone(), delta)
+            })
+            .collect();
+        Self { counters, gauges: self.gauges.clone(), histograms }
+    }
+
+    /// Serialize to the pretty-printed `obscor.metrics.v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        out.push_str("  \"counters\": {");
+        write_u64_map(&mut out, &self.counters, 4);
+        out.push_str("},\n");
+        out.push_str("  \"gauges\": {");
+        write_u64_map(&mut out, &self.gauges, 4);
+        out.push_str("},\n");
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = writeln!(out, "    \"{}\": {{", json::escape(name));
+            let _ = writeln!(out, "      \"count\": {},", h.count);
+            let _ = write!(out, "      \"sum\": {}", h.sum);
+            if let Some(min) = h.min {
+                let _ = write!(out, ",\n      \"min\": {min}");
+            }
+            if let Some(max) = h.max {
+                let _ = write!(out, ",\n      \"max\": {max}");
+            }
+            out.push_str(",\n      \"buckets\": {");
+            let bucket_strings: BTreeMap<String, u64> =
+                h.buckets.iter().map(|(&b, &n)| (b.to_string(), n)).collect();
+            write_u64_map(&mut out, &bucket_strings, 8);
+            out.push_str("}\n    }");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parse a document produced by [`MetricsSnapshot::to_json`].
+    ///
+    /// Rejects unknown schema tags, missing sections, and malformed
+    /// histogram entries with a descriptive message.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = json::parse(input)?;
+        let root = doc.as_object().ok_or("document root must be an object")?;
+        let schema =
+            root.get("schema").and_then(Json::as_str).ok_or("missing `schema` string")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (expected `{SCHEMA}`)"));
+        }
+        let counters = read_u64_map(root, "counters")?;
+        let gauges = read_u64_map(root, "gauges")?;
+        let histogram_section = root
+            .get("histograms")
+            .and_then(Json::as_object)
+            .ok_or("missing `histograms` object")?;
+        let mut histograms = BTreeMap::new();
+        for (name, value) in histogram_section {
+            let entry =
+                value.as_object().ok_or(format!("histogram `{name}` must be an object"))?;
+            let field = |key: &str| -> Result<u64, String> {
+                entry
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("histogram `{name}` missing u64 `{key}`"))
+            };
+            let buckets_obj = entry
+                .get("buckets")
+                .and_then(Json::as_object)
+                .ok_or(format!("histogram `{name}` missing `buckets` object"))?;
+            let mut buckets = BTreeMap::new();
+            for (bucket_key, n) in buckets_obj {
+                let bucket: u32 = bucket_key
+                    .parse()
+                    .map_err(|_| format!("histogram `{name}` bad bucket key `{bucket_key}`"))?;
+                let n = n.as_u64().ok_or(format!("histogram `{name}` bucket not a u64"))?;
+                buckets.insert(bucket, n);
+            }
+            histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    min: entry.get("min").and_then(Json::as_u64),
+                    max: entry.get("max").and_then(Json::as_u64),
+                    buckets,
+                },
+            );
+        }
+        Ok(Self { counters, gauges, histograms })
+    }
+}
+
+fn write_u64_map(out: &mut String, map: &BTreeMap<String, u64>, indent: usize) {
+    for (i, (name, v)) in map.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(out, "{:indent$}\"{}\": {v}", "", json::escape(name));
+    }
+    if !map.is_empty() {
+        out.push('\n');
+        let closing = indent.saturating_sub(2);
+        let _ = write!(out, "{:closing$}", "");
+    }
+}
+
+fn read_u64_map(root: &BTreeMap<String, Json>, key: &str) -> Result<BTreeMap<String, u64>, String> {
+    let section = root.get(key).and_then(Json::as_object).ok_or(format!("missing `{key}` object"))?;
+    section
+        .iter()
+        .map(|(name, v)| {
+            v.as_u64()
+                .map(|v| (name.clone(), v))
+                .ok_or(format!("`{key}.{name}` must be a u64"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("stage.capture.packets_total".into(), 65536);
+        snap.counters.insert("span.pipeline.calls_total".into(), 1);
+        snap.gauges.insert("config.window_count".into(), 16);
+        snap.histograms.insert(
+            "span.pipeline.ns".into(),
+            HistogramSnapshot {
+                count: 1,
+                sum: 1_500_000,
+                min: Some(1_500_000),
+                max: Some(1_500_000),
+                buckets: BTreeMap::from([(21, 1)]),
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snap = sample();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).expect("parses");
+        assert_eq!(back, snap);
+        // Serialization is deterministic: a second pass is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        let text = sample().to_json().replace(SCHEMA, "obscor.metrics.v0");
+        let err = MetricsSnapshot::from_json(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut a = sample();
+        a.counters.insert("only.a".into(), 5);
+        let mut b = sample();
+        b.gauges.insert("config.window_count".into(), 99);
+        let mut c = MetricsSnapshot::default();
+        c.histograms.insert(
+            "span.pipeline.ns".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 10,
+                min: Some(3),
+                max: Some(7),
+                buckets: BTreeMap::from([(2, 1), (3, 1)]),
+            },
+        );
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Spot-check semantics: counters add, gauges max, histograms add.
+        assert_eq!(left.counters["stage.capture.packets_total"], 2 * 65536);
+        assert_eq!(left.gauges["config.window_count"], 99);
+        let h = &left.histograms["span.pipeline.ns"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, Some(3));
+        assert_eq!(h.max, Some(1_500_000));
+    }
+
+    #[test]
+    fn delta_keeps_names_and_subtracts_quantities() {
+        let baseline = sample();
+        let mut later = sample();
+        *later.counters.get_mut("stage.capture.packets_total").expect("key") += 100;
+        let h = later.histograms.get_mut("span.pipeline.ns").expect("key");
+        h.count += 1;
+        h.sum += 2_000_000;
+        *h.buckets.entry(21).or_default() += 1;
+
+        let delta = later.delta_since(&baseline);
+        assert_eq!(delta.counters["stage.capture.packets_total"], 100);
+        // Unchanged counters stay present at zero: names are stable.
+        assert_eq!(delta.counters["span.pipeline.calls_total"], 0);
+        assert_eq!(delta.metric_names(), later.metric_names());
+        let dh = &delta.histograms["span.pipeline.ns"];
+        assert_eq!(dh.count, 1);
+        assert_eq!(dh.sum, 2_000_000);
+        assert_eq!(dh.buckets, BTreeMap::from([(21, 1)]));
+    }
+
+    #[test]
+    fn metric_names_spans_all_kinds() {
+        let names = sample().metric_names();
+        assert!(names.contains("stage.capture.packets_total"));
+        assert!(names.contains("config.window_count"));
+        assert!(names.contains("span.pipeline.ns"));
+        assert_eq!(names.len(), 4);
+    }
+}

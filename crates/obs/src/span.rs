@@ -1,0 +1,78 @@
+//! RAII timing spans.
+//!
+//! A [`SpanTimer`] measures the wall-clock time between its creation and its
+//! drop and records the duration into the registry: one observation in the
+//! histogram `span.<name>.ns` and one increment of the counter
+//! `span.<name>.calls_total`. This module is the single sanctioned home of
+//! `Instant::now()` in the workspace — the `instant-timing` audit rule
+//! rejects ad-hoc timing everywhere else so that all measurements flow
+//! through the registry and show up in the metrics snapshot.
+
+use std::time::Instant;
+
+use crate::registry::{global, Registry};
+
+/// Guard that records elapsed wall-clock time into a registry on drop.
+///
+/// ```
+/// {
+///     let _span = obscor_obs::span("demo.work");
+///     // ... timed work ...
+/// } // drop records span.demo.work.ns and span.demo.work.calls_total
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer {
+    registry: &'static Registry,
+    name: String,
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Start timing `name` against the global registry.
+    pub fn start(name: &str) -> Self {
+        Self::start_in(global(), name)
+    }
+
+    /// Start timing `name` against a specific registry (tests).
+    pub fn start_in(registry: &'static Registry, name: &str) -> Self {
+        Self { registry, name: name.to_owned(), started: Instant::now() }
+    }
+
+    /// The span name this timer records under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let elapsed_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry.histogram(&format!("span.{}.ns", self.name)).observe(elapsed_ns);
+        self.registry.counter(&format!("span.{}.calls_total", self.name)).inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_histogram_and_counter() {
+        {
+            let _s = SpanTimer::start("obs.test.drop_records");
+        }
+        {
+            let _s = SpanTimer::start("obs.test.drop_records");
+        }
+        let snap = global().snapshot();
+        assert_eq!(snap.counters["span.obs.test.drop_records.calls_total"], 2);
+        let h = &snap.histograms["span.obs.test.drop_records.ns"];
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn name_accessor() {
+        let s = SpanTimer::start("obs.test.name_accessor");
+        assert_eq!(s.name(), "obs.test.name_accessor");
+    }
+}

@@ -104,6 +104,8 @@ pub fn archive_window_anonymized(
 /// Restore the full window matrix: decode every leaf and re-sum with the
 /// parallel merge tree.
 pub fn restore_matrix(archive: &WindowArchive) -> Result<Csr<u64>, CodecError> {
+    let _span = obscor_obs::span("telescope.restore_matrix");
+    obscor_obs::counter("telescope.restore.leaves_total").add(archive.n_leaves() as u64);
     let leaves: Result<Vec<Csr<u64>>, CodecError> =
         archive.leaves.iter().map(|bytes| decode(bytes)).collect();
     Ok(ops::merge_all(leaves?))

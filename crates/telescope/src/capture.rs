@@ -69,6 +69,7 @@ pub fn capture_window_at(
     spec: &CaidaWindowSpec,
     octet: u8,
 ) -> TelescopeWindow {
+    let _span = obscor_obs::span("telescope.capture_window");
     let ds = Darkspace::slash8(octet, scenario.traffic.n_allocated);
     let start_micros = (spec.coord * SECS_PER_MONTH * 1e6) as u64;
     let rng =
@@ -86,11 +87,17 @@ pub fn capture_window_at(
     let window = windower
         .next()
         .expect("endless packet stream must always fill a window");
+    obscor_obs::counter("telescope.capture.valid_packets_total")
+        .add(window.packets.len() as u64);
+    obscor_obs::counter("telescope.capture.discarded_packets_total").add(window.discarded);
     TelescopeWindow { label: spec.label.clone(), coord: spec.coord, window }
 }
 
 /// Capture every scenario window, in parallel.
 pub fn capture_all_windows(scenario: &Scenario) -> Vec<TelescopeWindow> {
+    let _span = obscor_obs::span("telescope.capture_all_windows");
+    obscor_obs::counter("telescope.capture.windows_total")
+        .add(scenario.caida_windows.len() as u64);
     scenario
         .caida_windows
         .par_iter()

@@ -27,11 +27,14 @@ pub fn build_anonymized_matrix(w: &TelescopeWindow, cp: &CryptoPan) -> Csr<u64> 
 /// Build with an arbitrary index transform, using hierarchical
 /// accumulation with the paper's leaf count.
 pub fn build_matrix_with(w: &TelescopeWindow, map: impl Fn(u32) -> u32) -> Csr<u64> {
+    let _span = obscor_obs::span("telescope.build_matrix");
     let leaf = (w.window.packets.len() / PAPER_LEAF_COUNT).max(1024);
+    obscor_obs::gauge("telescope.build_matrix.leaf_capacity").set_max(leaf as u64);
     let mut acc = HierarchicalAccumulator::with_leaf_capacity(leaf);
     for p in &w.window.packets {
         acc.push_edge(map(p.src.0), map(p.dst.0));
     }
+    obscor_obs::counter("telescope.build_matrix.edges_total").add(acc.len_pushed());
     acc.finalize()
 }
 

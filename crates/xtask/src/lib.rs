@@ -12,6 +12,9 @@
 //! 4. **`invariant-coverage`** — every public constructor of a
 //!    `hypersparse`/`assoc` type must be exercised by a test that calls
 //!    `check_invariants`.
+//! 5. **`instant-timing`** — no ad-hoc `Instant::now()`/`SystemTime::now()`
+//!    timing in library code outside the `obs` crate; timing goes through
+//!    `obscor_obs::span` so it lands in the metrics registry.
 //!
 //! Violations print as `file:line: [rule] message` (or as JSON with
 //! `--json`) and the process exits non-zero. Individual sites are
@@ -148,6 +151,11 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
         }
         if crate_name == "stats" || file.rel.ends_with("core/src/fitscan.rs") {
             diagnostics.extend(rules::rule_float_eq(file));
+        }
+        // `obs` is the one crate allowed to read the wall clock: its
+        // SpanTimer is where every other crate's timing must flow.
+        if crate_name != "obs" {
+            diagnostics.extend(rules::rule_instant_timing(file));
         }
     }
 

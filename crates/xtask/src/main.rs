@@ -12,6 +12,7 @@ Runs the workspace static-analysis gate. Rules:
   panic-path           unwrap/expect/panic! in panic-free crates
   float-eq             floating-point ==/!= in stats and core::fitscan
   invariant-coverage   public constructors without check_invariants tests
+  instant-timing       ad-hoc Instant/SystemTime timing outside the obs crate
 
 Suppress a single site with `// audit:allow(<rule>) — justification`.";
 

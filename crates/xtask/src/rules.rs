@@ -1,4 +1,4 @@
-//! The four audit rules.
+//! The five audit rules.
 //!
 //! Each rule scans preprocessed [`SourceFile`]s (comments/strings blanked,
 //! test lines marked) and emits [`Diagnostic`]s. Rules are suppressible
@@ -11,6 +11,7 @@
 //! | `panic-path`         | `core`, `hypersparse`, `assoc`, `anonymize` lib code | `unwrap()`, `expect(...)`, `panic!`, `unreachable!`, `todo!` |
 //! | `float-eq`           | `stats` lib code + `core/src/fitscan.rs` | `==` / `!=` between floating-point expressions |
 //! | `invariant-coverage` | `hypersparse`, `assoc`                 | public constructors not exercised by any `check_invariants` test |
+//! | `instant-timing`     | all library code except `obs`          | ad-hoc `Instant::now()` / `SystemTime::now()` timing outside the metrics layer |
 
 use crate::scan::{find_token, has_token, SourceFile};
 
@@ -177,6 +178,47 @@ pub fn rule_float_eq(file: &SourceFile) -> Vec<Diagnostic> {
                 continue;
             }
             i += 1;
+        }
+    }
+    out
+}
+
+/// Rule `instant-timing`: no ad-hoc wall-clock timing (`Instant::now()`,
+/// `SystemTime::now()`) in library code outside the `obs` crate. All timing
+/// must flow through `obscor_obs::span` so measurements land in the metrics
+/// registry — and therefore in `--metrics` dumps and `BENCH_pipeline.json` —
+/// instead of scattering one-off stderr prints. The caller (`audit`) skips
+/// the `obs` crate itself, which hosts the one sanctioned `Instant::now()`.
+pub fn rule_instant_timing(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "instant-timing";
+    let mut out = Vec::new();
+    for (line_no, line) in file.code_lines() {
+        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+            continue;
+        }
+        for needle in ["Instant::now", "SystemTime::now"] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(needle).map(|p| p + from) {
+                from = pos + needle.len();
+                // Whole-token on the left (`MyInstant::now` is fine); the
+                // right edge is already non-ident (`(`, whitespace, ...).
+                let bounded = pos == 0
+                    || !matches!(line.as_bytes()[pos - 1],
+                        b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
+                if bounded {
+                    out.push(Diagnostic {
+                        rule: RULE,
+                        file: file.rel.clone(),
+                        line: line_no,
+                        message: format!(
+                            "ad-hoc `{needle}()` timing outside the obs crate; use \
+                             `obscor_obs::span` / `SpanTimer` so the measurement lands \
+                             in the metrics registry, or annotate with audit:allow({RULE})"
+                        ),
+                    });
+                    break; // one diagnostic per line per needle is enough
+                }
+            }
         }
     }
     out
@@ -533,6 +575,20 @@ mod tests {
         let f = prep("if a == b { }\nif x == 0.0 { }\nif (y as f64) != z { }\nif i <= 3.0 { }\n");
         let d = rule_float_eq(&f);
         assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn instant_timing_flags_wall_clock_calls() {
+        let src = "let t0 = Instant::now();\n\
+                   let wall = std::time::SystemTime::now();\n\
+                   let fine = MyInstant::now();\n\
+                   // audit:allow(instant-timing) — sanctioned example\n\
+                   let ok = Instant::now();\n\
+                   #[cfg(test)]\nmod tests { fn t() { let _ = Instant::now(); } }\n";
+        let f = prep(src);
+        let d = rule_instant_timing(&f);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(d[0].message.contains("obscor_obs::span"));
     }
 
     #[test]

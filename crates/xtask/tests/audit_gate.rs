@@ -22,7 +22,7 @@ fn bad_fixture_trips_every_rule() {
     assert!(!report.is_clean());
     let rules: std::collections::HashSet<&str> =
         report.diagnostics.iter().map(|d| d.rule).collect();
-    for rule in ["index-cast", "panic-path", "float-eq", "invariant-coverage"] {
+    for rule in ["index-cast", "panic-path", "float-eq", "invariant-coverage", "instant-timing"] {
         assert!(rules.contains(rule), "rule {rule} not tripped: {:?}", report.diagnostics);
     }
     // Diagnostics carry concrete file:line positions.
@@ -51,6 +51,14 @@ fn bad_fixture_diagnostics_point_at_seeded_lines() {
     assert!(has("float-eq", "stats/src/lib.rs", 4), "x == 0.0 line");
     assert!(has("invariant-coverage", "hypersparse/src/lib.rs", 10), "Grid::new line");
     assert!(has("invariant-coverage", "hypersparse/src/lib.rs", 28), "Loose::make line");
+    assert!(has("instant-timing", "telescope/src/lib.rs", 6), "Instant::now line");
+    assert!(has("instant-timing", "telescope/src/lib.rs", 7), "SystemTime::now line");
+    // The allow-marked site and the test-mod site in telescope stay silent.
+    assert!(
+        !report.diagnostics.iter().any(|d| d.file.contains("telescope/src/lib.rs") && d.line > 7),
+        "allow marker or test exemption failed: {:?}",
+        report.diagnostics
+    );
     // Test code in the bad fixture is exempt: nothing past line 15 in core.
     assert!(
         !report.diagnostics.iter().any(|d| d.file.contains("core/src/lib.rs") && d.line > 15),
@@ -98,7 +106,7 @@ fn cli_json_mode_is_machine_readable() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim_start().starts_with('{') && stdout.trim_end().ends_with('}'));
     assert!(stdout.contains("\"ok\":false"));
-    for rule in ["index-cast", "panic-path", "float-eq", "invariant-coverage"] {
+    for rule in ["index-cast", "panic-path", "float-eq", "invariant-coverage", "instant-timing"] {
         assert!(stdout.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule}:\n{stdout}");
     }
     assert!(stdout.contains("\"line\":"));

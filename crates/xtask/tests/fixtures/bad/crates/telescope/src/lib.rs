@@ -1,0 +1,20 @@
+//! Seeded `instant-timing` violations for the audit gate tests.
+
+use std::time::{Instant, SystemTime};
+
+pub fn timed() -> u64 {
+    let start = Instant::now(); // seeded: instant-timing
+    let wall = SystemTime::now(); // seeded: instant-timing
+    // audit:allow(instant-timing) — sanctioned fixture example
+    let ok = Instant::now();
+    let _ = (start, wall, ok);
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

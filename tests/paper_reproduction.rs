@@ -221,6 +221,83 @@ fn fig1_quadrants_distinguish_instruments() {
     assert!(a.quadrants.honeyfarm_int_to_ext > 0);
 }
 
+// ---------------------------------------------------------------------------
+// Golden-value regression tests.
+//
+// The pipeline is deterministic for a fixed (N_V, seed), so the quantities
+// below are pinned exactly for the default test scenario
+// `Scenario::paper_scaled(1 << 16, 4242)` + `AnalysisConfig::fast()`. A
+// change to ANY of these values means packet generation, capture, matrix
+// construction, or reduction semantics changed — bump the goldens only with
+// an explanation of what legitimately moved them.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_table2_quantities_are_pinned() {
+    let (_, a) = analysis();
+    // (label, valid_packets, unique_links, max_link_packets, unique_sources,
+    //  max_source_packets, max_source_fan_out, unique_destinations,
+    //  max_destination_packets, max_destination_fan_in)
+    let golden: [(&str, [u64; 9]); 5] = [
+        ("2020-06-17-12:00:00", [65536, 44648, 494, 615, 1036, 1035, 44602, 494, 2]),
+        ("2020-07-29-00:00:00", [65536, 45312, 571, 597, 1156, 1156, 45243, 571, 2]),
+        ("2020-09-16-12:00:00", [65536, 44743, 597, 601, 1183, 1183, 44683, 597, 2]),
+        ("2020-10-28-00:00:00", [65536, 47553, 625, 590, 1219, 1219, 47482, 626, 2]),
+        ("2020-12-16-12:00:00", [65536, 46249, 605, 584, 1313, 1313, 46194, 605, 2]),
+    ];
+    assert_eq!(a.quantities.len(), golden.len());
+    for ((label, g), (got_label, q)) in golden.iter().zip(&a.quantities) {
+        assert_eq!(got_label, label);
+        let got = [
+            q.valid_packets,
+            q.unique_links,
+            q.max_link_packets,
+            q.unique_sources,
+            q.max_source_packets,
+            q.max_source_fan_out,
+            q.unique_destinations,
+            q.max_destination_packets,
+            q.max_destination_fan_in,
+        ];
+        assert_eq!(&got, g, "Table II drifted for window {label}");
+    }
+}
+
+#[test]
+fn golden_fig3_zipf_mandelbrot_parameters_are_pinned() {
+    let (_, a) = analysis();
+    // The ZM fit is a grid scan, so the recovered parameters are exact grid
+    // points: every window lands on (alpha, delta) = (1.25, 2.0) for this
+    // scenario. d_max is the realized brightest source per window.
+    let golden_d_max = [1036u64, 1156, 1183, 1219, 1313];
+    assert_eq!(a.distributions.len(), golden_d_max.len());
+    for (dist, d_max) in a.distributions.iter().zip(golden_d_max) {
+        let fit = dist.fit.expect("every window fits");
+        assert!(
+            (fit.alpha - 1.25).abs() < 1e-12,
+            "window {}: alpha {} drifted off the pinned grid point",
+            dist.window_label,
+            fit.alpha
+        );
+        assert!(
+            (fit.delta - 2.0).abs() < 1e-12,
+            "window {}: delta {} drifted off the pinned grid point",
+            dist.window_label,
+            fit.delta
+        );
+        assert_eq!(dist.d_max, d_max, "window {}: d_max drifted", dist.window_label);
+    }
+}
+
+#[test]
+fn golden_quadrant_occupancy_is_pinned() {
+    let (_, a) = analysis();
+    assert_eq!(a.quadrants.telescope_ext_to_int, 228_505);
+    assert_eq!(a.quadrants.telescope_int_to_ext, 0);
+    assert_eq!(a.quadrants.honeyfarm_ext_to_int, 99_759);
+    assert_eq!(a.quadrants.honeyfarm_int_to_ext, 4_999);
+}
+
 #[test]
 fn temporal_correlation_decays_and_levels_off() {
     let (_, a) = analysis();
