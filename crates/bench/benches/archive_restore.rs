@@ -1,0 +1,47 @@
+//! Archive-path bench: leaf serialization with the CRC-protected codec
+//! v2 and the two restore shapes — fail-stop versus recovering — at
+//! varying leaf counts, plus a degraded restore under a seeded fault
+//! plan (the retry/quarantine overhead the pipeline pays per window).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obscor_netmodel::Scenario;
+use obscor_telescope::{
+    archive_window, capture_window, restore_matrix, FaultPlan, RecoveringRestore,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let nv = 1 << 15;
+    let s = Scenario::paper_scaled(nv, 42);
+    let w = capture_window(&s, &s.caida_windows[0]);
+
+    let mut g = c.benchmark_group("archive_restore");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(nv as u64));
+
+    for n_leaves in [8usize, 64] {
+        g.bench_function(format!("archive_{n_leaves}_leaves"), |b| {
+            b.iter(|| black_box(archive_window(&w, n_leaves)))
+        });
+        let archive = archive_window(&w, n_leaves);
+        g.bench_function(format!("restore_failstop_{n_leaves}_leaves"), |b| {
+            b.iter(|| black_box(restore_matrix(&archive).unwrap()))
+        });
+        g.bench_function(format!("restore_recovering_{n_leaves}_leaves"), |b| {
+            b.iter(|| black_box(RecoveringRestore::default().restore(&archive)))
+        });
+    }
+
+    // Degraded restore: 30% of 64 leaves faulted; measures injection +
+    // retry + quarantine accounting on top of the decode/merge work.
+    let archive = archive_window(&w, 64);
+    let plan = FaultPlan::new(7, 0.3).unwrap();
+    g.bench_function("restore_recovering_64_leaves_faulted", |b| {
+        b.iter(|| black_box(RecoveringRestore::default().restore(&plan.apply(&archive))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,10 +17,10 @@
 //!   persistence baseline.
 //! * `info` prints the scenario calibration summary.
 
-use obscor_core::{pipeline, AnalysisConfig};
+use obscor_core::{pipeline, AnalysisConfig, ArchiveConfig};
 use obscor_netmodel::Scenario;
 use obscor_pcap::PcapWriter;
-use obscor_telescope::capture_window;
+use obscor_telescope::{capture_window, FaultPlan};
 use std::process::ExitCode;
 
 const DEFAULT_NV: usize = 1 << 20;
@@ -40,7 +40,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   obscor reproduce [--nv N] [--seed S] [--fast] [--tsv] [--check] [--only ARTIFACT]
-                   [--metrics FILE]
+                   [--metrics FILE] [--fault-plan SEED:RATE] [--strict-archive]
   obscor generate  [--nv N] [--seed S] [--window 0..4] [--filter EXPR] --out FILE
   obscor forecast  [--nv N] [--seed S] [--cutoff K]
   obscor info      [--nv N] [--seed S]
@@ -48,6 +48,11 @@ const USAGE: &str = "usage:
 Flags given without a subcommand run `reproduce` (e.g. `obscor --metrics m.json`).
 --metrics FILE writes the run's per-stage observability report (span timings,
 counters, gauges) as obscor.metrics.v1 JSON.
+--fault-plan SEED:RATE builds the window matrices through the leaf archive and
+injects seeded faults (truncation, bit flips, missing leaves, flaky reads) at
+the given per-leaf rate; the restore retries transient faults, quarantines
+corrupt leaves, and reports per-window packet coverage.
+--strict-archive fails the run (exit 1) if any window restores degraded.
 
 ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 classes subnets scaling";
 
@@ -63,6 +68,8 @@ struct Options {
     cutoff: usize,
     filter: Option<String>,
     metrics: Option<String>,
+    fault_plan: Option<FaultPlan>,
+    strict_archive: bool,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -78,6 +85,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         cutoff: 10,
         filter: None,
         metrics: None,
+        fault_plan: None,
+        strict_archive: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -103,6 +112,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--out" => o.out = Some(value("--out")?),
             "--filter" => o.filter = Some(value("--filter")?),
             "--metrics" => o.metrics = Some(value("--metrics")?),
+            "--fault-plan" => o.fault_plan = Some(FaultPlan::parse(&value("--fault-plan")?)?),
+            "--strict-archive" => o.strict_archive = true,
             "--cutoff" => {
                 o.cutoff = value("--cutoff")?.parse().map_err(|_| "bad --cutoff")?;
                 if !(4..15).contains(&o.cutoff) {
@@ -161,13 +172,50 @@ fn build_scenario(o: &Options) -> Scenario {
 
 fn reproduce(o: Options) -> Result<(), String> {
     let scenario = build_scenario(&o);
-    let config = if o.fast { AnalysisConfig::fast() } else { AnalysisConfig::default() };
+    let mut config = if o.fast { AnalysisConfig::fast() } else { AnalysisConfig::default() };
+    if o.fault_plan.is_some() || o.strict_archive {
+        let archive =
+            ArchiveConfig { fault_plan: o.fault_plan.clone(), ..ArchiveConfig::default() };
+        if let Some(plan) = &o.fault_plan {
+            eprintln!(
+                "archive path: {} leaves/window, fault plan seed {} rate {}",
+                archive.n_leaves, plan.seed, plan.rate
+            );
+        }
+        config = config.with_archive(archive);
+    }
     eprintln!(
         "population: {} sources; capturing 5 windows x {} packets + 15 honeyfarm months...",
         scenario.population.len(),
         scenario.n_v
     );
     let analysis = pipeline::run(&scenario, &config);
+    for r in &analysis.restore {
+        eprintln!(
+            "restore {}: coverage {:.6} ({}/{} packets), {}/{} leaves, \
+             {} recovered after retry, {} retries, {} quarantined",
+            r.label,
+            r.coverage(),
+            r.packets_restored,
+            r.packets_expected,
+            r.n_restored(),
+            r.n_leaves,
+            r.recovered,
+            r.retries,
+            r.quarantined.len()
+        );
+        for q in &r.quarantined {
+            eprintln!("  quarantined leaf {} ({}): {}", q.index, q.class, q.reason);
+        }
+    }
+    if o.strict_archive && analysis.restore.iter().any(|r| !r.is_complete()) {
+        let degraded =
+            analysis.restore.iter().filter(|r| !r.is_complete()).count();
+        return Err(format!(
+            "--strict-archive: {degraded}/{} windows restored degraded",
+            analysis.restore.len()
+        ));
+    }
     if let Some(path) = &o.metrics {
         let json = analysis.metrics.to_json();
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
@@ -352,6 +400,25 @@ mod tests {
         let o = parse(&args("--metrics out.json")).unwrap();
         assert_eq!(o.metrics.as_deref(), Some("out.json"));
         assert!(parse(&args("--metrics")).is_err());
+    }
+
+    #[test]
+    fn fault_plan_flag_parses() {
+        let o = parse(&args("--fault-plan 7:0.25")).unwrap();
+        let plan = o.fault_plan.expect("plan parsed");
+        assert_eq!(plan.seed, 7);
+        assert!((plan.rate - 0.25).abs() < 1e-12);
+        assert!(!o.strict_archive);
+        assert!(parse(&args("--fault-plan")).is_err());
+        assert!(parse(&args("--fault-plan 7")).is_err());
+        assert!(parse(&args("--fault-plan 7:2.0")).is_err());
+    }
+
+    #[test]
+    fn strict_archive_flag_parses() {
+        assert!(parse(&args("--strict-archive")).unwrap().strict_archive);
+        let both = parse(&args("--fault-plan 1:0.1 --strict-archive")).unwrap();
+        assert!(both.strict_archive && both.fault_plan.is_some());
     }
 
     #[test]

@@ -1,9 +1,49 @@
 //! End-to-end tests of the `obscor` binary.
 
+use std::path::PathBuf;
 use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn obscor() -> Command {
     Command::new(env!("CARGO_BIN_EXE_obscor"))
+}
+
+/// A per-test scratch directory, removed on drop.
+///
+/// Each test gets its own directory (process id + a process-wide sequence
+/// number), so tests that run concurrently — in this process or in a
+/// stale parallel invocation of the whole suite — can never collide on a
+/// shared fixed path, and nothing survives the test to pollute the next
+/// run.
+struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    fn new(test: &str) -> ScratchDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let unique = format!(
+            "obscor_cli_e2e_{}_{}_{}",
+            test,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = std::env::temp_dir().join(unique);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        // Best effort: a leaked dir on panic is acceptable, a panic in
+        // drop is not.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
 }
 
 #[test]
@@ -56,9 +96,8 @@ fn reproduce_check_passes_non_strict() {
 
 #[test]
 fn generate_writes_a_readable_pcap() {
-    let dir = std::env::temp_dir().join("obscor_cli_e2e");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("w0.pcap");
+    let dir = ScratchDir::new("generate");
+    let path = dir.file("w0.pcap");
     let out = obscor()
         .args([
             "generate",
@@ -77,14 +116,12 @@ fn generate_writes_a_readable_pcap() {
     assert_eq!(&bytes[..4], &0xA1B2_C3D4u32.to_le_bytes());
     let packets = obscor_pcap::PcapReader::new(&bytes).unwrap().read_all().unwrap();
     assert_eq!(packets.len(), 1 << 12);
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn generate_with_filter_keeps_matching_packets_only() {
-    let dir = std::env::temp_dir().join("obscor_cli_e2e");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("filtered.pcap");
+    let dir = ScratchDir::new("filter");
+    let path = dir.file("filtered.pcap");
     let out = obscor()
         .args([
             "generate",
@@ -108,14 +145,12 @@ fn generate_with_filter_keeps_matching_packets_only() {
     assert!(packets
         .iter()
         .all(|p| p.proto == obscor_pcap::Protocol::Tcp && p.dst_port != 6667));
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn metrics_flag_writes_schema_valid_json_with_all_stage_spans() {
-    let dir = std::env::temp_dir().join("obscor_cli_e2e");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("metrics.json");
+    let dir = ScratchDir::new("metrics");
+    let path = dir.file("metrics.json");
     // No subcommand: bare flags run the default `reproduce`.
     let out = obscor()
         .args([
@@ -171,7 +206,90 @@ fn metrics_flag_writes_schema_valid_json_with_all_stage_spans() {
     assert_eq!(snap.counters["telescope.capture.valid_packets_total"], 5 * (1 << 13));
     assert_eq!(snap.counters["stage.capture.windows_total"], 5);
     assert_eq!(snap.gauges["config.n_v"], 1 << 13);
-    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn fault_plan_reports_degraded_coverage() {
+    let out = obscor()
+        .args([
+            "reproduce",
+            "--nv",
+            "2^12",
+            "--seed",
+            "9",
+            "--fast",
+            "--only",
+            "table2",
+            "--fault-plan",
+            "7:0.3",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // Without --strict-archive, a degraded restore is a reported result,
+    // not a failure.
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    let coverages: Vec<f64> = stderr
+        .lines()
+        .filter(|l| l.starts_with("restore "))
+        .map(|l| {
+            let tail = l.split("coverage ").nth(1).expect("coverage field");
+            tail.split_whitespace().next().unwrap().parse().expect("coverage value")
+        })
+        .collect();
+    assert_eq!(coverages.len(), 5, "one restore line per window:\n{stderr}");
+    assert!(
+        coverages.iter().any(|c| *c < 1.0),
+        "seed 7 at rate 0.3 must degrade some window:\n{stderr}"
+    );
+    assert!(coverages.iter().all(|c| (0.0..=1.0).contains(c)));
+    assert!(stderr.contains("quarantined leaf"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn strict_archive_fails_on_degraded_restore_and_passes_clean() {
+    let out = obscor()
+        .args([
+            "reproduce",
+            "--nv",
+            "2^12",
+            "--seed",
+            "9",
+            "--fast",
+            "--only",
+            "table2",
+            "--fault-plan",
+            "7:0.3",
+            "--strict-archive",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "strict mode must fail under faults");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--strict-archive"), "stderr:\n{stderr}");
+    assert!(stderr.contains("restored degraded"), "stderr:\n{stderr}");
+
+    // A zero-rate plan (and the clean archive path) restores fully, so
+    // strict mode passes — the flag gates on outcome, not on mode.
+    let clean = obscor()
+        .args([
+            "reproduce",
+            "--nv",
+            "2^12",
+            "--seed",
+            "9",
+            "--fast",
+            "--only",
+            "table2",
+            "--fault-plan",
+            "7:0.0",
+            "--strict-archive",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8(clean.stderr).unwrap();
+    assert!(clean.status.success(), "stderr:\n{stderr}");
+    assert!(stderr.contains("coverage 1.000000"), "stderr:\n{stderr}");
 }
 
 #[test]
@@ -182,6 +300,8 @@ fn bad_invocations_fail_with_usage() {
         vec!["nonsense"],
         vec!["reproduce", "--nv", "banana"],
         vec!["generate", "--filter", "proto banana", "--out", "/tmp/x.pcap"],
+        vec!["reproduce", "--fault-plan", "7"],
+        vec!["reproduce", "--fault-plan", "7:1.5"],
     ] {
         let out = obscor().args(&args).output().unwrap();
         assert!(!out.status.success(), "should fail: {args:?}");

@@ -2,6 +2,43 @@
 
 use obscor_stats::fit::{default_mc_alpha_grid, default_mc_beta_grid};
 use obscor_stats::zipf::{default_alpha_grid, default_delta_grid};
+use obscor_telescope::{FaultPlan, RetryPolicy};
+
+/// Configuration of the archive → restore matrix path: instead of
+/// building each window matrix directly, serialize it into leaf matrices
+/// (the paper's hierarchical LBNL archive), optionally injure them with a
+/// seeded [`FaultPlan`], and rebuild through the recovering restore. The
+/// default analysis path skips all of this (`AnalysisConfig::archive` is
+/// `None`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchiveConfig {
+    /// Leaf matrices per window archive (the paper uses `2^13` leaves of
+    /// `2^17` packets; scaled runs use fewer).
+    pub n_leaves: usize,
+    /// Seeded fault injection applied to every window's archive before
+    /// restoration; `None` archives and restores cleanly.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry/backoff policy of the recovering restore.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ArchiveConfig {
+    fn default() -> Self {
+        Self { n_leaves: 16, fault_plan: None, retry: RetryPolicy::default() }
+    }
+}
+
+impl ArchiveConfig {
+    /// A clean archive path with `n_leaves` leaves per window.
+    pub fn with_leaves(n_leaves: usize) -> Self {
+        Self { n_leaves, ..Self::default() }
+    }
+
+    /// An archive path injured by `plan`.
+    pub fn with_fault_plan(plan: FaultPlan) -> Self {
+        Self { fault_plan: Some(plan), ..Self::default() }
+    }
+}
 
 /// Knobs of the correlation analysis. The defaults reproduce the paper's
 /// procedure.
@@ -19,6 +56,11 @@ pub struct AnalysisConfig {
     pub mc_alphas: Vec<f64>,
     /// Modified-Cauchy β grid for the Fig 5-8 fits.
     pub mc_betas: Vec<f64>,
+    /// When set, window matrices are built through the archive → restore
+    /// path (serialize to leaves, optionally fault-inject, recover) and
+    /// the analysis records a [`obscor_telescope::RestoreReport`] per
+    /// window. `None` (the default) builds matrices directly.
+    pub archive: Option<ArchiveConfig>,
 }
 
 impl Default for AnalysisConfig {
@@ -29,6 +71,7 @@ impl Default for AnalysisConfig {
             zm_deltas: default_delta_grid(),
             mc_alphas: default_mc_alpha_grid(),
             mc_betas: default_mc_beta_grid(),
+            archive: None,
         }
     }
 }
@@ -43,7 +86,15 @@ impl AnalysisConfig {
             zm_deltas: vec![0.0, 1.0, 2.0, 4.0],
             mc_alphas: (1..=16).map(|i| i as f64 * 0.25).collect(),
             mc_betas: (0..20).map(|i| 0.05 * 1.5f64.powi(i)).collect(),
+            archive: None,
         }
+    }
+
+    /// The same configuration, with matrices built through the archive →
+    /// restore path.
+    pub fn with_archive(mut self, archive: ArchiveConfig) -> Self {
+        self.archive = Some(archive);
+        self
     }
 }
 
@@ -67,5 +118,17 @@ mod tests {
         assert!(f.zm_alphas.len() < d.zm_alphas.len());
         assert!(f.mc_alphas.len() < d.mc_alphas.len());
         assert!(f.mc_betas.len() < d.mc_betas.len());
+    }
+
+    #[test]
+    fn archive_path_is_off_by_default() {
+        assert!(AnalysisConfig::default().archive.is_none());
+        assert!(AnalysisConfig::fast().archive.is_none());
+        let with = AnalysisConfig::fast().with_archive(ArchiveConfig::with_leaves(4));
+        assert_eq!(with.archive.as_ref().map(|a| a.n_leaves), Some(4));
+        assert!(with.archive.unwrap().fault_plan.is_none());
+        let plan = FaultPlan::new(3, 0.5).unwrap();
+        let faulted = ArchiveConfig::with_fault_plan(plan.clone());
+        assert_eq!(faulted.fault_plan, Some(plan));
     }
 }

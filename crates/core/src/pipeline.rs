@@ -15,7 +15,10 @@ use obscor_honeyfarm::observe_all_months;
 use obscor_hypersparse::reduce::NetworkQuantities;
 use obscor_netmodel::Scenario;
 use obscor_obs::MetricsSnapshot;
-use obscor_telescope::{capture_all_windows, inventory, matrix, InventoryRow};
+use obscor_telescope::{
+    archive_window, capture_all_windows, inventory, matrix, InventoryRow, RecoveringRestore,
+    RestoreReport,
+};
 use rayon::prelude::*;
 
 /// One GreyNoise row of Table I.
@@ -78,6 +81,13 @@ pub struct PaperAnalysis {
     /// Scaling extension: per-window sources-vs-packets exponent and R²
     /// (the paper's `sources ∝ N_V^{1/2}` observation).
     pub scaling: Vec<(String, f64, f64)>,
+    /// Archive-path accounting: one [`RestoreReport`] per window when the
+    /// matrices were built through the archive → restore path
+    /// (`AnalysisConfig::archive`); empty on the direct path. Downstream
+    /// statistics are computed over the surviving leaves, so each
+    /// report's coverage fraction bounds how much of the window those
+    /// statistics saw.
+    pub restore: Vec<RestoreReport>,
     /// Per-run observability: every counter, gauge, and span timing the
     /// pipeline recorded (the change in the global registry over this
     /// run). Serializes with [`MetricsSnapshot::to_json`]; written out by
@@ -117,9 +127,35 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
     };
     obscor_obs::counter("stage.capture.windows_total").add(windows.len() as u64);
     let caida_inventory = inventory(&windows);
-    let matrices: Vec<_> = {
-        let _s = obscor_obs::span("stage.matrices");
-        windows.par_iter().map(matrix::build_matrix).collect()
+    let (matrices, restore): (Vec<_>, Vec<RestoreReport>) = match &config.archive {
+        None => {
+            let _s = obscor_obs::span("stage.matrices");
+            (windows.par_iter().map(matrix::build_matrix).collect(), Vec::new())
+        }
+        Some(ac) => {
+            // The paper's production shape: each window is serialized
+            // into leaf matrices (optionally injured by the configured
+            // fault plan) and rebuilt through the recovering restore;
+            // downstream stages see whatever survived, and the reports
+            // say exactly how much that was.
+            let _s = obscor_obs::span("stage.matrices_archived");
+            let restorer = RecoveringRestore::new(ac.retry);
+            let (matrices, reports): (Vec<_>, Vec<RestoreReport>) = windows
+                .par_iter()
+                .map(|w| {
+                    let archive = archive_window(w, ac.n_leaves);
+                    match &ac.fault_plan {
+                        None => restorer.restore(&archive),
+                        Some(plan) => restorer.restore(&plan.apply(&archive)),
+                    }
+                })
+                .unzip();
+            obscor_obs::counter("stage.matrices.archive_windows_total")
+                .add(reports.len() as u64);
+            obscor_obs::counter("stage.matrices.archive_quarantined_total")
+                .add(reports.iter().map(|r| r.quarantined.len() as u64).sum());
+            (matrices, reports)
+        }
     };
     obscor_obs::counter("stage.matrices.built_total").add(matrices.len() as u64);
     obscor_obs::counter("stage.matrices.nnz_total")
@@ -323,6 +359,7 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         class_structure,
         subnet_top,
         scaling,
+        restore,
         metrics,
     }
 }
@@ -482,5 +519,51 @@ mod tests {
         let b = run(s, &AnalysisConfig::fast());
         assert_eq!(a.greynoise_inventory, b.greynoise_inventory);
         assert_eq!(a.curves, b.curves);
+    }
+
+    #[test]
+    fn direct_path_records_no_restore_reports() {
+        let (_, a) = analysis();
+        assert!(a.restore.is_empty());
+    }
+
+    #[test]
+    fn archive_path_without_faults_matches_the_direct_path() {
+        use crate::config::ArchiveConfig;
+        let s = Scenario::paper_scaled(1 << 13, 11);
+        let direct = run(&s, &AnalysisConfig::fast());
+        let archived =
+            run(&s, &AnalysisConfig::fast().with_archive(ArchiveConfig::with_leaves(8)));
+        assert_eq!(archived.restore.len(), 5);
+        for r in &archived.restore {
+            assert!(r.is_complete(), "clean archive must restore completely: {r:?}");
+            r.check_invariants().unwrap();
+        }
+        assert_eq!(direct.quantities, archived.quantities);
+        assert_eq!(direct.curves, archived.curves);
+        assert_eq!(direct.peaks, archived.peaks);
+    }
+
+    #[test]
+    fn faulted_archive_path_degrades_with_accounting() {
+        use crate::config::ArchiveConfig;
+        use obscor_telescope::FaultPlan;
+        let s = Scenario::paper_scaled(1 << 13, 11);
+        let cfg = AnalysisConfig::fast()
+            .with_archive(ArchiveConfig::with_fault_plan(FaultPlan::new(7, 0.4).unwrap()));
+        let a = run(&s, &cfg);
+        assert_eq!(a.restore.len(), 5);
+        assert!(
+            a.restore.iter().any(|r| !r.is_complete()),
+            "seed 7 at rate 0.4 must injure at least one window"
+        );
+        for (r, (_, q)) in a.restore.iter().zip(&a.quantities) {
+            r.check_invariants().unwrap();
+            // Downstream statistics really did run on the surviving
+            // leaves: Table II's packet count equals what the restore
+            // says it recovered.
+            assert_eq!(q.valid_packets, r.packets_restored);
+            assert!(r.coverage() <= 1.0);
+        }
     }
 }

@@ -1,28 +1,72 @@
 //! Compact binary serialization for archived traffic matrices.
 //!
 //! The telescope pipeline archives one matrix per `2^17`-packet leaf; this
-//! module provides the on-disk codec: a fixed little-endian layout with a
-//! magic header and explicit lengths, exact for all [`Value`] types via
+//! module provides the on-disk codec, exact for all [`Value`] types via
 //! their bit-level encodings. (`serde` derives also exist on [`Csr`] for
 //! interop with generic formats; this codec avoids any external format
 //! dependency.)
+//!
+//! Two wire versions exist:
+//!
+//! * **v1** (`OBSCbla1`) — the original fail-stop layout: magic, `nnz`,
+//!   records. No integrity protection; a flipped bit decodes into a wrong
+//!   matrix or a confusing structural error.
+//! * **v2** (`OBSCbla2`, written by [`encode`]) — adds an explicit
+//!   length prefix and a CRC-32 over the header fields and payload, so
+//!   corruption is *detected* (and classified) rather than silently
+//!   propagated. [`decode`] accepts both versions transparently.
+//!
+//! Errors carry the workspace fault taxonomy ([`FaultClass`], shared with
+//! `obscor_pcap`'s codec): a [`CodecError::Truncated`] input is a
+//! *transient* fault (a short read may succeed on retry), while bad magic,
+//! CRC mismatch, and structural corruption are *permanent* — the recovery
+//! layer in `obscor-telescope` retries the former and quarantines the
+//! latter.
 
 use crate::csr::Csr;
 use crate::value::Value;
 use crate::{Coo, Index};
+use obscor_obs::FaultClass;
 
-/// Magic bytes identifying a serialized hypersparse matrix ("OBSCbla1").
+/// Magic bytes of the legacy v1 layout ("OBSCbla1").
 pub const MAGIC: [u8; 8] = *b"OBSCbla1";
+/// Magic bytes of the CRC-protected v2 layout ("OBSCbla2").
+pub const MAGIC_V2: [u8; 8] = *b"OBSCbla2";
 
-/// Codec errors.
+/// v1 header: magic (8) + nnz (8).
+const HEADER_V1: usize = 16;
+/// v2 header: magic (8) + nnz (8) + payload length (8) + CRC-32 (4).
+const HEADER_V2: usize = 28;
+/// Bytes per record: row (4) + col (4) + value bits (8).
+const RECORD: usize = 16;
+
+/// Codec errors, classified by the workspace fault taxonomy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
-    /// Input shorter than the declared layout.
+    /// Input shorter than the declared layout (transient: a short read).
     Truncated,
-    /// Magic bytes missing or wrong version.
+    /// Magic bytes missing or wrong version (permanent).
     BadMagic,
-    /// Declared lengths are inconsistent.
+    /// CRC-32 over header fields + payload does not match (permanent).
+    BadCrc {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum recomputed over the received bytes.
+        computed: u32,
+    },
+    /// Declared lengths or contents are inconsistent (permanent).
     Corrupt(&'static str),
+}
+
+impl CodecError {
+    /// Classify this error for retry/quarantine policy: only a truncated
+    /// input is worth re-reading.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            CodecError::Truncated => FaultClass::Transient,
+            _ => FaultClass::Permanent,
+        }
+    }
 }
 
 impl std::fmt::Display for CodecError {
@@ -30,6 +74,9 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Truncated => write!(f, "input truncated"),
             CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::BadCrc { stored, computed } => {
+                write!(f, "crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
             CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
         }
     }
@@ -37,9 +84,64 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Serialize a matrix to the compact binary layout.
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i: u32 = 0;
+    while i < 256 {
+        let mut c = i;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { (c >> 1) ^ 0xEDB8_8320 } else { c >> 1 };
+            bit += 1;
+        }
+        table[i as usize] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3) of `data`, as written into v2 headers.
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(0xFFFF_FFFF, data)
+}
+
+/// Serialize a matrix to the current (v2, CRC-protected) layout.
 pub fn encode<V: Value>(a: &Csr<V>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(24 + a.nnz() * 16);
+    let payload_len = (a.nnz() * RECORD) as u64;
+    let mut out = Vec::with_capacity(HEADER_V2 + a.nnz() * RECORD);
+    out.extend_from_slice(&MAGIC_V2);
+    out.extend_from_slice(&(a.nnz() as u64).to_le_bytes());
+    out.extend_from_slice(&payload_len.to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // CRC placeholder, filled below
+    for (r, c, v) in a.iter() {
+        out.extend_from_slice(&r.to_le_bytes());
+        out.extend_from_slice(&c.to_le_bytes());
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    // The CRC covers everything the decoder trusts: nnz, the length
+    // prefix, and the payload (magic corruption is caught by the magic
+    // check itself).
+    let crc = !crc32_update(
+        crc32_update(0xFFFF_FFFF, &out[8..24]),
+        &out[HEADER_V2..],
+    );
+    out[24..28].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Serialize a matrix to the legacy v1 layout (no integrity protection).
+/// Kept for back-compatibility tests and for reading old archives.
+pub fn encode_v1<V: Value>(a: &Csr<V>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_V1 + a.nnz() * RECORD);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&(a.nnz() as u64).to_le_bytes());
     for (r, c, v) in a.iter() {
@@ -50,23 +152,72 @@ pub fn encode<V: Value>(a: &Csr<V>) -> Vec<u8> {
     out
 }
 
-/// Deserialize a matrix previously produced by [`encode`].
+/// Deserialize a matrix produced by [`encode`] (v2) or [`encode_v1`],
+/// dispatching on the magic bytes. Never panics on arbitrary input.
 pub fn decode<V: Value>(bytes: &[u8]) -> Result<Csr<V>, CodecError> {
-    if bytes.len() < 16 {
+    if bytes.len() < 8 {
         return Err(CodecError::Truncated);
     }
-    if bytes[..8] != MAGIC {
-        return Err(CodecError::BadMagic);
+    if bytes[..8] == MAGIC_V2 {
+        decode_v2(bytes)
+    } else if bytes[..8] == MAGIC {
+        decode_v1(bytes)
+    } else {
+        Err(CodecError::BadMagic)
+    }
+}
+
+fn decode_v1<V: Value>(bytes: &[u8]) -> Result<Csr<V>, CodecError> {
+    if bytes.len() < HEADER_V1 {
+        return Err(CodecError::Truncated);
     }
     let nnz_raw =
         u64::from_le_bytes(bytes[8..16].try_into().map_err(|_| CodecError::Truncated)?);
     let nnz = usize::try_from(nnz_raw).map_err(|_| CodecError::Corrupt("nnz overflow"))?;
-    let need = 16 + nnz.checked_mul(16).ok_or(CodecError::Corrupt("nnz overflow"))?;
+    let need = HEADER_V1
+        + nnz.checked_mul(RECORD).ok_or(CodecError::Corrupt("nnz overflow"))?;
     if bytes.len() < need {
         return Err(CodecError::Truncated);
     }
+    parse_records(&bytes[HEADER_V1..need], nnz)
+}
+
+fn decode_v2<V: Value>(bytes: &[u8]) -> Result<Csr<V>, CodecError> {
+    if bytes.len() < HEADER_V2 {
+        return Err(CodecError::Truncated);
+    }
+    let nnz_raw =
+        u64::from_le_bytes(bytes[8..16].try_into().map_err(|_| CodecError::Truncated)?);
+    let payload_len_raw =
+        u64::from_le_bytes(bytes[16..24].try_into().map_err(|_| CodecError::Truncated)?);
+    let stored =
+        u32::from_le_bytes(bytes[24..28].try_into().map_err(|_| CodecError::Truncated)?);
+    let nnz = usize::try_from(nnz_raw).map_err(|_| CodecError::Corrupt("nnz overflow"))?;
+    let expect_payload =
+        nnz.checked_mul(RECORD).ok_or(CodecError::Corrupt("nnz overflow"))?;
+    let payload_len = usize::try_from(payload_len_raw)
+        .map_err(|_| CodecError::Corrupt("payload length overflow"))?;
+    if payload_len != expect_payload {
+        return Err(CodecError::Corrupt("length prefix disagrees with nnz"));
+    }
+    let need = HEADER_V2
+        .checked_add(payload_len)
+        .ok_or(CodecError::Corrupt("payload length overflow"))?;
+    if bytes.len() < need {
+        return Err(CodecError::Truncated);
+    }
+    let payload = &bytes[HEADER_V2..need];
+    let computed = !crc32_update(crc32_update(0xFFFF_FFFF, &bytes[8..24]), payload);
+    if computed != stored {
+        return Err(CodecError::BadCrc { stored, computed });
+    }
+    parse_records(payload, nnz)
+}
+
+/// Parse `nnz` 16-byte records (already length-checked) into a matrix.
+fn parse_records<V: Value>(payload: &[u8], nnz: usize) -> Result<Csr<V>, CodecError> {
     let mut coo = Coo::with_capacity(nnz);
-    for record in bytes[16..need].chunks_exact(16) {
+    for record in payload.chunks_exact(RECORD) {
         let r = Index::from_le_bytes(record[..4].try_into().map_err(|_| CodecError::Truncated)?);
         let c =
             Index::from_le_bytes(record[4..8].try_into().map_err(|_| CodecError::Truncated)?);
@@ -96,39 +247,99 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_v1_u64() {
+        let a = sample();
+        assert_eq!(decode::<u64>(&encode_v1(&a)).unwrap(), a);
+    }
+
+    #[test]
     fn round_trip_f64_exact_bits() {
         let a = Coo::from_triples(vec![(7u32, 9u32, 0.1f64), (8, 8, -3.25)]).into_csr();
         assert_eq!(decode::<f64>(&encode(&a)).unwrap(), a);
+        assert_eq!(decode::<f64>(&encode_v1(&a)).unwrap(), a);
     }
 
     #[test]
     fn round_trip_empty() {
         let e = Csr::<u64>::empty();
         assert_eq!(decode::<u64>(&encode(&e)).unwrap(), e);
+        assert_eq!(decode::<u64>(&encode_v1(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn v2_header_layout_is_stable() {
+        let bytes = encode(&sample());
+        assert_eq!(&bytes[..8], b"OBSCbla2");
+        let nnz = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let plen = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        assert_eq!(nnz, 3);
+        assert_eq!(plen, 3 * 16);
+        assert_eq!(bytes.len(), 28 + 48);
     }
 
     #[test]
     fn truncated_input_rejected() {
-        let bytes = encode(&sample());
-        assert_eq!(decode::<u64>(&bytes[..bytes.len() - 1]), Err(CodecError::Truncated));
-        assert_eq!(decode::<u64>(&bytes[..4]), Err(CodecError::Truncated));
+        for enc in [encode(&sample()), encode_v1(&sample())] {
+            assert_eq!(decode::<u64>(&enc[..enc.len() - 1]), Err(CodecError::Truncated));
+            assert_eq!(decode::<u64>(&enc[..4]), Err(CodecError::Truncated));
+        }
+        assert_eq!(decode::<u64>(&[]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn truncation_is_a_transient_fault() {
+        assert_eq!(CodecError::Truncated.class(), FaultClass::Transient);
+        assert_eq!(CodecError::BadMagic.class(), FaultClass::Permanent);
+        assert_eq!(CodecError::BadCrc { stored: 0, computed: 1 }.class(), FaultClass::Permanent);
+        assert_eq!(CodecError::Corrupt("x").class(), FaultClass::Permanent);
     }
 
     #[test]
     fn bad_magic_rejected() {
+        for enc in [encode(&sample()), encode_v1(&sample())] {
+            let mut bytes = enc;
+            bytes[0] ^= 0xFF;
+            assert_eq!(decode::<u64>(&bytes), Err(CodecError::BadMagic));
+        }
+    }
+
+    #[test]
+    fn v2_payload_bit_flip_is_caught_by_crc() {
         let mut bytes = encode(&sample());
-        bytes[0] ^= 0xFF;
-        assert_eq!(decode::<u64>(&bytes), Err(CodecError::BadMagic));
+        let mid = 28 + 5; // inside the first record
+        bytes[mid] ^= 0x01;
+        assert!(matches!(decode::<u64>(&bytes), Err(CodecError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn v2_header_field_corruption_is_caught() {
+        // Flip a bit in the nnz field: either the length prefix disagrees
+        // or the CRC (which covers both fields) fails — never Ok.
+        let mut bytes = encode(&sample());
+        bytes[8] ^= 0x01;
+        assert!(decode::<u64>(&bytes).is_err());
+        // Flip the stored CRC itself.
+        let mut bytes = encode(&sample());
+        bytes[25] ^= 0x40;
+        assert!(matches!(decode::<u64>(&bytes), Err(CodecError::BadCrc { .. })));
     }
 
     #[test]
     fn zero_entry_rejected() {
-        let mut bytes = encode(&sample());
-        // Zero out the first value's 8 bytes (offset 16 + 8).
+        // v1 has no CRC, so a zeroed value decodes far enough to hit the
+        // explicit-zero structural check (first value at 16 + 8).
+        let mut bytes = encode_v1(&sample());
         for b in &mut bytes[24..32] {
             *b = 0;
         }
         assert!(matches!(decode::<u64>(&bytes), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

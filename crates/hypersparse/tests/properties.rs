@@ -174,4 +174,97 @@ proptest! {
         prop_assert_eq!(reduce::max_source_packets(&tr), reduce::max_destination_packets(&a));
         prop_assert_eq!(reduce::max_source_fan_out(&tr), reduce::max_destination_fan_in(&a));
     }
+
+    /// Fuzz: decode over arbitrarily mutated v2 encodings is total (no
+    /// panic — proptest fails the case if one escapes) and honest: an
+    /// input it accepts with the v2 magic really does carry a matching
+    /// CRC over the protected region.
+    #[test]
+    fn mutated_v2_decode_is_total_and_crc_honest(
+        t in arb_triples(),
+        muts in arb_mutations(),
+        keep in 0usize..8192,
+    ) {
+        let mut bytes = serialize::encode(&build(&t));
+        mutate(&mut bytes, &muts, keep);
+        if serialize::decode::<u64>(&bytes).is_ok() && bytes[..8] == serialize::MAGIC_V2 {
+            let payload_len =
+                u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+            let stored = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+            let mut protected = bytes[8..24].to_vec();
+            protected.extend_from_slice(&bytes[28..28 + payload_len]);
+            prop_assert_eq!(
+                stored,
+                serialize::crc32(&protected),
+                "decode accepted a v2 input whose CRC does not verify"
+            );
+        }
+    }
+
+    /// Fuzz: the legacy v1 decode path is equally total, and anything it
+    /// accepts still satisfies every structural invariant.
+    #[test]
+    fn mutated_v1_decode_is_total(
+        t in arb_triples(),
+        muts in arb_mutations(),
+        keep in 0usize..8192,
+    ) {
+        let mut bytes = serialize::encode_v1(&build(&t));
+        mutate(&mut bytes, &muts, keep);
+        if let Ok(a) = serialize::decode::<u64>(&bytes) {
+            prop_assert!(a.check_invariants().is_ok());
+        }
+    }
+
+    /// Any single bit flip anywhere in a v2 encoding is detected: the CRC
+    /// covers the header counts and payload, a flip in the stored CRC
+    /// mismatches the computed one, and a flip in the magic can reach
+    /// neither valid magic (they differ in two bits).
+    #[test]
+    fn any_single_bit_flip_in_v2_is_detected(
+        t in arb_triples(),
+        pos in 0usize..8192,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = serialize::encode(&build(&t));
+        let len = bytes.len();
+        bytes[pos % len] ^= 1u8 << bit;
+        prop_assert!(serialize::decode::<u64>(&bytes).is_err(), "flip at {}", pos % len);
+    }
+
+    /// Codec v2 round-trips exactly for every `Value` type, and the v1
+    /// encoder's output stays decodable (back compatibility).
+    #[test]
+    fn codec_v2_round_trips_all_value_types(t in arb_triples()) {
+        let a64 = build(&t);
+        prop_assert_eq!(serialize::decode::<u64>(&serialize::encode(&a64)).unwrap(), a64.clone());
+        prop_assert_eq!(serialize::decode::<u64>(&serialize::encode_v1(&a64)).unwrap(), a64);
+        let a32: Csr<u32> = Coo::from_triples(
+            t.iter().map(|&(r, c, v)| (r, c, u32::try_from(v).unwrap())),
+        )
+        .into_csr();
+        prop_assert_eq!(serialize::decode::<u32>(&serialize::encode(&a32)).unwrap(), a32);
+        let af: Csr<f64> = Coo::from_triples(t.iter().map(|&(r, c, v)| (r, c, v as f64)))
+            .into_csr();
+        prop_assert_eq!(serialize::decode::<f64>(&serialize::encode(&af)).unwrap(), af);
+    }
+}
+
+/// Up to 8 xor-style byte corruptions at arbitrary offsets.
+fn arb_mutations() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    prop::collection::vec((0usize..8192, any::<u8>()), 0..8)
+}
+
+/// Apply byte corruptions (offsets wrap) and truncate to at most `keep`
+/// bytes — together they cover bit rot, tearing, and short reads.
+fn mutate(bytes: &mut Vec<u8>, muts: &[(usize, u8)], keep: usize) {
+    let len = bytes.len();
+    for &(pos, m) in muts {
+        if len > 0 {
+            bytes[pos % len] ^= m;
+        }
+    }
+    if keep < bytes.len() {
+        bytes.truncate(keep);
+    }
 }

@@ -1,0 +1,66 @@
+//! The workspace's shared fault vocabulary.
+//!
+//! Every layer that reads archived or captured bytes (the hypersparse leaf
+//! codec, the pcap codec, the telescope's recovering restore) classifies
+//! its errors into the same two-point taxonomy so recovery policy and
+//! fault accounting can be written once:
+//!
+//! * [`FaultClass::Transient`] — the *read* failed (short read, interrupted
+//!   I/O). The bytes themselves may be fine; retrying can succeed.
+//! * [`FaultClass::Permanent`] — the *bytes* are wrong (bad magic, CRC
+//!   mismatch, structural corruption). No number of retries helps; the
+//!   only safe responses are quarantine or fail-stop.
+//!
+//! The enum lives in this crate — the dependency-free base of the
+//! workspace — because fault events are counted through the same metrics
+//! registry ([`crate::counter`]) and the class string ([`FaultClass::as_str`])
+//! is the label suffix used in those counter names
+//! (`telescope.restore.transient_faults_total`, …).
+
+/// Whether a fault is worth retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// The read may succeed if repeated (short read / interrupted I/O).
+    Transient,
+    /// The data is corrupt; retrying cannot help.
+    Permanent,
+}
+
+impl FaultClass {
+    /// True for faults a bounded retry loop should re-attempt.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FaultClass::Transient)
+    }
+
+    /// Stable lowercase label, used as a metric-name suffix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::Transient => "transient",
+            FaultClass::Permanent => "permanent",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_is_retryable_permanent_is_not() {
+        assert!(FaultClass::Transient.is_transient());
+        assert!(!FaultClass::Permanent.is_transient());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultClass::Transient.as_str(), "transient");
+        assert_eq!(FaultClass::Permanent.as_str(), "permanent");
+        assert_eq!(FaultClass::Permanent.to_string(), "permanent");
+    }
+}

@@ -50,12 +50,14 @@
 //! the `instant-timing` rule in `cargo xtask audit` rejects ad-hoc timing
 //! elsewhere so measurements cannot bypass the registry.
 
+pub mod fault;
 mod json;
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 
+pub use fault::FaultClass;
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{global, Registry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SCHEMA};

@@ -35,6 +35,20 @@ pub enum PcapError {
     BadChecksum(&'static str),
 }
 
+impl PcapError {
+    /// Classify for the workspace fault taxonomy (shared with the
+    /// hypersparse leaf codec): a truncated capture is a *transient*
+    /// fault — a short read that may succeed when repeated — while bad
+    /// magic, an unsupported link type, a malformed frame, or a checksum
+    /// mismatch mean the bytes themselves are wrong (*permanent*).
+    pub fn class(&self) -> obscor_obs::FaultClass {
+        match self {
+            PcapError::Truncated => obscor_obs::FaultClass::Transient,
+            _ => obscor_obs::FaultClass::Permanent,
+        }
+    }
+}
+
 impl std::fmt::Display for PcapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -358,6 +372,22 @@ mod tests {
             assert_eq!(a.proto, b.proto);
             assert_eq!(a.src_port, b.src_port);
             assert_eq!(a.dst_port, b.dst_port);
+        }
+    }
+
+    #[test]
+    fn fault_class_splits_truncation_from_corruption() {
+        use obscor_obs::FaultClass;
+        // Truncation can heal on a re-read of a fuller stream; everything
+        // else is structural damage that retrying cannot fix.
+        assert_eq!(PcapError::Truncated.class(), FaultClass::Transient);
+        for permanent in [
+            PcapError::BadMagic(0xdeadbeef),
+            PcapError::BadLinkType(42),
+            PcapError::BadFrame("short frame"),
+            PcapError::BadChecksum("tcp"),
+        ] {
+            assert_eq!(permanent.class(), FaultClass::Permanent, "{permanent}");
         }
     }
 

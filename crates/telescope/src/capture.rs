@@ -86,6 +86,7 @@ pub fn capture_window_at(
         ConstantPacketWindower::new(stream, ds.validity_filter(), scenario.n_v);
     let window = windower
         .next()
+        // audit:allow(panic-path) — the synthetic traffic stream is infinite by construction, so the windower can never run dry; a None here is a programming error
         .expect("endless packet stream must always fill a window");
     obscor_obs::counter("telescope.capture.valid_packets_total")
         .add(window.packets.len() as u64);

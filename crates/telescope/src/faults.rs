@@ -1,0 +1,367 @@
+//! Seeded, deterministic fault injection for archived leaf matrices.
+//!
+//! The production archive path ("trillions of packets at LBNL") must
+//! survive storage realities: truncated objects, flipped bits, missing
+//! leaves, and reads that fail once and succeed on retry. This module
+//! turns those realities into a reproducible test instrument: a
+//! [`FaultPlan`] is a pure function of `(seed, rate)` that assigns at most
+//! one [`Fault`] to each leaf of a [`WindowArchive`], and
+//! [`FaultPlan::apply`] wraps the archive in a [`FaultyArchive`] whose
+//! [`LeafSource`] reads misbehave exactly as planned:
+//!
+//! * [`Fault::Truncate`] — the stored leaf loses its tail; every decode
+//!   sees a short read (transient *class*, but persistent — the recovery
+//!   layer retries it into quarantine).
+//! * [`Fault::BitFlip`] — one bit past the magic flips; the v2 CRC (or
+//!   length prefix) catches it, a permanent fault.
+//! * [`Fault::Drop`] — the leaf is gone; reads fail permanently.
+//! * [`Fault::TransientRead`] — the first `failures` reads fail
+//!   transiently, then the clean bytes come back: the scheduled-recovery
+//!   case bounded retry must win.
+//!
+//! Determinism is load-bearing: the differential suite in
+//! `tests/fault_recovery.rs` replays plans by seed and asserts the restore
+//! is byte-identical across runs.
+
+use crate::archive::{LeafFault, LeafSource, WindowArchive};
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The concrete fault assigned to one leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Keep only the first `keep` bytes of the encoded leaf.
+    Truncate {
+        /// Bytes preserved from the front of the encoding.
+        keep: usize,
+    },
+    /// XOR `mask` into the byte at `offset` (always past the magic).
+    BitFlip {
+        /// Byte offset of the flip.
+        offset: usize,
+        /// Single-bit mask applied at `offset`.
+        mask: u8,
+    },
+    /// The leaf is missing from the store.
+    Drop,
+    /// The first `failures` reads fail transiently, then reads succeed.
+    TransientRead {
+        /// Number of reads that fail before recovery.
+        failures: u32,
+    },
+}
+
+impl Fault {
+    /// Whether bounded retry can ever recover this fault.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, Fault::TransientRead { .. })
+    }
+}
+
+/// Fault families a plan draws from (see [`FaultPlan::with_kinds`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Tail truncation of the stored bytes.
+    Truncate,
+    /// A single bit flip past the magic.
+    BitFlip,
+    /// Missing leaf.
+    Drop,
+    /// Transient read failures with scheduled recovery.
+    TransientRead,
+}
+
+/// All fault families, the default menu.
+pub const ALL_FAULT_KINDS: [FaultKind; 4] =
+    [FaultKind::Truncate, FaultKind::BitFlip, FaultKind::Drop, FaultKind::TransientRead];
+
+/// A seeded, deterministic assignment of faults to archive leaves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-leaf derivation stream.
+    pub seed: u64,
+    /// Probability that any given leaf is faulted, in `[0, 1]`.
+    pub rate: f64,
+    /// Fault families this plan draws from (never empty).
+    kinds: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// A plan drawing uniformly from every fault family.
+    pub fn new(seed: u64, rate: f64) -> Result<FaultPlan, String> {
+        FaultPlan::with_kinds(seed, rate, &ALL_FAULT_KINDS)
+    }
+
+    /// A plan restricted to the given fault families (for targeted tests:
+    /// e.g. transient-only plans must recover completely).
+    pub fn with_kinds(seed: u64, rate: f64, kinds: &[FaultKind]) -> Result<FaultPlan, String> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("fault rate {rate} outside [0, 1]"));
+        }
+        if kinds.is_empty() {
+            return Err("fault plan needs at least one fault kind".into());
+        }
+        Ok(FaultPlan { seed, rate, kinds: kinds.to_vec() })
+    }
+
+    /// Parse the CLI form `SEED:RATE` (e.g. `7:0.25`).
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let (seed, rate) = text
+            .split_once(':')
+            .ok_or_else(|| format!("fault plan `{text}` is not SEED:RATE"))?;
+        let seed: u64 =
+            seed.trim().parse().map_err(|_| format!("bad fault-plan seed `{seed}`"))?;
+        let rate: f64 =
+            rate.trim().parse().map_err(|_| format!("bad fault-plan rate `{rate}`"))?;
+        FaultPlan::new(seed, rate)
+    }
+
+    /// The fault (if any) this plan assigns to leaf `index` of a leaf
+    /// whose encoding is `leaf_len` bytes long. Pure in
+    /// `(seed, rate, kinds, index, leaf_len)`.
+    pub fn fault_for(&self, index: usize, leaf_len: usize) -> Option<Fault> {
+        let h = splitmix64(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Top 53 bits → uniform in [0, 1): the draw against `rate`.
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= self.rate {
+            return None;
+        }
+        let h2 = splitmix64(h);
+        let h3 = splitmix64(h2);
+        let kind = self.kinds[mod_idx(h2, self.kinds.len())];
+        Some(match kind {
+            FaultKind::Truncate => {
+                // Keep 0..=90% of the bytes: always strictly shorter than
+                // the declared layout, so decode reports a short read.
+                let keep = leaf_len * mod_idx(h3, 91) / 100;
+                Fault::Truncate { keep }
+            }
+            FaultKind::BitFlip => {
+                // Flip past the 8 magic bytes so the fault lands in the
+                // CRC-protected region and classifies as permanent (a
+                // magic flip would also be permanent, but could collide
+                // with the v1 magic and dodge the CRC entirely).
+                let span = leaf_len.saturating_sub(8).max(1);
+                Fault::BitFlip { offset: 8 + mod_idx(h3, span), mask: 1 << (h3 % 8) }
+            }
+            FaultKind::Drop => Fault::Drop,
+            FaultKind::TransientRead => {
+                // 1..=2 failures: within any sane retry budget, so the
+                // scheduled recovery is always reachable.
+                Fault::TransientRead { failures: 1 + u32::from(!h3.is_multiple_of(2)) }
+            }
+        })
+    }
+
+    /// The full assignment over an archive, leaf by leaf.
+    pub fn assignments(&self, archive: &WindowArchive) -> Vec<Option<Fault>> {
+        archive
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, leaf)| self.fault_for(i, leaf.len()))
+            .collect()
+    }
+
+    /// Wrap `archive` in a leaf source that misbehaves per this plan,
+    /// counting every injected fault in the metrics registry.
+    pub fn apply<'a>(&self, archive: &'a WindowArchive) -> FaultyArchive<'a> {
+        let injected = obscor_obs::counter("telescope.faults.injected_total");
+        let states: Vec<LeafState> = self
+            .assignments(archive)
+            .into_iter()
+            .zip(&archive.leaves)
+            .map(|(fault, bytes)| match fault {
+                None => LeafState::Clean,
+                Some(f) => {
+                    injected.inc();
+                    obscor_obs::counter(kind_counter(&f)).inc();
+                    match f {
+                        Fault::Truncate { keep } => {
+                            LeafState::Corrupted(bytes[..keep.min(bytes.len())].to_vec())
+                        }
+                        Fault::BitFlip { offset, mask } => {
+                            let mut b = bytes.clone();
+                            if let Some(byte) = b.get_mut(offset) {
+                                *byte ^= mask;
+                            }
+                            LeafState::Corrupted(b)
+                        }
+                        Fault::Drop => LeafState::Missing,
+                        Fault::TransientRead { failures } => {
+                            LeafState::Flaky { remaining: AtomicU32::new(failures) }
+                        }
+                    }
+                }
+            })
+            .collect();
+        FaultyArchive { base: archive, states }
+    }
+}
+
+/// Metric name for one injected fault kind.
+fn kind_counter(f: &Fault) -> &'static str {
+    match f {
+        Fault::Truncate { .. } => "telescope.faults.truncate_total",
+        Fault::BitFlip { .. } => "telescope.faults.bitflip_total",
+        Fault::Drop => "telescope.faults.drop_total",
+        Fault::TransientRead { .. } => "telescope.faults.transient_total",
+    }
+}
+
+/// SplitMix64: the derivation PRF behind every per-leaf decision.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `h mod n` as a usize index (`n` is a small in-memory length).
+fn mod_idx(h: u64, n: usize) -> usize {
+    usize::try_from(h % (n.max(1) as u64)).unwrap_or(0)
+}
+
+/// What one leaf of a [`FaultyArchive`] does when read.
+#[derive(Debug)]
+enum LeafState {
+    /// Read passes through to the base archive.
+    Clean,
+    /// Read returns these (truncated / bit-flipped) bytes.
+    Corrupted(Vec<u8>),
+    /// Read fails permanently.
+    Missing,
+    /// The next `remaining` reads fail transiently, then clean bytes.
+    Flaky {
+        /// Failures left before the read recovers.
+        remaining: AtomicU32,
+    },
+}
+
+/// A [`WindowArchive`] seen through a [`FaultPlan`]: the leaf store the
+/// recovering restore is tested against.
+#[derive(Debug)]
+pub struct FaultyArchive<'a> {
+    base: &'a WindowArchive,
+    states: Vec<LeafState>,
+}
+
+impl FaultyArchive<'_> {
+    /// Number of leaves carrying an injected fault.
+    pub fn n_faulted(&self) -> usize {
+        self.states.iter().filter(|s| !matches!(s, LeafState::Clean)).count()
+    }
+}
+
+impl LeafSource for FaultyArchive<'_> {
+    fn label(&self) -> &str {
+        &self.base.label
+    }
+
+    fn n_leaves(&self) -> usize {
+        self.base.leaves.len()
+    }
+
+    fn expected_packets(&self) -> u64 {
+        self.base.total_packets
+    }
+
+    fn read_leaf(&self, index: usize) -> Result<Cow<'_, [u8]>, LeafFault> {
+        let (state, bytes) = match (self.states.get(index), self.base.leaves.get(index)) {
+            (Some(s), Some(b)) => (s, b),
+            _ => return Err(LeafFault::Missing),
+        };
+        match state {
+            LeafState::Clean => Ok(Cow::Borrowed(bytes.as_slice())),
+            LeafState::Corrupted(c) => Ok(Cow::Borrowed(c.as_slice())),
+            LeafState::Missing => Err(LeafFault::Missing),
+            LeafState::Flaky { remaining } => {
+                // Deterministic schedule: each failed read consumes one
+                // budgeted failure, so the k-th retry succeeds no matter
+                // how reads interleave across leaves.
+                let stole = remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                    .is_ok();
+                if stole {
+                    Err(LeafFault::TransientRead)
+                } else {
+                    Ok(Cow::Borrowed(bytes.as_slice()))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::archive_window;
+    use crate::capture::capture_window;
+    use obscor_netmodel::Scenario;
+
+    fn archive() -> WindowArchive {
+        let s = Scenario::paper_scaled(1 << 12, 3);
+        archive_window(&capture_window(&s, &s.caida_windows[0]), 16)
+    }
+
+    #[test]
+    fn parse_accepts_seed_rate() {
+        let p = FaultPlan::parse("7:0.25").unwrap();
+        assert_eq!(p.seed, 7);
+        assert!((p.rate - 0.25).abs() < 1e-12);
+        assert!(FaultPlan::parse("7").is_err());
+        assert!(FaultPlan::parse("x:0.5").is_err());
+        assert!(FaultPlan::parse("7:1.5").is_err());
+        assert!(FaultPlan::parse("7:-0.1").is_err());
+    }
+
+    #[test]
+    fn zero_rate_assigns_nothing_full_rate_everything() {
+        let a = archive();
+        let none = FaultPlan::new(1, 0.0).unwrap().assignments(&a);
+        assert!(none.iter().all(Option::is_none));
+        let all = FaultPlan::new(1, 1.0).unwrap().assignments(&a);
+        assert!(all.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn assignments_are_deterministic_in_the_seed() {
+        let a = archive();
+        let p = FaultPlan::new(99, 0.5).unwrap();
+        assert_eq!(p.assignments(&a), p.assignments(&a));
+        let q = FaultPlan::new(100, 0.5).unwrap();
+        assert_ne!(p.assignments(&a), q.assignments(&a), "different seeds, same plan");
+    }
+
+    #[test]
+    fn restricted_menu_only_draws_those_kinds() {
+        let a = archive();
+        let p = FaultPlan::with_kinds(5, 1.0, &[FaultKind::TransientRead]).unwrap();
+        for f in p.assignments(&a).into_iter().flatten() {
+            assert!(matches!(f, Fault::TransientRead { .. }));
+        }
+    }
+
+    #[test]
+    fn flaky_leaf_recovers_on_schedule() {
+        let a = archive();
+        let p = FaultPlan::with_kinds(5, 1.0, &[FaultKind::TransientRead]).unwrap();
+        let faulty = p.apply(&a);
+        assert_eq!(faulty.n_faulted(), a.n_leaves());
+        let failures = match p.fault_for(0, a.leaves[0].len()) {
+            Some(Fault::TransientRead { failures }) => failures,
+            other => panic!("expected transient fault, got {other:?}"),
+        };
+        for _ in 0..failures {
+            assert_eq!(faulty.read_leaf(0), Err(LeafFault::TransientRead));
+        }
+        assert_eq!(faulty.read_leaf(0).unwrap().as_ref(), a.leaves[0].as_slice());
+    }
+
+    #[test]
+    fn out_of_range_leaf_is_missing_not_a_panic() {
+        let a = archive();
+        let faulty = FaultPlan::new(1, 0.0).unwrap().apply(&a);
+        assert_eq!(faulty.read_leaf(10_000), Err(LeafFault::Missing));
+    }
+}

@@ -14,10 +14,15 @@
 pub mod archive;
 pub mod capture;
 pub mod darkspace;
+pub mod faults;
 pub mod inventory;
 pub mod matrix;
 
-pub use archive::{archive_window, restore_matrix, WindowArchive};
+pub use archive::{
+    archive_window, restore_matrix, DegradedRestore, LeafFault, LeafSource, QuarantinedLeaf,
+    RecoveringRestore, RestoreReport, RetryPolicy, WindowArchive,
+};
+pub use faults::{Fault, FaultKind, FaultPlan, FaultyArchive, ALL_FAULT_KINDS};
 pub use capture::{capture_all_windows, capture_window, capture_window_at, TelescopeWindow};
 pub use darkspace::Darkspace;
 pub use inventory::{inventory, InventoryRow};

@@ -6,7 +6,8 @@
 //! 1. **`index-cast`** — no truncating `as u32`/`as usize`/`as Index` casts
 //!    on expressions with wide-typed sources, anywhere in library code.
 //! 2. **`panic-path`** — no `unwrap`/`expect`/`panic!` in the library code
-//!    of the `core`, `hypersparse`, `assoc`, and `anonymize` crates.
+//!    of the `core`, `hypersparse`, `assoc`, `anonymize`, `telescope`,
+//!    and `pcap` crates.
 //! 3. **`float-eq`** — no floating-point `==`/`!=` in `stats` or
 //!    `core::fitscan`.
 //! 4. **`invariant-coverage`** — every public constructor of a

@@ -8,7 +8,7 @@
 //! | rule                 | scope                                  | what it catches |
 //! |----------------------|----------------------------------------|-----------------|
 //! | `index-cast`         | all library code                       | truncating `as u32` / `as usize` / `as Index` casts whose source context mentions a wider type |
-//! | `panic-path`         | `core`, `hypersparse`, `assoc`, `anonymize` lib code | `unwrap()`, `expect(...)`, `panic!`, `unreachable!`, `todo!` |
+//! | `panic-path`         | `core`, `hypersparse`, `assoc`, `anonymize`, `telescope`, `pcap` lib code | `unwrap()`, `expect(...)`, `panic!`, `unreachable!`, `todo!` |
 //! | `float-eq`           | `stats` lib code + `core/src/fitscan.rs` | `==` / `!=` between floating-point expressions |
 //! | `invariant-coverage` | `hypersparse`, `assoc`                 | public constructors not exercised by any `check_invariants` test |
 //! | `instant-timing`     | all library code except `obs`          | ad-hoc `Instant::now()` / `SystemTime::now()` timing outside the metrics layer |
@@ -35,8 +35,12 @@ impl Diagnostic {
     }
 }
 
-/// Crates whose library code must be panic-free.
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "hypersparse", "assoc", "anonymize"];
+/// Crates whose library code must be panic-free. `telescope` and `pcap`
+/// joined with the fault-recovery layer: both sit on the archive/ingest
+/// path, where a corrupt input must surface as a classified error
+/// (transient vs permanent), never a panic.
+pub const PANIC_FREE_CRATES: &[&str] =
+    &["core", "hypersparse", "assoc", "anonymize", "telescope", "pcap"];
 
 /// Crates whose public constructors require invariant-test coverage.
 pub const INVARIANT_CRATES: &[&str] = &["hypersparse", "assoc"];

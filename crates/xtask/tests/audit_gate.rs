@@ -65,6 +65,15 @@ fn bad_fixture_diagnostics_point_at_seeded_lines() {
         "test code was not exempted: {:?}",
         report.diagnostics
     );
+    // pcap joined the panic-free set with the fault-recovery layer:
+    // unwrapping/expecting codec or leaf-read results must trip.
+    assert!(has("panic-path", "pcap/src/lib.rs", 6), "codec decode unwrap line");
+    assert!(has("panic-path", "pcap/src/lib.rs", 11), "leaf read expect line");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.file.contains("pcap/src/lib.rs") && d.line > 13),
+        "pcap test code was not exempted: {:?}",
+        report.diagnostics
+    );
 }
 
 #[test]

@@ -1,0 +1,20 @@
+//! Seeded violations: unwrapping codec results in panic-free pcap code.
+
+/// Decode an archived leaf, panicking on any fault — the exact pattern
+/// the fault-recovery layer forbids outside tests.
+pub fn decode_leaf_or_die(bytes: &[u8]) -> Csr {
+    serialize::decode(bytes).unwrap()
+}
+
+/// Same violation through `expect` on a leaf read result.
+pub fn read_leaf_or_die(src: &Source, i: usize) -> Vec<u8> {
+    src.read_leaf(i).expect("leaf must read")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        serialize::decode(&[]).unwrap_err();
+    }
+}

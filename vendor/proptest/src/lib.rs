@@ -16,6 +16,13 @@
 //! * The string strategy accepts only the literal character-class patterns
 //!   this workspace uses (`"[a-z]{1,6}"`, `"[a-zA-Z0-9 ]{0,8}"`, `"[a-z]"`,
 //!   plain literals).
+//! * **Regression corpora replay by seed, not by value.** Upstream
+//!   persists failing values; here the case seed *is* the value, so the
+//!   corpus stores seeds. Files live in
+//!   `$CARGO_MANIFEST_DIR/proptest-regressions/*.txt`, one entry per
+//!   line: `cc <property-name> <hex-seed>` (`#` starts a comment). Every
+//!   seed recorded for a property is replayed before any fresh cases are
+//!   generated, so once-failing inputs stay covered forever.
 //!
 //! The number of cases per property defaults to 64 and can be raised with
 //! the `PROPTEST_CASES` environment variable.
@@ -371,6 +378,18 @@ pub fn run_cases<F>(name: &str, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    // Replay the committed regression corpus first: seeds that once
+    // produced a failure are pinned forever (see the module docs for the
+    // file format).
+    for seed in corpus_seeds(name) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property '{name}' failed replaying regression corpus seed {seed:#x}: {msg}"
+            ),
+        }
+    }
     let cases: u64 = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
     // FNV-1a over the test name: stable, deterministic case stream.
     let mut seed = 0xcbf2_9ce4_8422_2325u64;
@@ -398,6 +417,56 @@ where
             ),
         }
     }
+}
+
+/// One regression-corpus entry: `cc <property-name> <hex-seed>`, with
+/// `#`-comments and blank lines ignored. Returns the property name and
+/// the seed, or `None` for non-entry lines.
+fn parse_corpus_line(line: &str) -> Option<(&str, u64)> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "cc" {
+        return None;
+    }
+    let name = parts.next()?;
+    let tok = parts.next()?;
+    let tok = tok.strip_prefix("0x").unwrap_or(tok);
+    u64::from_str_radix(tok, 16).ok().map(|seed| (name, seed))
+}
+
+/// All corpus seeds recorded for property `name` in the running crate
+/// (every `proptest-regressions/*.txt` under `$CARGO_MANIFEST_DIR`).
+fn corpus_seeds(name: &str) -> Vec<u64> {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => corpus_seeds_in(std::path::Path::new(&dir), name),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// [`corpus_seeds`] against an explicit crate root (separated for tests).
+fn corpus_seeds_in(root: &std::path::Path, name: &str) -> Vec<u64> {
+    let Ok(entries) = std::fs::read_dir(root.join("proptest-regressions")) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        seeds.extend(
+            text.lines()
+                .filter_map(parse_corpus_line)
+                .filter(|(n, _)| *n == name)
+                .map(|(_, s)| s),
+        );
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
 }
 
 /// Everything a test file needs in scope.
@@ -558,5 +627,47 @@ mod tests {
     #[should_panic(expected = "failed at case")]
     fn failing_property_panics() {
         crate::run_cases("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn corpus_lines_parse() {
+        assert_eq!(
+            crate::parse_corpus_line("cc codec_round_trip 0xdeadbeef"),
+            Some(("codec_round_trip", 0xdead_beef))
+        );
+        assert_eq!(
+            crate::parse_corpus_line("  cc p cafe  # shrunk by hand"),
+            Some(("p", 0xcafe))
+        );
+        assert_eq!(crate::parse_corpus_line("# a comment"), None);
+        assert_eq!(crate::parse_corpus_line(""), None);
+        assert_eq!(crate::parse_corpus_line("cc missing_seed"), None);
+        assert_eq!(crate::parse_corpus_line("cc p 0xnothex"), None);
+        assert_eq!(crate::parse_corpus_line("dd p 0x1"), None);
+    }
+
+    #[test]
+    fn corpus_discovery_filters_sorts_and_dedups() {
+        let root = std::env::temp_dir().join(format!(
+            "proptest_stub_corpus_{}_{}",
+            std::process::id(),
+            line!()
+        ));
+        let dir = root.join("proptest-regressions");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("a.txt"),
+            "# comment\ncc wanted 0x2\ncc other 0x9\ncc wanted 0x1\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("b.txt"), "cc wanted 0x2 # duplicate across files\n").unwrap();
+        std::fs::write(dir.join("ignored.md"), "cc wanted 0xff\n").unwrap();
+        assert_eq!(crate::corpus_seeds_in(&root, "wanted"), vec![1, 2]);
+        assert_eq!(crate::corpus_seeds_in(&root, "missing"), Vec::<u64>::new());
+        assert_eq!(
+            crate::corpus_seeds_in(&root.join("nonexistent"), "wanted"),
+            Vec::<u64>::new()
+        );
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }
