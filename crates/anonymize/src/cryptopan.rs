@@ -49,6 +49,24 @@ impl CryptoPan {
         otp
     }
 
+    /// One pad bit in isolation: the bit at position `pos` (MSB-first) of
+    /// the one-time pad, which by construction depends only on the first
+    /// `pos` bits of `addr`. This is exactly one iteration of
+    /// [`Self::one_time_pad`]; the memoized anonymizer
+    /// ([`crate::memo::MemoCryptoPan`]) uses it to precompute the prefix
+    /// subtree and to fill in suffix bits, guaranteeing bit-identical
+    /// output by sharing the block construction.
+    pub(crate) fn pad_bit(&self, addr: u32, pos: u32) -> u32 {
+        let pad_u32 = u32::from_be_bytes([self.pad[0], self.pad[1], self.pad[2], self.pad[3]]);
+        let mask = if pos == 0 { 0u32 } else { u32::MAX << (32 - pos) };
+        let input = (addr & mask) | (pad_u32 & !mask);
+        let mut block = [0u8; 16];
+        block[4..].copy_from_slice(&self.pad[4..]);
+        block[..4].copy_from_slice(&input.to_be_bytes());
+        let out = self.aes.encrypt(&block);
+        u32::from(out[0] >> 7)
+    }
+
     /// Anonymize one address.
     ///
     /// With the `strict-invariants` feature enabled, every call verifies

@@ -2,16 +2,39 @@
 
 use obscor_anonymize::cryptopan::{common_prefix_len, CryptoPan};
 use obscor_anonymize::sharing::{raw_overlap, Holder};
+use obscor_anonymize::MemoCryptoPan;
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
-fn cp_from(key_seed: u64) -> CryptoPan {
+fn key_from(key_seed: u64) -> [u8; 32] {
     let mut key = [0u8; 32];
     let mut x = key_seed | 1;
     for b in key.iter_mut() {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         *b = (x >> 56) as u8;
     }
-    CryptoPan::new(&key)
+    key
+}
+
+fn cp_from(key_seed: u64) -> CryptoPan {
+    CryptoPan::new(&key_from(key_seed))
+}
+
+/// Two fixed uncached/memoized pairs under distinct keys. The memo table
+/// build is too expensive to repeat per proptest case, so the *schemes*
+/// are fixed and the *addresses* range over the full u32 space.
+fn memo_pair(second: bool) -> &'static (CryptoPan, MemoCryptoPan) {
+    static A: OnceLock<(CryptoPan, MemoCryptoPan)> = OnceLock::new();
+    static B: OnceLock<(CryptoPan, MemoCryptoPan)> = OnceLock::new();
+    let (cell, seed) = if second {
+        (&B, 0x0F1E_2D3C_4B5A_6978u64)
+    } else {
+        (&A, 0x1234_5678_9ABC_DEF0u64)
+    };
+    cell.get_or_init(|| {
+        let key = key_from(seed);
+        (CryptoPan::new(&key), MemoCryptoPan::new(&key))
+    })
 }
 
 proptest! {
@@ -90,6 +113,48 @@ proptest! {
             raw_overlap(&ta.translate_all(&pub_a), &tb.translate_all(&pub_b)),
             truth
         );
+    }
+
+    /// The memoized scheme is bit-identical to uncached CryptoPAN across
+    /// the full address range, under more than one key.
+    #[test]
+    fn memo_equals_uncached(addr in any::<u32>(), second in any::<bool>()) {
+        let (cp, memo) = memo_pair(second);
+        prop_assert_eq!(memo.anonymize(addr), cp.anonymize(addr));
+    }
+
+    /// The memoized scheme inverts itself, and inverts the uncached
+    /// scheme's output (they are the same bijection).
+    #[test]
+    fn memo_round_trip(addr in any::<u32>(), second in any::<bool>()) {
+        let (cp, memo) = memo_pair(second);
+        prop_assert_eq!(memo.deanonymize(memo.anonymize(addr)), addr);
+        prop_assert_eq!(memo.deanonymize(cp.anonymize(addr)), addr);
+    }
+
+    /// Prefix preservation holds through the memo table exactly: common
+    /// prefixes are neither extended nor shortened.
+    #[test]
+    fn memo_prefix_preservation(a in any::<u32>(), b in any::<u32>(), second in any::<bool>()) {
+        let (_, memo) = memo_pair(second);
+        prop_assert_eq!(
+            common_prefix_len(memo.anonymize(a), memo.anonymize(b)),
+            common_prefix_len(a, b)
+        );
+    }
+
+    /// The batched sort-by-prefix path equals the scalar path (and hence
+    /// the uncached scheme) element-wise, duplicates and all.
+    #[test]
+    fn memo_slice_equals_scalar(
+        addrs in prop::collection::vec(any::<u32>(), 0..64),
+        second in any::<bool>(),
+    ) {
+        let (cp, memo) = memo_pair(second);
+        let mut batched = addrs.clone();
+        memo.anonymize_slice(&mut batched);
+        let scalar: Vec<u32> = addrs.iter().map(|&a| cp.anonymize(a)).collect();
+        prop_assert_eq!(batched, scalar);
     }
 
     /// Anonymizing a sorted set preserves relative order of shared-prefix

@@ -36,7 +36,7 @@ pub mod io;
 pub mod keys;
 
 pub use array::Assoc;
-pub use keys::KeySet;
+pub use keys::{KeySet, NumKeySet};
 
 /// Associative array with `f64` values (the D4M numeric convention).
 pub type NumAssoc = Assoc<f64>;

@@ -1,18 +1,160 @@
-//! Substrate bench: synthetic packet generation, windowing, and the
-//! libpcap codec at capture rates.
+//! Substrate bench: synthetic packet generation, windowing, the libpcap
+//! codec at capture rates — and the window-ingest fast-path report.
+//!
+//! Before the criterion benches run, this binary times each ingest
+//! fast path against the differential oracle it replaced (serial sort
+//! compaction vs the radix kernel, uncached CryptoPAN vs the memoized
+//! prefix table, string key sets vs numeric key sets) and writes the
+//! comparison as `BENCH_ingest.json` (schema `obscor.bench.ingest.v1`,
+//! path override `OBSCOR_BENCH_INGEST_OUT`) — the before/after record
+//! DESIGN.md §12 and CI's bench-smoke step point at.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obscor_anonymize::{CryptoPan, MemoCryptoPan};
+use obscor_assoc::NumKeySet;
 use obscor_bench::fixture;
+use obscor_hypersparse::{Coo, Index};
 use obscor_netmodel::{PacketStream, TrafficConfig};
 use obscor_pcap::{AcceptAll, ConstantPacketWindower, PcapReader, PcapWriter};
-use obscor_telescope::capture_window;
+use obscor_telescope::{capture_window, matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
+const INGEST_KEY: [u8; 32] = [0x5Au8; 32];
+const INGEST_REPS: usize = 3;
+
+/// One before/after row of the ingest report.
+struct Comparison {
+    name: &'static str,
+    baseline_ns: u64,
+    fast_ns: u64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / (self.fast_ns.max(1)) as f64
+    }
+}
+
+/// Median of `reps` timed runs of `f` (wall-clock, via the obs stopwatch).
+fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut times: Vec<u64> = (0..reps)
+        .map(|_| {
+            let (out, ns) = obscor_obs::time_fn(&mut f);
+            black_box(out);
+            ns
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Time the ingest fast paths against their oracles and write the report.
+fn ingest_report(n_v: usize, seed: u64) {
+    let f = fixture(n_v, seed);
+    let w = capture_window(&f.scenario, &f.scenario.caida_windows[0]);
+
+    // 1. Triple compaction: serial sort-and-dedup vs the radix kernel.
+    let triples: Vec<(Index, Index, u64)> =
+        w.window.packets.iter().map(|p| (p.src.0, p.dst.0, 1u64)).collect();
+    let proto = Coo::from_triples(triples);
+    let compaction = Comparison {
+        name: "compaction_serial_vs_radix",
+        baseline_ns: median_ns(INGEST_REPS, || proto.clone().into_csr_serial()),
+        fast_ns: median_ns(INGEST_REPS, || proto.clone().into_csr_radix()),
+    };
+
+    // 2. CryptoPAN: 32-AES scalar vs the 16-AES prefix-table path,
+    //    scalar and batched, on the window's source addresses (with the
+    //    natural duplicate structure of real ingest).
+    let addrs: Vec<u32> = w.window.packets.iter().map(|p| p.src.0).collect();
+    let uncached = CryptoPan::new(&INGEST_KEY);
+    let (memo, table_build_ns) = obscor_obs::time_fn(|| MemoCryptoPan::new(&INGEST_KEY));
+    let scalar_baseline_ns = median_ns(INGEST_REPS, || {
+        addrs.iter().map(|&a| u64::from(uncached.anonymize(a))).sum::<u64>()
+    });
+    let cryptopan_scalar = Comparison {
+        name: "cryptopan_uncached_vs_memo_scalar",
+        baseline_ns: scalar_baseline_ns,
+        fast_ns: median_ns(INGEST_REPS, || {
+            addrs.iter().map(|&a| u64::from(memo.anonymize(a))).sum::<u64>()
+        }),
+    };
+    let cryptopan_batched = Comparison {
+        name: "cryptopan_uncached_vs_memo_batched",
+        baseline_ns: scalar_baseline_ns,
+        fast_ns: median_ns(INGEST_REPS, || {
+            let mut out = addrs.clone();
+            memo.anonymize_slice(&mut out);
+            out
+        }),
+    };
+
+    // 3. End-to-end anonymized matrix build, uncached vs memoized.
+    let matrix_build = Comparison {
+        name: "anonymized_matrix_uncached_vs_memo",
+        baseline_ns: median_ns(INGEST_REPS, || matrix::build_anonymized_matrix(&w, &uncached)),
+        fast_ns: median_ns(INGEST_REPS, || matrix::build_anonymized_matrix_memo(&w, &memo)),
+    };
+
+    // 4. Correlation set ops: string key sets vs numeric key sets on the
+    //    first window's sources against its coeval honeyfarm month.
+    let wd = &f.degrees[0];
+    let month = &f.monthly_sources[wd.month];
+    let str_keys = wd.key_set();
+    let num_keys = wd.ip_set();
+    let num_month = NumKeySet::from_key_set(month).expect("monthly keys are dotted quads");
+    let overlap = Comparison {
+        name: "overlap_fraction_string_vs_numeric",
+        baseline_ns: median_ns(INGEST_REPS, || str_keys.overlap_fraction(month)),
+        fast_ns: median_ns(INGEST_REPS, || num_keys.overlap_fraction(&num_month)),
+    };
+
+    let comparisons =
+        [compaction, cryptopan_scalar, cryptopan_batched, matrix_build, overlap];
+
+    eprintln!("\n=== WINDOW INGEST FAST PATH (N_V = {n_v}) ===");
+    eprintln!("memo_table_build {table_build_ns} ns");
+    for c in &comparisons {
+        eprintln!(
+            "{:<38} baseline {:>12} ns  fast {:>12} ns  speedup {:>7.2}x",
+            c.name,
+            c.baseline_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"obscor.bench.ingest.v1\",\n");
+    json.push_str(&format!("  \"n_v\": {n_v},\n"));
+    json.push_str(&format!("  \"reps\": {INGEST_REPS},\n"));
+    json.push_str(&format!("  \"memo_table_build_ns\": {table_build_ns},\n"));
+    json.push_str("  \"comparisons\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {}, \"fast_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.baseline_ns,
+            c.fast_ns,
+            c.speedup(),
+            if i + 1 < comparisons.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::var("OBSCOR_BENCH_INGEST_OUT")
+        .unwrap_or_else(|_| "BENCH_ingest.json".to_string());
+    std::fs::write(&out, &json).expect("write ingest fast-path report");
+    eprintln!("ingest report -> {out}");
+}
+
 fn bench(c: &mut Criterion) {
     let f = fixture(1 << 16, 42);
     let scenario = &f.scenario;
+
+    ingest_report(1 << 16, 42);
 
     let mut g = c.benchmark_group("window_throughput");
     g.sample_size(10);

@@ -40,7 +40,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   obscor reproduce [--nv N] [--seed S] [--fast] [--tsv] [--check] [--only ARTIFACT]
-                   [--metrics FILE] [--fault-plan SEED:RATE] [--strict-archive]
+                   [--metrics FILE] [--fast-path-metrics]
+                   [--fault-plan SEED:RATE] [--strict-archive]
   obscor generate  [--nv N] [--seed S] [--window 0..4] [--filter EXPR] --out FILE
   obscor forecast  [--nv N] [--seed S] [--cutoff K]
   obscor info      [--nv N] [--seed S]
@@ -48,6 +49,9 @@ const USAGE: &str = "usage:
 Flags given without a subcommand run `reproduce` (e.g. `obscor --metrics m.json`).
 --metrics FILE writes the run's per-stage observability report (span timings,
 counters, gauges) as obscor.metrics.v1 JSON.
+--fast-path-metrics additionally records the opt-in ingest fast-path metrics
+(hypersparse.radix.* compaction counters and anonymize.cache.* hit rates),
+which are off by default to keep the pinned metric schema stable.
 --fault-plan SEED:RATE builds the window matrices through the leaf archive and
 injects seeded faults (truncation, bit flips, missing leaves, flaky reads) at
 the given per-leaf rate; the restore retries transient faults, quarantines
@@ -68,6 +72,7 @@ struct Options {
     cutoff: usize,
     filter: Option<String>,
     metrics: Option<String>,
+    fast_path_metrics: bool,
     fault_plan: Option<FaultPlan>,
     strict_archive: bool,
 }
@@ -85,6 +90,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         cutoff: 10,
         filter: None,
         metrics: None,
+        fast_path_metrics: false,
         fault_plan: None,
         strict_archive: false,
     };
@@ -112,6 +118,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--out" => o.out = Some(value("--out")?),
             "--filter" => o.filter = Some(value("--filter")?),
             "--metrics" => o.metrics = Some(value("--metrics")?),
+            "--fast-path-metrics" => o.fast_path_metrics = true,
             "--fault-plan" => o.fault_plan = Some(FaultPlan::parse(&value("--fault-plan")?)?),
             "--strict-archive" => o.strict_archive = true,
             "--cutoff" => {
@@ -171,6 +178,11 @@ fn build_scenario(o: &Options) -> Scenario {
 }
 
 fn reproduce(o: Options) -> Result<(), String> {
+    if o.fast_path_metrics {
+        obscor_hypersparse::radix::enable_metrics();
+        obscor_anonymize::memo::enable_cache_metrics();
+        eprintln!("fast-path metrics enabled (hypersparse.radix.*, anonymize.cache.*)");
+    }
     let scenario = build_scenario(&o);
     let mut config = if o.fast { AnalysisConfig::fast() } else { AnalysisConfig::default() };
     if o.fault_plan.is_some() || o.strict_archive {
@@ -400,6 +412,13 @@ mod tests {
         let o = parse(&args("--metrics out.json")).unwrap();
         assert_eq!(o.metrics.as_deref(), Some("out.json"));
         assert!(parse(&args("--metrics")).is_err());
+    }
+
+    #[test]
+    fn fast_path_metrics_flag_parses() {
+        assert!(!parse(&args("--metrics m.json")).unwrap().fast_path_metrics);
+        let o = parse(&args("--metrics m.json --fast-path-metrics")).unwrap();
+        assert!(o.fast_path_metrics);
     }
 
     #[test]

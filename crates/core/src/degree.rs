@@ -12,7 +12,7 @@
 
 use obscor_anonymize::sharing::Holder;
 use obscor_assoc::convert::ip_key;
-use obscor_assoc::KeySet;
+use obscor_assoc::{KeySet, NumKeySet};
 use obscor_hypersparse::reduce;
 use obscor_netmodel::Scenario;
 use obscor_stats::binning::log2_bin;
@@ -53,7 +53,7 @@ impl WindowDegrees {
         holder: &Holder,
     ) -> Self {
         let _span = obscor_obs::span("core.degrees");
-        let reduced = reduce::source_packets(m);
+        let reduced = reduce::source_packets_auto(m);
         obscor_obs::counter("core.degrees.sources_total").add(reduced.len() as u64);
         // The archive publishes the reduced product anonymized...
         let real_ips: Vec<u32> = reduced.iter().map(|&(ip, _)| ip).collect();
@@ -113,6 +113,28 @@ impl WindowDegrees {
     /// The full source key set of the window.
     pub fn key_set(&self) -> KeySet {
         self.degrees.iter().map(|&(ip, _)| ip_key(ip)).collect()
+    }
+
+    /// Sources grouped into log2 degree bins as numeric key sets — the
+    /// allocation-free counterpart of [`Self::bin_key_sets`]. Bin
+    /// membership is identical; keys are the `u32` addresses themselves
+    /// instead of dotted-quad strings, and because [`ip_key`] zero-pads,
+    /// both representations sort the same way.
+    pub fn bin_ip_sets(&self, min_sources: usize) -> BTreeMap<u32, NumKeySet> {
+        let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for &(ip, d) in &self.degrees {
+            groups.entry(log2_bin(d)).or_default().push(ip);
+        }
+        groups
+            .into_iter()
+            .filter(|(_, v)| v.len() >= min_sources)
+            .map(|(bin, ips)| (bin, ips.into_iter().collect()))
+            .collect()
+    }
+
+    /// The full source set of the window as a numeric key set.
+    pub fn ip_set(&self) -> NumKeySet {
+        self.degrees.iter().map(|&(ip, _)| ip).collect()
     }
 }
 
@@ -196,5 +218,28 @@ mod tests {
     fn key_set_has_one_key_per_source() {
         let (_, wd) = fixture();
         assert_eq!(wd.key_set().len(), wd.n_sources());
+    }
+
+    #[test]
+    fn numeric_bins_mirror_string_bins() {
+        let (_, wd) = fixture();
+        let s_bins = wd.bin_key_sets(1);
+        let n_bins = wd.bin_ip_sets(1);
+        assert_eq!(s_bins.len(), n_bins.len());
+        for (bin, keys) in &s_bins {
+            assert_eq!(&n_bins[bin].to_key_set(), keys, "bin {bin} diverged");
+        }
+        assert_eq!(wd.ip_set().to_key_set(), wd.key_set());
+    }
+
+    #[test]
+    fn numeric_bins_respect_min_sources() {
+        let (_, wd) = fixture();
+        let filtered = wd.bin_ip_sets(50);
+        assert_eq!(
+            filtered.keys().collect::<Vec<_>>(),
+            wd.bin_key_sets(50).keys().collect::<Vec<_>>()
+        );
+        assert!(filtered.values().all(|k| k.len() >= 50));
     }
 }

@@ -7,7 +7,7 @@
 //! empirical law `log2(d)/log2(sqrt(N_V))`.
 
 use crate::degree::WindowDegrees;
-use obscor_assoc::KeySet;
+use obscor_assoc::{KeySet, NumKeySet};
 use obscor_stats::binning::bin_representative;
 
 /// One point of the Fig 4 curve.
@@ -47,7 +47,52 @@ impl PeakCorrelation {
 
 /// Compute the Fig 4 series: per-bin overlap of `window` sources with the
 /// coeval honeyfarm source set.
+///
+/// Dispatching wrapper: when every coeval key parses as a dotted-quad IP
+/// (the [`obscor_assoc::convert::ip_key`] convention), the overlap runs on
+/// the numeric fast path ([`peak_correlation_ip`]); otherwise it falls
+/// back to the string-keyed oracle ([`peak_correlation_str`]). Both paths
+/// are bit-identical on parseable keys. Callers holding the coeval set for
+/// many windows should convert once and call the `_ip` variant directly.
 pub fn peak_correlation(
+    window: &WindowDegrees,
+    coeval_sources: &KeySet,
+    bright_log2: f64,
+    min_bin_sources: usize,
+) -> PeakCorrelation {
+    match NumKeySet::from_key_set(coeval_sources) {
+        Some(coeval) => peak_correlation_ip(window, &coeval, bright_log2, min_bin_sources),
+        None => peak_correlation_str(window, coeval_sources, bright_log2, min_bin_sources),
+    }
+}
+
+/// Numeric fast path of [`peak_correlation`]: per-bin overlaps as `u32`
+/// merge/gallop counts, no string allocation in the inner loop.
+pub fn peak_correlation_ip(
+    window: &WindowDegrees,
+    coeval_sources: &NumKeySet,
+    bright_log2: f64,
+    min_bin_sources: usize,
+) -> PeakCorrelation {
+    let _span = obscor_obs::span("core.peak_correlation");
+    obscor_obs::counter("core.peak_correlation.windows_total").inc();
+    let points = window
+        .bin_ip_sets(min_bin_sources)
+        .into_iter()
+        .map(|(bin, keys)| {
+            let d = bin_representative(bin);
+            let fraction = keys.overlap_fraction(coeval_sources).unwrap_or(0.0);
+            let empirical_law = ((d as f64).log2() / bright_log2).clamp(0.0, 1.0);
+            PeakPoint { bin, d, n_sources: keys.len(), fraction, empirical_law }
+        })
+        .collect();
+    PeakCorrelation { window_label: window.label.clone(), month: window.month, points }
+}
+
+/// String-keyed path of [`peak_correlation`], kept as the differential
+/// oracle for the numeric fast path (and the fallback for key sets whose
+/// keys are not dotted-quad IPs).
+pub fn peak_correlation_str(
     window: &WindowDegrees,
     coeval_sources: &KeySet,
     bright_log2: f64,
@@ -121,6 +166,30 @@ mod tests {
         w.degrees.push((100, 1024)); // a lone bright source (bin 10)
         let peak = peak_correlation(&w, &KeySet::new(), 8.0, 2);
         assert!(peak.points.iter().all(|p| p.bin != 10));
+    }
+
+    #[test]
+    fn numeric_and_string_paths_are_bit_identical() {
+        let w = window_with_bins();
+        let gn = keys_of(&[1, 2, 3, 11, 12, 13, 14, 99]);
+        let via_str = peak_correlation_str(&w, &gn, 8.0, 1);
+        let via_num =
+            peak_correlation_ip(&w, &NumKeySet::from_key_set(&gn).unwrap(), 8.0, 1);
+        assert_eq!(via_str, via_num);
+        // The public entry point dispatches to the numeric path here.
+        assert_eq!(peak_correlation(&w, &gn, 8.0, 1), via_num);
+    }
+
+    #[test]
+    fn unparseable_keys_fall_back_to_the_string_path() {
+        let w = window_with_bins();
+        let gn: KeySet = ["scanner-x".to_string(), obscor_assoc::convert::ip_key(1)]
+            .into_iter()
+            .collect();
+        assert!(NumKeySet::from_key_set(&gn).is_none());
+        let peak = peak_correlation(&w, &gn, 8.0, 1);
+        assert_eq!(peak.points[0].n_sources, 8);
+        assert!((peak.points[0].fraction - 0.125).abs() < 1e-12);
     }
 
     #[test]

@@ -4,13 +4,13 @@ use crate::config::AnalysisConfig;
 use crate::degree::WindowDegrees;
 use crate::distribution::{degree_distribution, DegreeDistribution};
 use crate::fitscan::{fit_curves, BinFit};
-use crate::peak::{peak_correlation, PeakCorrelation};
+use crate::peak::{peak_correlation, peak_correlation_ip, PeakCorrelation};
 use crate::classes::{class_correlation, ClassCorrelation};
 use crate::scaling::source_scaling;
 use crate::subnets::{aggregate_by_prefix, SubnetRow};
-use crate::temporal::{temporal_curves, TemporalCurve};
+use crate::temporal::{temporal_curves, temporal_curves_ip, TemporalCurve};
 use obscor_anonymize::sharing::Holder;
-use obscor_assoc::KeySet;
+use obscor_assoc::{KeySet, NumKeySet};
 use obscor_honeyfarm::observe_all_months;
 use obscor_hypersparse::reduce::NetworkQuantities;
 use obscor_netmodel::Scenario;
@@ -203,6 +203,12 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         .collect();
     let monthly_sources: Vec<KeySet> =
         months.iter().map(|m| m.source_keys().clone()).collect();
+    // Numeric mirror of the monthly key sets, converted once: the peak
+    // and temporal stages then run every per-bin overlap on u32 keys
+    // instead of allocating dotted-quad strings in the inner loop. `None`
+    // (a month with non-IP keys) falls back to the string path.
+    let monthly_ip: Option<Vec<NumKeySet>> =
+        monthly_sources.iter().map(NumKeySet::from_key_set).collect();
     if cfg!(any(debug_assertions, feature = "strict-invariants")) {
         for (m, keys) in months.iter().zip(&monthly_sources) {
             stage_check(&m.label, m.assoc.check_invariants());
@@ -290,13 +296,19 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         let _s = obscor_obs::span("stage.peaks");
         degrees
             .par_iter()
-            .map(|wd| {
-                peak_correlation(
+            .map(|wd| match &monthly_ip {
+                Some(months) => peak_correlation_ip(
+                    wd,
+                    &months[wd.month],
+                    scenario.bright_log2(),
+                    config.min_bin_sources,
+                ),
+                None => peak_correlation(
                     wd,
                     &monthly_sources[wd.month],
                     scenario.bright_log2(),
                     config.min_bin_sources,
-                )
+                ),
             })
             .collect()
     };
@@ -305,7 +317,10 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         let _s = obscor_obs::span("stage.curves");
         degrees
             .par_iter()
-            .flat_map(|wd| temporal_curves(wd, &monthly_sources, config.min_bin_sources))
+            .flat_map(|wd| match &monthly_ip {
+                Some(months) => temporal_curves_ip(wd, months, config.min_bin_sources),
+                None => temporal_curves(wd, &monthly_sources, config.min_bin_sources),
+            })
             .collect()
     };
     obscor_obs::counter("stage.curves.computed_total").add(curves.len() as u64);

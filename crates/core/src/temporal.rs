@@ -5,7 +5,7 @@
 //! the 15-month span — overlap as a function of the month lag `t − t0`.
 
 use crate::degree::WindowDegrees;
-use obscor_assoc::KeySet;
+use obscor_assoc::{KeySet, NumKeySet};
 use obscor_stats::binning::bin_representative;
 
 /// One temporal correlation curve (one window × one degree bin).
@@ -44,7 +44,64 @@ impl TemporalCurve {
 
 /// Compute the temporal curves of one window against all honeyfarm
 /// months (`monthly_sources[m]` is month `m`'s row-key set).
+///
+/// Dispatching wrapper: when every monthly key parses as a dotted-quad IP
+/// the 15-month × per-bin overlap grid runs on the numeric fast path
+/// ([`temporal_curves_ip`]); otherwise it falls back to the string-keyed
+/// oracle ([`temporal_curves_str`]). Callers running many windows against
+/// the same months should convert once and call the `_ip` variant.
 pub fn temporal_curves(
+    window: &WindowDegrees,
+    monthly_sources: &[KeySet],
+    min_bin_sources: usize,
+) -> Vec<TemporalCurve> {
+    let numeric: Option<Vec<NumKeySet>> =
+        monthly_sources.iter().map(NumKeySet::from_key_set).collect();
+    match numeric {
+        Some(months) => temporal_curves_ip(window, &months, min_bin_sources),
+        None => temporal_curves_str(window, monthly_sources, min_bin_sources),
+    }
+}
+
+/// Numeric fast path of [`temporal_curves`]: every per-bin × per-month
+/// overlap is a `u32` merge/gallop count with no string allocation.
+pub fn temporal_curves_ip(
+    window: &WindowDegrees,
+    monthly_sources: &[NumKeySet],
+    min_bin_sources: usize,
+) -> Vec<TemporalCurve> {
+    let _span = obscor_obs::span("core.temporal_curves");
+    let curves: Vec<TemporalCurve> = window
+        .bin_ip_sets(min_bin_sources)
+        .into_iter()
+        .map(|(bin, keys)| {
+            let months: Vec<usize> = (0..monthly_sources.len()).collect();
+            let lags: Vec<f64> =
+                months.iter().map(|&m| (m as f64 + 0.5) - window.coord).collect();
+            let fractions: Vec<f64> = months
+                .iter()
+                .map(|&m| keys.overlap_fraction(&monthly_sources[m]).unwrap_or(0.0))
+                .collect();
+            TemporalCurve {
+                window_label: window.label.clone(),
+                coord: window.coord,
+                bin,
+                d: bin_representative(bin),
+                n_sources: keys.len(),
+                months,
+                lags,
+                fractions,
+            }
+        })
+        .collect();
+    obscor_obs::counter("core.temporal_curves.curves_total").add(curves.len() as u64);
+    curves
+}
+
+/// String-keyed path of [`temporal_curves`], kept as the differential
+/// oracle for the numeric fast path (and the fallback for key sets whose
+/// keys are not dotted-quad IPs).
+pub fn temporal_curves_str(
     window: &WindowDegrees,
     monthly_sources: &[KeySet],
     min_bin_sources: usize,
@@ -133,6 +190,30 @@ mod tests {
         assert_eq!(dim.fractions[2], 0.0);
         let bright = curves.iter().find(|c| c.bin == 8).unwrap();
         assert!((bright.fractions[3] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_and_string_paths_are_bit_identical() {
+        let w = window();
+        let gn = months(&[&[1, 2], &[1], &[], &[21, 22, 23], &[1, 21, 99]]);
+        let via_str = temporal_curves_str(&w, &gn, 1);
+        let gn_num: Vec<NumKeySet> =
+            gn.iter().map(|ks| NumKeySet::from_key_set(ks).unwrap()).collect();
+        let via_num = temporal_curves_ip(&w, &gn_num, 1);
+        assert_eq!(via_str, via_num);
+        // The public entry point dispatches to the numeric path here.
+        assert_eq!(temporal_curves(&w, &gn, 1), via_num);
+    }
+
+    #[test]
+    fn unparseable_keys_fall_back_to_the_string_path() {
+        let w = window();
+        let mut gn = months(&[&[1, 2], &[1]]);
+        gn[1] = ["not-an-ip".to_string(), ip_key(1)].into_iter().collect();
+        let curves = temporal_curves(&w, &gn, 1);
+        let dim = curves.iter().find(|c| c.bin == 2).unwrap();
+        assert!((dim.fractions[0] - 0.2).abs() < 1e-12);
+        assert!((dim.fractions[1] - 0.1).abs() < 1e-12);
     }
 
     #[test]

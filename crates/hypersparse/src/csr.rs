@@ -77,6 +77,29 @@ impl<V: Value> Csr<V> {
         Self { row_keys, row_ptr, col_keys, vals }
     }
 
+    /// Build directly from pre-assembled CSR arrays. The radix compaction
+    /// kernel ([`crate::radix`]) produces these without ever materializing
+    /// a dedup'd triple `Vec`; the caller is responsible for upholding the
+    /// type invariants (checked here in debug builds and by the
+    /// strict-invariants feature at the compaction boundary).
+    pub(crate) fn from_parts(
+        row_keys: Vec<Index>,
+        row_ptr: Vec<usize>,
+        col_keys: Vec<Index>,
+        vals: Vec<V>,
+    ) -> Self {
+        if row_keys.is_empty() {
+            return Self::empty();
+        }
+        let csr = Self { row_keys, row_ptr, col_keys, vals };
+        debug_assert!(
+            csr.check_invariants().is_ok(),
+            "from_parts given invalid CSR arrays: {:?}",
+            csr.check_invariants()
+        );
+        csr
+    }
+
     /// Number of stored (nonzero) entries — the paper's *unique links*.
     pub fn nnz(&self) -> usize {
         self.col_keys.len()

@@ -9,6 +9,7 @@
 //! directly.
 
 use crate::csr::Csr;
+use crate::keypack::pack_key;
 use crate::value::Value;
 use crate::{Coo, Index};
 
@@ -34,7 +35,7 @@ impl<V: Value> Dcsc<V> {
     pub fn from_csr(a: &Csr<V>) -> Self {
         let mut triples: Vec<(Index, Index, V)> =
             a.iter().map(|(r, c, v)| (c, r, v)).collect();
-        triples.sort_unstable_by_key(|&(c, r, _)| ((c as u64) << 32) | r as u64);
+        triples.sort_unstable_by_key(|&(c, r, _)| pack_key(c, r));
         let mut col_keys = Vec::new();
         let mut col_ptr = vec![0usize];
         let mut row_keys = Vec::with_capacity(triples.len());

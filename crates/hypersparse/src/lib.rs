@@ -15,8 +15,9 @@
 //!
 //! The crate provides:
 //!
-//! * [`Coo`] — an append-only triple buffer with serial and parallel
-//!   (rayon-based) sort/deduplicate compaction,
+//! * [`Coo`] — an append-only triple buffer compacted either by comparison
+//!   sort (serial oracle, rayon-parallel ablation) or by the [`radix`] LSD
+//!   counting-sort kernel, selected at a measured size crossover,
 //! * [`Csr`] — an immutable hypersparse matrix supporting the full menu of
 //!   network quantities from Table II of the paper ([`reduce`]),
 //! * [`hier::HierarchicalAccumulator`] — the hierarchical accumulation
@@ -47,7 +48,9 @@ pub mod coo;
 pub mod csr;
 pub mod dcsc;
 pub mod hier;
+pub mod keypack;
 pub mod ops;
+pub mod radix;
 pub mod reduce;
 pub mod serialize;
 pub mod spgemm;

@@ -16,6 +16,17 @@ fn build(triples: &[(Index, Index, u64)]) -> Csr<u64> {
     Coo::from_triples(triples.iter().copied()).into_csr()
 }
 
+/// Keys that mix the full u32 range (exercising every radix digit) with a
+/// tiny range (forcing heavy duplication), and values that include
+/// explicit zeros (which compaction must drop).
+fn arb_radix_key() -> impl Strategy<Value = Index> {
+    (any::<u32>(), any::<bool>()).prop_map(|(x, small)| if small { x % 8 } else { x })
+}
+
+fn arb_radix_triples() -> impl Strategy<Value = Vec<(Index, Index, u64)>> {
+    prop::collection::vec((arb_radix_key(), arb_radix_key(), 0u64..4), 0..600)
+}
+
 proptest! {
     /// Serial and parallel COO compaction must agree exactly.
     #[test]
@@ -23,6 +34,38 @@ proptest! {
         let a = Coo::from_triples(t.iter().copied()).into_csr_serial();
         let b = Coo::from_triples(t.iter().copied()).into_csr_parallel();
         prop_assert_eq!(a, b);
+    }
+
+    /// The radix compaction kernel is bit-identical to the serial
+    /// comparison sort over arbitrary triples — duplicates (summed),
+    /// explicit zeros (dropped), full-range keys, and empty lists — and
+    /// its output satisfies every structural invariant.
+    #[test]
+    fn radix_equals_serial_compaction(t in arb_radix_triples()) {
+        let serial = Coo::from_triples(t.iter().copied()).into_csr_serial();
+        let radix = Coo::from_triples(t.iter().copied()).into_csr_radix();
+        prop_assert!(radix.check_invariants().is_ok());
+        prop_assert_eq!(serial, radix);
+    }
+
+    /// Zero-sum cancellation: f64 duplicates that sum to zero vanish from
+    /// the radix output exactly as they do from the serial oracle.
+    #[test]
+    fn radix_drops_cancelled_f64_entries(t in arb_radix_triples()) {
+        let signed = |v: u64| -> f64 {
+            // Map 0..4 onto {-1.0, -0.5, 0.5, 1.0} so duplicate keys can
+            // cancel exactly in binary floating point.
+            [-1.0, -0.5, 0.5, 1.0][(v % 4) as usize]
+        };
+        let serial: Csr<f64> = Coo::from_triples(
+            t.iter().map(|&(r, c, v)| (r, c, signed(v))),
+        )
+        .into_csr_serial();
+        let radix: Csr<f64> = Coo::from_triples(
+            t.iter().map(|&(r, c, v)| (r, c, signed(v))),
+        )
+        .into_csr_radix();
+        prop_assert_eq!(serial, radix);
     }
 
     /// Hierarchical accumulation equals flat accumulation regardless of

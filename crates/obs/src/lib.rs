@@ -61,7 +61,7 @@ pub use fault::FaultClass;
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{global, Registry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SCHEMA};
-pub use span::SpanTimer;
+pub use span::{time_fn, SpanTimer};
 
 use std::sync::Arc;
 

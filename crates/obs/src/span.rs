@@ -52,6 +52,22 @@ impl Drop for SpanTimer {
     }
 }
 
+/// Run `f` and return its result together with the elapsed wall-clock
+/// nanoseconds, without touching the registry.
+///
+/// This is the sanctioned stopwatch for code that needs a raw duration to
+/// *act on* (e.g. the hypersparse crossover calibration picks a kernel from
+/// measured timings) rather than to report. Reporting still goes through
+/// [`SpanTimer`]; `time_fn` exists so callers outside `obs` never need
+/// `Instant::now()` directly, keeping the `instant-timing` audit rule
+/// airtight.
+pub fn time_fn<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let started = Instant::now();
+    let out = f();
+    let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (out, elapsed_ns)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +90,15 @@ mod tests {
     fn name_accessor() {
         let s = SpanTimer::start("obs.test.name_accessor");
         assert_eq!(s.name(), "obs.test.name_accessor");
+    }
+
+    #[test]
+    fn time_fn_returns_result_and_duration() {
+        let (value, ns) = time_fn(|| (0..1000u64).sum::<u64>());
+        assert_eq!(value, 499_500);
+        assert!(ns > 0);
+        // No registry traffic: time_fn is a raw stopwatch.
+        let snap = global().snapshot();
+        assert!(!snap.histograms.keys().any(|k| k.contains("time_fn")));
     }
 }

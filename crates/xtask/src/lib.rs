@@ -16,6 +16,10 @@
 //! 5. **`instant-timing`** — no ad-hoc `Instant::now()`/`SystemTime::now()`
 //!    timing in library code outside the `obs` crate; timing goes through
 //!    `obscor_obs::span` so it lands in the metrics registry.
+//! 6. **`key-pack`** — no ad-hoc `as u64` + `<< 32` key packing in
+//!    `hypersparse` library code outside `keypack.rs`; the packed
+//!    `(row << 32) | col` layout must be built through
+//!    `keypack::pack_key`/`unpack_key` only.
 //!
 //! Violations print as `file:line: [rule] message` (or as JSON with
 //! `--json`) and the process exits non-zero. Individual sites are
@@ -157,6 +161,11 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
         // SpanTimer is where every other crate's timing must flow.
         if crate_name != "obs" {
             diagnostics.extend(rules::rule_instant_timing(file));
+        }
+        // The packed (row << 32) | col key layout is owned by
+        // hypersparse::keypack; the rule exempts keypack.rs itself.
+        if crate_name == "hypersparse" {
+            diagnostics.extend(rules::rule_key_pack(file));
         }
     }
 

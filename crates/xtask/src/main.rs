@@ -13,6 +13,7 @@ Runs the workspace static-analysis gate. Rules:
   float-eq             floating-point ==/!= in stats and core::fitscan
   invariant-coverage   public constructors without check_invariants tests
   instant-timing       ad-hoc Instant/SystemTime timing outside the obs crate
+  key-pack             ad-hoc `as u64` key packing outside hypersparse::keypack
 
 Suppress a single site with `// audit:allow(<rule>) — justification`.";
 

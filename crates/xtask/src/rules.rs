@@ -1,4 +1,4 @@
-//! The five audit rules.
+//! The six audit rules.
 //!
 //! Each rule scans preprocessed [`SourceFile`]s (comments/strings blanked,
 //! test lines marked) and emits [`Diagnostic`]s. Rules are suppressible
@@ -12,6 +12,7 @@
 //! | `float-eq`           | `stats` lib code + `core/src/fitscan.rs` | `==` / `!=` between floating-point expressions |
 //! | `invariant-coverage` | `hypersparse`, `assoc`                 | public constructors not exercised by any `check_invariants` test |
 //! | `instant-timing`     | all library code except `obs`          | ad-hoc `Instant::now()` / `SystemTime::now()` timing outside the metrics layer |
+//! | `key-pack`           | `hypersparse` lib code except `keypack.rs` | ad-hoc `as u64` + `<< 32` key packing outside the shared `keypack` helper |
 
 use crate::scan::{find_token, has_token, SourceFile};
 
@@ -226,6 +227,68 @@ pub fn rule_instant_timing(file: &SourceFile) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// Rule `key-pack`: no ad-hoc `(x as u64) << 32` key packing in the
+/// `hypersparse` crate outside `keypack.rs`. The packed `(row << 32) | col`
+/// key layout is load-bearing for the radix compaction kernel and the DCSC
+/// sort order; every construction site must go through
+/// `keypack::pack_key` / `unpack_key` so the layout can only change in one
+/// place. A line trips when it contains both an `as u64` cast and a
+/// `<< 32` shift. The caller (`audit`) applies this to `hypersparse` only;
+/// the rule itself exempts `keypack.rs`.
+pub fn rule_key_pack(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "key-pack";
+    if file.rel.ends_with("keypack.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (line_no, line) in file.code_lines() {
+        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+            continue;
+        }
+        if !has_shift_32(line) {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(as_pos) = find_token(line, "as", from) {
+            from = as_pos + 2;
+            let after = line[as_pos + 2..].trim_start();
+            let cast_u64 = after.starts_with("u64")
+                && !after["u64".len()..]
+                    .starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+            if cast_u64 {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.rel.clone(),
+                    line: line_no,
+                    message: format!(
+                        "ad-hoc `as u64` + `<< 32` key packing; route key \
+                         construction through `keypack::pack_key` / \
+                         `unpack_key`, or annotate with audit:allow({RULE})"
+                    ),
+                });
+                break; // one diagnostic per line is enough
+            }
+        }
+    }
+    out
+}
+
+/// True when `line` contains a `<< 32` shift (any spacing, but not a longer
+/// literal like `<< 320`).
+fn has_shift_32(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("<<").map(|p| p + from) {
+        from = pos + 2;
+        let rest = line[pos + 2..].trim_start();
+        if rest.starts_with("32")
+            && !rest[2..].starts_with(|c: char| c.is_ascii_digit() || c == '_' || c == '.')
+        {
+            return true;
+        }
+    }
+    false
 }
 
 /// Float evidence: an `f64`/`f32` token or a numeric literal with a decimal
@@ -593,6 +656,31 @@ mod tests {
         let d = rule_instant_timing(&f);
         assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1, 2]);
         assert!(d[0].message.contains("obscor_obs::span"));
+    }
+
+    #[test]
+    fn key_pack_flags_adhoc_packing_only() {
+        let src = "let k = (row as u64) << 32 | col as u64;\n\
+                   let ok = u64::from(row) << 32 | u64::from(col);\n\
+                   let wide = x as u64 * 2;\n\
+                   let big = y as u64 << 320;\n\
+                   // audit:allow(key-pack) — fixture\n\
+                   let a = (r as u64) << 32;\n\
+                   #[cfg(test)]\nmod tests { fn t() { let _ = (1u32 as u64) << 32; } }\n";
+        let f = prep(src);
+        let d = rule_key_pack(&f);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1]);
+        assert!(d[0].message.contains("keypack::pack_key"));
+    }
+
+    #[test]
+    fn key_pack_exempts_the_keypack_helper() {
+        let f = SourceFile::from_source(
+            PathBuf::from("keypack.rs"),
+            "crates/hypersparse/src/keypack.rs".into(),
+            "let k = (row as u64) << 32 | u64::from(col);\n".to_string(),
+        );
+        assert!(rule_key_pack(&f).is_empty());
     }
 
     #[test]

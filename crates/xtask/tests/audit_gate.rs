@@ -22,7 +22,9 @@ fn bad_fixture_trips_every_rule() {
     assert!(!report.is_clean());
     let rules: std::collections::HashSet<&str> =
         report.diagnostics.iter().map(|d| d.rule).collect();
-    for rule in ["index-cast", "panic-path", "float-eq", "invariant-coverage", "instant-timing"] {
+    for rule in
+        ["index-cast", "panic-path", "float-eq", "invariant-coverage", "instant-timing", "key-pack"]
+    {
         assert!(rules.contains(rule), "rule {rule} not tripped: {:?}", report.diagnostics);
     }
     // Diagnostics carry concrete file:line positions.
@@ -63,6 +65,14 @@ fn bad_fixture_diagnostics_point_at_seeded_lines() {
     assert!(
         !report.diagnostics.iter().any(|d| d.file.contains("core/src/lib.rs") && d.line > 15),
         "test code was not exempted: {:?}",
+        report.diagnostics
+    );
+    // Ad-hoc key packing outside hypersparse::keypack trips key-pack; the
+    // allow-marked and #[cfg(test)] sites right below it stay silent.
+    assert!(has("key-pack", "hypersparse/src/packing.rs", 6), "as u64 << 32 line");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.file.contains("hypersparse/src/packing.rs") && d.line > 6),
+        "key-pack allow marker or test exemption failed: {:?}",
         report.diagnostics
     );
     // pcap joined the panic-free set with the fault-recovery layer:
@@ -115,7 +125,9 @@ fn cli_json_mode_is_machine_readable() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim_start().starts_with('{') && stdout.trim_end().ends_with('}'));
     assert!(stdout.contains("\"ok\":false"));
-    for rule in ["index-cast", "panic-path", "float-eq", "invariant-coverage", "instant-timing"] {
+    for rule in
+        ["index-cast", "panic-path", "float-eq", "invariant-coverage", "instant-timing", "key-pack"]
+    {
         assert!(stdout.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule}:\n{stdout}");
     }
     assert!(stdout.contains("\"line\":"));

@@ -1,0 +1,20 @@
+// Audit fixture: seeds a `key-pack` violation (ad-hoc u64 key packing
+// outside the keypack helper).
+
+pub fn pack_inline(row: u32, col: u32) -> u64 {
+    // Seeded violation: packs the key without keypack::pack_key.
+    (row as u64) << 32 | col as u64
+}
+
+pub fn pack_allowed(row: u32, col: u32) -> u64 {
+    // audit:allow(key-pack) — fixture: the suppression marker must silence this site
+    (row as u64) << 32 | col as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from the key-pack rule.
+    pub fn packed_in_test(row: u32, col: u32) -> u64 {
+        (row as u64) << 32 | col as u64
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration: the ingest fast-path metrics are *opt-in*.
+//!
+//! The default 80-name schema is pinned byte-for-byte by
+//! `tests/metrics_schema.rs`; this binary (a separate process, so the
+//! enable flags cannot leak into that pin) proves the two halves of the
+//! opt-in contract:
+//!
+//! 1. with the flags off, the fast paths emit **nothing** under
+//!    `hypersparse.radix.*` / `anonymize.cache.*`, and
+//! 2. once [`obscor::hypersparse::radix::enable_metrics`] and
+//!    [`obscor::anonymize::memo::enable_cache_metrics`] are called, the
+//!    exact documented name set appears — and nothing else.
+
+use obscor::anonymize::memo::{self, MemoCryptoPan};
+use obscor::hypersparse::{radix, Coo};
+
+/// Every opt-in name, sorted — the schema-pin strategy applied to the
+/// fast-path metrics (a new name must be added here and to DESIGN.md §12
+/// deliberately).
+const OPTIN_NAMES: [&str; 11] = [
+    "anonymize.cache.batch_dup_hits_total",
+    "anonymize.cache.prefix_hits_total",
+    "anonymize.cache.suffix_aes_total",
+    "anonymize.cache.table_builds_total",
+    "hypersparse.radix.compactions_total",
+    "hypersparse.radix.crossover",
+    "hypersparse.radix.digit_passes_total",
+    "hypersparse.radix.keys_total",
+    "hypersparse.radix.skipped_digits_total",
+    "span.hypersparse.radix.digit_passes.calls_total",
+    "span.hypersparse.radix.digit_passes.ns",
+];
+
+fn is_optin(name: &str) -> bool {
+    name.starts_with("hypersparse.radix.")
+        || name.starts_with("anonymize.cache.")
+        || name.starts_with("span.hypersparse.radix.")
+}
+
+/// Drive every fast path far enough to touch all opt-in metric sites:
+/// a compaction big enough to take the radix arm of `into_csr` (the
+/// measured crossover never exceeds the `2^15` fallback), a memo table
+/// build, scalar anonymization, and a batch with duplicates.
+fn exercise_fast_paths() {
+    let n = 40_000u32;
+    let triples: Vec<(u32, u32, u64)> =
+        (0..n).map(|i| (i % 2048, i % 509, 1u64)).collect();
+    let csr = Coo::from_triples(triples).into_csr();
+    assert!(csr.nnz() > 0);
+
+    let memo = MemoCryptoPan::new(&[0x42u8; 32]);
+    let a = memo.anonymize(0x0A00_0001);
+    assert_eq!(memo.deanonymize(a), 0x0A00_0001);
+    let mut batch = vec![0x0A00_0001, 0x0A00_0001, 0x0A00_0002, 0xC0A8_0001];
+    memo.anonymize_slice(&mut batch);
+    assert_eq!(batch[0], batch[1]);
+}
+
+/// One test for both phases: the flags are process-global, so the
+/// off-phase must observably complete before anything enables them.
+#[test]
+fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
+    // Phase 1: flags off — the fast paths run silent.
+    let before = obscor_obs::snapshot();
+    exercise_fast_paths();
+    let silent = obscor_obs::snapshot().delta_since(&before);
+    let leaked: Vec<String> =
+        silent.metric_names().into_iter().filter(|n| is_optin(n)).collect();
+    assert!(leaked.is_empty(), "opt-in metrics leaked while disabled: {leaked:?}");
+
+    // Phase 2: flags on — the exact documented set appears.
+    radix::enable_metrics();
+    memo::enable_cache_metrics();
+    let before = obscor_obs::snapshot();
+    exercise_fast_paths();
+    let enabled = obscor_obs::snapshot().delta_since(&before);
+    let got: Vec<String> =
+        enabled.metric_names().into_iter().filter(|n| is_optin(n)).collect();
+    let got: Vec<&str> = got.iter().map(String::as_str).collect();
+    assert_eq!(got, OPTIN_NAMES, "opt-in metric names drifted");
+
+    // The counters carry real work, and the span algebra holds.
+    assert!(enabled.counters["hypersparse.radix.keys_total"] >= 40_000);
+    assert!(enabled.counters["anonymize.cache.table_builds_total"] >= 1);
+    assert!(enabled.counters["anonymize.cache.prefix_hits_total"] >= 1);
+    assert!(enabled.counters["anonymize.cache.batch_dup_hits_total"] >= 1);
+    assert!(enabled.gauges["hypersparse.radix.crossover"] >= 1);
+    assert_eq!(
+        enabled.histograms["span.hypersparse.radix.digit_passes.ns"].count,
+        enabled.counters["span.hypersparse.radix.digit_passes.calls_total"]
+    );
+}
