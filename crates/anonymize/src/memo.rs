@@ -39,12 +39,12 @@ static CACHE_METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
 /// Off by default so the pinned default metrics schema never changes; the
 /// CLI exposes this through `--fast-path-metrics`.
 pub fn enable_cache_metrics() {
-    CACHE_METRICS_ENABLED.store(true, Ordering::Relaxed);
+    CACHE_METRICS_ENABLED.store(true, Ordering::Relaxed); // ordering: set-once enable flag; callers tolerate a stale false
 }
 
 /// Whether [`enable_cache_metrics`] has been called.
 pub fn cache_metrics_enabled() -> bool {
-    CACHE_METRICS_ENABLED.load(Ordering::Relaxed)
+    CACHE_METRICS_ENABLED.load(Ordering::Relaxed) // ordering: enable-flag read; staleness only delays metric emission
 }
 
 /// A [`CryptoPan`] with the top-16-bit pad subtree precomputed.

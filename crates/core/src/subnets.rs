@@ -10,7 +10,7 @@
 //! destroying the aggregation.
 
 use crate::degree::WindowDegrees;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One aggregated subnet row.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,7 +31,9 @@ pub struct SubnetRow {
 pub fn aggregate_by_prefix(window: &WindowDegrees, prefix_len: u8) -> Vec<SubnetRow> {
     assert!((1..=32).contains(&prefix_len), "prefix length out of range");
     let shift = 32 - prefix_len as u32;
-    let mut map: HashMap<u32, (usize, u64)> = HashMap::new();
+    // BTreeMap, not HashMap: rows leave here in prefix order, so ties in
+    // the packet-count sort below break identically on every run.
+    let mut map: BTreeMap<u32, (usize, u64)> = BTreeMap::new();
     for &(ip, d) in &window.degrees {
         let e = map.entry(ip >> shift).or_insert((0, 0));
         e.0 += 1;

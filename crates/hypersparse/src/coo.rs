@@ -28,6 +28,7 @@ const CROSSOVER_FALLBACK: usize = 1 << 15;
 /// kernel beats the serial comparison sort on synthetic traffic-shaped
 /// triples (timed via `obscor_obs::time_fn`, the sanctioned stopwatch).
 pub fn radix_crossover() -> usize {
+    // audit:allow(shared-static-mut) — write-once memo of a pure measurement; no protocol beyond OnceLock's own
     static CROSSOVER: OnceLock<usize> = OnceLock::new();
     *CROSSOVER.get_or_init(measure_crossover)
 }

@@ -60,12 +60,12 @@ static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
 /// Off by default so the pinned default metrics schema never changes; the
 /// CLI exposes this through `--fast-path-metrics`.
 pub fn enable_metrics() {
-    METRICS_ENABLED.store(true, Ordering::Relaxed);
+    METRICS_ENABLED.store(true, Ordering::Relaxed); // ordering: set-once enable flag; callers tolerate a stale false
 }
 
 /// Whether [`enable_metrics`] has been called.
 pub fn metrics_enabled() -> bool {
-    METRICS_ENABLED.load(Ordering::Relaxed)
+    METRICS_ENABLED.load(Ordering::Relaxed) // ordering: enable-flag read; staleness only delays metric emission
 }
 
 /// Compact raw COO columns into a CSR matrix: radix-sort by packed key,

@@ -73,6 +73,7 @@ pub fn spgemm_pattern<V: Value, W: Value>(a: &Csr<V>, b: &Csr<W>) -> Csr<u64> {
                 }
             }
         }
+        // audit:allow(map-iter-order) — into_csr() below radix-sorts by packed key, erasing accumulator order
         for (&c, &n) in acc.iter() {
             coo.push(ar, c, n);
         }

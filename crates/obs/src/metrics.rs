@@ -32,12 +32,12 @@ impl Counter {
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // ordering: monotonic counter; readers only need eventual visibility
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: snapshot read; staleness is acceptable for metrics
     }
 }
 
@@ -54,18 +54,18 @@ impl Gauge {
     /// Overwrite the value.
     #[inline]
     pub fn set(&self, v: u64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.store(v, Ordering::Relaxed); // ordering: last-write-wins gauge; no reader orders against this store
     }
 
     /// Raise the value to at least `v`.
     #[inline]
     pub fn set_max(&self, v: u64) {
-        self.0.fetch_max(v, Ordering::Relaxed);
+        self.0.fetch_max(v, Ordering::Relaxed); // ordering: monotonic max; commutative RMW needs no ordering
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: snapshot read; staleness is acceptable for metrics
     }
 }
 
@@ -120,21 +120,21 @@ impl Histogram {
     /// Record one observation.
     #[inline]
     pub fn observe(&self, v: u64) {
-        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed); // ordering: per-bucket count; independent of other cells
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: observation count; skew vs sum is tolerated in snapshots
+        self.sum.fetch_add(v, Ordering::Relaxed); // ordering: running sum; commutative RMW needs no ordering
+        self.min.fetch_min(v, Ordering::Relaxed); // ordering: monotonic min; commutative RMW needs no ordering
+        self.max.fetch_max(v, Ordering::Relaxed); // ordering: monotonic max; commutative RMW needs no ordering
     }
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: snapshot read; staleness is acceptable for metrics
     }
 
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Relaxed) // ordering: snapshot read; staleness is acceptable for metrics
     }
 
     /// Smallest observed value, if any observation was made.
@@ -142,7 +142,7 @@ impl Histogram {
         if self.count() == 0 {
             None
         } else {
-            Some(self.min.load(Ordering::Relaxed))
+            Some(self.min.load(Ordering::Relaxed)) // ordering: snapshot read; staleness is acceptable for metrics
         }
     }
 
@@ -151,7 +151,7 @@ impl Histogram {
         if self.count() == 0 {
             None
         } else {
-            Some(self.max.load(Ordering::Relaxed))
+            Some(self.max.load(Ordering::Relaxed)) // ordering: snapshot read; staleness is acceptable for metrics
         }
     }
 
@@ -161,7 +161,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
-                let n = b.load(Ordering::Relaxed);
+                let n = b.load(Ordering::Relaxed); // ordering: snapshot read; buckets may skew vs count during updates
                 if n == 0 {
                     None
                 } else {

@@ -280,7 +280,7 @@ impl LeafSource for FaultyArchive<'_> {
                 // budgeted failure, so the k-th retry succeeds no matter
                 // how reads interleave across leaves.
                 let stole = remaining
-                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1)) // ordering: budget decrement is commutative; the schedule depends on the count, not on cross-thread order
                     .is_ok();
                 if stole {
                     Err(LeafFault::TransientRead)

@@ -1,0 +1,373 @@
+//! Ratchet baseline for `cargo xtask audit`.
+//!
+//! A baseline file records the fingerprints of known findings so CI can
+//! fail on *new* findings only: the debt is frozen, never grown, and
+//! shrinking it (fixing a baselined site) is always safe. Regenerate with
+//! `cargo xtask audit --baseline audit-baseline.json --update-baseline`.
+//!
+//! Fingerprints must survive unrelated edits, so they deliberately exclude
+//! line numbers. A fingerprint is FNV-1a 64 over:
+//!
+//! * the rule id,
+//! * the workspace-relative path,
+//! * the whitespace-normalized token texts of the finding's line
+//!   (comments and string contents are already blanked, so edits to either
+//!   do not move fingerprints),
+//! * an occurrence ordinal, to keep identical lines in one file distinct.
+//!
+//! Inserting or reordering *other* lines in the file therefore leaves a
+//! finding's fingerprint unchanged; editing the offending line itself (or
+//! renaming the file) retires the old entry — exactly the moment a human
+//! should re-look anyway.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
+
+use crate::rules::Diagnostic;
+use crate::scan::SourceFile;
+
+/// One baselined finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// 16-hex-digit FNV-1a fingerprint.
+    pub fingerprint: String,
+    /// Rule id (informational; the fingerprint alone gates).
+    pub rule: String,
+    /// Workspace-relative path (informational).
+    pub file: String,
+}
+
+/// A loaded (or freshly built) baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries, sorted by (file, rule, fingerprint) on save.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Build a baseline that accepts every diagnostic in `diags`.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Self {
+        let mut entries: Vec<BaselineEntry> = diags
+            .iter()
+            .map(|d| BaselineEntry {
+                fingerprint: d.fingerprint.clone(),
+                rule: d.rule.to_string(),
+                file: d.file.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            (&a.file, &a.rule, &a.fingerprint).cmp(&(&b.file, &b.rule, &b.fingerprint))
+        });
+        entries.dedup();
+        Baseline { entries }
+    }
+
+    /// Load a baseline from `path`.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Self::parse(&text))
+    }
+
+    /// Parse the baseline JSON. The reader is a forgiving string-scanner
+    /// (the writer below is the canonical form): it walks the document's
+    /// string literals and interprets the `"fingerprint"` / `"rule"` /
+    /// `"file"` keys in order, so formatting changes or extra keys do not
+    /// break it.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        let mut cur: Option<BaselineEntry> = None;
+        let mut strings = StringScanner::new(text);
+        while let Some(key) = strings.next() {
+            match key.as_str() {
+                "fingerprint" => {
+                    if let Some(e) = cur.take() {
+                        entries.push(e);
+                    }
+                    let Some(v) = strings.next() else { break };
+                    cur = Some(BaselineEntry {
+                        fingerprint: v,
+                        rule: String::new(),
+                        file: String::new(),
+                    });
+                }
+                "rule" => {
+                    let Some(v) = strings.next() else { break };
+                    if let Some(e) = cur.as_mut() {
+                        e.rule = v;
+                    }
+                }
+                "file" => {
+                    let Some(v) = strings.next() else { break };
+                    if let Some(e) = cur.as_mut() {
+                        e.file = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(e) = cur.take() {
+            entries.push(e);
+        }
+        Baseline { entries }
+    }
+
+    /// Serialize to the canonical on-disk form: one entry per line, sorted,
+    /// so diffs are reviewable and merges are line-based.
+    pub fn to_json(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| {
+            (&a.file, &a.rule, &a.fingerprint).cmp(&(&b.file, &b.rule, &b.fingerprint))
+        });
+        entries.dedup();
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"fingerprint\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\"}}{}\n",
+                e.fingerprint,
+                e.rule,
+                e.file,
+                if i + 1 < entries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write the canonical form to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Whether `fingerprint` is baselined.
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.entries.iter().any(|e| e.fingerprint == fingerprint)
+    }
+}
+
+/// Iterator over the JSON string literals of a document, in order.
+struct StringScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StringScanner<'a> {
+    fn new(text: &'a str) -> Self {
+        StringScanner { bytes: text.as_bytes(), pos: 0 }
+    }
+}
+
+impl Iterator for StringScanner<'_> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'"' {
+            self.pos += 1;
+        }
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        self.pos += 1; // opening quote
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(String::from_utf8_lossy(&out).into_owned());
+                }
+                b'\\' if self.pos + 1 < self.bytes.len() => {
+                    // Keep escapes simple: fingerprints/rules are plain
+                    // ASCII and paths use forward slashes; unescape the
+                    // two that can plausibly occur.
+                    match self.bytes[self.pos + 1] {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        c => {
+                            out.push(b'\\');
+                            out.push(c);
+                        }
+                    }
+                    self.pos += 2;
+                }
+                c => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// FNV-1a 64-bit.
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Whitespace-normalized token context of `line` in `file`: the token
+/// texts joined with single spaces. Line numbers never enter the hash.
+pub fn line_context(file: &SourceFile, line: usize) -> String {
+    let mut out = String::new();
+    for i in 0..file.toks.len() {
+        if file.tok_line(i) == line {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(file.tok_text(i));
+        }
+    }
+    out
+}
+
+/// Compute the fingerprint for a diagnostic given its line's token context
+/// and its occurrence ordinal among identical (rule, file, context) triples.
+pub fn fingerprint(rule: &str, file: &str, context: &str, ordinal: usize) -> String {
+    let mut h = FNV_OFFSET;
+    for part in [rule, file, context] {
+        h = fnv1a(h, part.as_bytes());
+        h = fnv1a(h, &[0]);
+    }
+    h = fnv1a(h, &ordinal.to_le_bytes());
+    format!("{h:016x}")
+}
+
+/// Fill in `fingerprint` on every diagnostic. `sources` maps relative path
+/// to its scanned [`SourceFile`]; diagnostics against unknown files (none
+/// in practice) hash an empty context.
+pub fn assign_fingerprints(diags: &mut [Diagnostic], sources: &HashMap<&str, &SourceFile>) {
+    let mut counts: HashMap<(String, String, String), usize> = HashMap::new();
+    for d in diags.iter_mut() {
+        let context = sources
+            .get(d.file.as_str())
+            .map(|f| line_context(f, d.line))
+            .unwrap_or_default();
+        let key = (d.rule.to_string(), d.file.clone(), context.clone());
+        let ordinal = *counts.entry(key).and_modify(|c| *c += 1).or_insert(0);
+        d.fingerprint = fingerprint(d.rule, &d.file, &context, ordinal);
+    }
+}
+
+/// The result of gating a report against a baseline.
+#[derive(Debug)]
+pub struct Gate {
+    /// Indices (into the report's diagnostics) of findings NOT in the
+    /// baseline — these fail the build.
+    pub new: Vec<usize>,
+    /// Count of findings suppressed by the baseline.
+    pub baselined: usize,
+    /// Baseline fingerprints with no matching finding anymore (fixed or
+    /// moved); informational, prompts a `--update-baseline`.
+    pub stale: Vec<String>,
+}
+
+/// Gate `diags` (fingerprints already assigned) against `baseline`.
+pub fn gate(diags: &[Diagnostic], baseline: &Baseline) -> Gate {
+    let mut new = Vec::new();
+    let mut baselined = 0;
+    let mut present: HashSet<&str> = HashSet::new();
+    for (i, d) in diags.iter().enumerate() {
+        if baseline.contains(&d.fingerprint) {
+            baselined += 1;
+            present.insert(d.fingerprint.as_str());
+        } else {
+            new.push(i);
+        }
+    }
+    let stale = baseline
+        .entries
+        .iter()
+        .filter(|e| !present.contains(e.fingerprint.as_str()))
+        .map(|e| e.fingerprint.clone())
+        .collect();
+    Gate { new, baselined, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn mem(src: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from("m.rs"), "m.rs".into(), src.to_string())
+    }
+
+    fn d(rule: &'static str, file: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            message: "m".into(),
+            fingerprint: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    fingerprint: "00ff00ff00ff00ff".into(),
+                    rule: "panic-path".into(),
+                    file: "crates/a/src/lib.rs".into(),
+                },
+                BaselineEntry {
+                    fingerprint: "1234567812345678".into(),
+                    rule: "map-iter-order".into(),
+                    file: "crates/b/src/lib.rs".into(),
+                },
+            ],
+        };
+        let parsed = Baseline::parse(&b.to_json());
+        assert_eq!(parsed.entries.len(), 2);
+        assert!(parsed.contains("00ff00ff00ff00ff"));
+        assert!(parsed.contains("1234567812345678"));
+        assert_eq!(parsed.entries[1].rule, "map-iter-order");
+        assert_eq!(parsed.entries[0].file, "crates/a/src/lib.rs");
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_numbers() {
+        let before = mem("fn a() { x.unwrap(); }\n");
+        let after = mem("// a new comment\n\nfn a() { x.unwrap(); }\n");
+        let ctx_before = line_context(&before, 1);
+        let ctx_after = line_context(&after, 3);
+        assert_eq!(ctx_before, ctx_after);
+        assert_eq!(
+            fingerprint("panic-path", "m.rs", &ctx_before, 0),
+            fingerprint("panic-path", "m.rs", &ctx_after, 0)
+        );
+    }
+
+    #[test]
+    fn ordinals_separate_identical_lines() {
+        let f = mem("x.unwrap();\nx.unwrap();\n");
+        let sources = HashMap::from([("m.rs", &f)]);
+        let mut diags = vec![d("panic-path", "m.rs", 1), d("panic-path", "m.rs", 2)];
+        assign_fingerprints(&mut diags, &sources);
+        assert_ne!(diags[0].fingerprint, diags[1].fingerprint);
+        assert_eq!(diags[0].fingerprint.len(), 16);
+    }
+
+    #[test]
+    fn gate_splits_new_and_baselined() {
+        let f = mem("x.unwrap();\ny.unwrap();\n");
+        let sources = HashMap::from([("m.rs", &f)]);
+        let mut diags = vec![d("panic-path", "m.rs", 1), d("panic-path", "m.rs", 2)];
+        assign_fingerprints(&mut diags, &sources);
+        let baseline = Baseline::from_diagnostics(&diags[..1]);
+        let g = gate(&diags, &baseline);
+        assert_eq!(g.new, vec![1]);
+        assert_eq!(g.baselined, 1);
+        assert!(g.stale.is_empty());
+
+        let empty = gate(&[], &baseline);
+        assert_eq!(empty.stale.len(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Cross-file symbol index for the audit engine.
+//!
+//! Maps function names to their definition sites across the scanned
+//! workspace and computes the set of functions that reach the
+//! `obscor_obs::json` codec within one call hop — the taint sink the
+//! `map-iter-order` rule uses: a `HashMap` iteration whose extent calls a
+//! json-reaching function is leaking nondeterministic iteration order into
+//! serialized output.
+//!
+//! The index is name-based (no type resolution): a call site is any
+//! identifier directly followed by `(`, including method calls. That makes
+//! the taint set a deliberate over-approximation — acceptable for a lint
+//! whose findings are per-site suppressible and ratcheted by the baseline.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lex::TokKind;
+use crate::scan::SourceFile;
+
+/// One function definition site.
+#[derive(Debug, Clone)]
+pub struct DefSite {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// The cross-file symbol index.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Function name -> definition sites across all scanned files.
+    pub defs: HashMap<String, Vec<DefSite>>,
+    /// Function names that reach the `obscor_obs::json` codec in at most
+    /// one call hop: codec functions themselves (defined in
+    /// `obs/src/json.rs` or referencing the `obscor_obs::json` /
+    /// `json::<fn>` path) plus their direct callers.
+    pub json_reaching: HashSet<String>,
+}
+
+impl SymbolIndex {
+    /// Whether `name` is a known function definition.
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.defs.contains_key(name)
+    }
+}
+
+/// Build the index over every scanned library file.
+pub fn build_index(files: &[&SourceFile]) -> SymbolIndex {
+    let mut defs: HashMap<String, Vec<DefSite>> = HashMap::new();
+    // Level 0: functions that touch the codec directly.
+    let mut level0: HashSet<String> = HashSet::new();
+    // (fn name, called names) pairs for the one-hop pass.
+    let mut call_map: Vec<(String, HashSet<String>)> = Vec::new();
+
+    for file in files {
+        let in_codec_file = file.rel.ends_with("obs/src/json.rs");
+        for item in &file.items {
+            if !matches!(item.kind, crate::parse::ItemKind::Fn) {
+                continue;
+            }
+            defs.entry(item.name.clone()).or_default().push(DefSite {
+                file: file.rel.clone(),
+                line: file.tok_line(item.kw_tok),
+            });
+            let Some((open, close)) = item.body else { continue };
+            let body = open + 1..close;
+            if in_codec_file || body_touches_codec(file, body.clone()) {
+                level0.insert(item.name.clone());
+            }
+            call_map.push((item.name.clone(), called_names(file, body)));
+        }
+    }
+
+    // Level 1: direct callers of level-0 functions.
+    let mut json_reaching = level0.clone();
+    // audit:allow(map-iter-order) — call_map is a Vec; its HashSets are membership-tested, never iterated
+    for (name, calls) in &call_map {
+        if calls.iter().any(|c| level0.contains(c)) {
+            json_reaching.insert(name.clone());
+        }
+    }
+    SymbolIndex { defs, json_reaching }
+}
+
+/// Does the body reference the codec path — `obscor_obs :: json` or a
+/// qualified `json :: <fn>` call?
+fn body_touches_codec(file: &SourceFile, body: std::ops::Range<usize>) -> bool {
+    for i in body.clone() {
+        if file.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = file.tok_text(i);
+        if t == "obscor_obs"
+            && i + 2 < body.end
+            && file.tok_text(i + 1) == "::"
+            && file.tok_text(i + 2) == "json"
+        {
+            return true;
+        }
+        if t == "json"
+            && i + 2 < body.end
+            && file.tok_text(i + 1) == "::"
+            && file.toks[i + 2].kind == TokKind::Ident
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Every identifier in `body` directly followed by `(` — free calls and
+/// method calls alike (`helper(x)`, `self.helper(x)`).
+fn called_names(file: &SourceFile, body: std::ops::Range<usize>) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for i in body.clone() {
+        if file.toks[i].kind == TokKind::Ident
+            && i + 1 < body.end
+            && file.toks[i + 1].kind == TokKind::Open
+            && file.tok_text(i + 1) == "("
+        {
+            // `fn name(` is a definition, not a call.
+            if i > 0 && file.tok_text(i - 1) == "fn" {
+                continue;
+            }
+            out.insert(file.tok_text(i).to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn prep(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from(rel), rel.into(), src.to_string())
+    }
+
+    #[test]
+    fn codec_file_fns_are_level_zero() {
+        let codec = prep(
+            "crates/obs/src/json.rs",
+            "pub fn escape(s: &str) -> String { s.into() }\n",
+        );
+        let idx = build_index(&[&codec]);
+        assert!(idx.json_reaching.contains("escape"));
+        assert!(idx.is_defined("escape"));
+    }
+
+    #[test]
+    fn one_hop_taint_crosses_files() {
+        let codec = prep(
+            "crates/obs/src/json.rs",
+            "pub fn escape(s: &str) -> String { s.into() }\n",
+        );
+        let helper = prep(
+            "crates/a/src/emit.rs",
+            "pub fn row_line(k: u32) -> String { escape(&k.to_string()) }\n",
+        );
+        let far = prep(
+            "crates/b/src/far.rs",
+            "pub fn two_hops(k: u32) -> String { row_line(k) }\n",
+        );
+        let idx = build_index(&[&codec, &helper, &far]);
+        assert!(idx.json_reaching.contains("escape"), "level 0");
+        assert!(idx.json_reaching.contains("row_line"), "one hop");
+        assert!(!idx.json_reaching.contains("two_hops"), "taint is one hop only");
+    }
+
+    #[test]
+    fn qualified_codec_path_taints_directly() {
+        let user = prep(
+            "crates/a/src/dump.rs",
+            "pub fn dump(v: u64) -> String { obscor_obs::json::escape(&v.to_string()) }\npub fn via_mod(v: u64) -> String { json::escape(&v.to_string()) }\npub fn unrelated(v: u64) -> u64 { v + 1 }\n",
+        );
+        let idx = build_index(&[&user]);
+        assert!(idx.json_reaching.contains("dump"));
+        assert!(idx.json_reaching.contains("via_mod"));
+        assert!(!idx.json_reaching.contains("unrelated"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Token lexer for the audit engine.
+//!
+//! Runs over the *blanked* source produced by [`crate::scan`] (comments and
+//! string/char contents replaced by spaces, newlines kept), so every token
+//! it emits is real code. Tokens carry byte spans and 1-based line numbers;
+//! rules match on token kinds and texts instead of raw substrings, which is
+//! what lets them tell `1.max(2)` from `1.0`, `<< 32` from `<< 320`, and
+//! `MyInstant` from `Instant` without ad-hoc boundary hacks.
+//!
+//! The lexer is deliberately lossy where the audit does not care: raw-string
+//! prefixes (`r#"`) lex as an ident plus punctuation around a [`TokKind::Str`]
+//! token, and doc comments are already gone before we run.
+
+/// The kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifiers and keywords (`fn`, `HashMap`, `x`).
+    Ident,
+    /// A lifetime (`'a`), tick included in the span.
+    Lifetime,
+    /// An integer literal, suffix glued (`123`, `0xFF`, `1u64`).
+    Int,
+    /// A float literal, suffix glued (`1.0`, `2.5e-3`, `1f64`).
+    Float,
+    /// A (blanked) string literal, quotes included.
+    Str,
+    /// A (blanked) char literal, ticks included.
+    Char,
+    /// An operator or separator, multi-byte operators merged (`::`, `<<`).
+    Punct,
+    /// An opening delimiter: `(`, `[`, or `{`.
+    Open,
+    /// A closing delimiter: `)`, `]`, or `}`.
+    Close,
+}
+
+/// One token: kind, byte span into the blanked code, 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the first byte.
+    pub line: usize,
+}
+
+/// Multi-byte operators, longest first so maximal munch applies.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex blanked source into a token stream.
+pub fn lex(code: &str) -> Vec<Tok> {
+    let bytes = code.as_bytes();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Identifier / keyword.
+        if is_ident_start(b) {
+            i += 1;
+            while i < bytes.len() && is_ident_cont(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, start, end: i, line });
+            continue;
+        }
+        // Number literal.
+        if b.is_ascii_digit() {
+            let (end, kind) = lex_number(bytes, i, toks.last());
+            toks.push(Tok { kind, start, end, line });
+            i = end;
+            continue;
+        }
+        // String literal (already blanked: no escapes remain inside).
+        if b == b'"' {
+            i += 1;
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(bytes.len());
+            toks.push(Tok { kind: TokKind::Str, start, end: i, line });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            if i + 1 < bytes.len() && is_ident_start(bytes[i + 1]) {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'\'' {
+                    // Unblanked `'y'` (unit-test input): a char literal.
+                    toks.push(Tok { kind: TokKind::Char, start, end: j + 1, line });
+                    i = j + 1;
+                } else {
+                    toks.push(Tok { kind: TokKind::Lifetime, start, end: j, line });
+                    i = j;
+                }
+                continue;
+            }
+            // Blanked char literal: tick, spaces, tick — all on one line.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'\'' {
+                toks.push(Tok { kind: TokKind::Char, start, end: j + 1, line });
+                i = j + 1;
+            } else {
+                toks.push(Tok { kind: TokKind::Punct, start, end: i + 1, line });
+                i += 1;
+            }
+            continue;
+        }
+        // Delimiters.
+        if matches!(b, b'(' | b'[' | b'{') {
+            toks.push(Tok { kind: TokKind::Open, start, end: i + 1, line });
+            i += 1;
+            continue;
+        }
+        if matches!(b, b')' | b']' | b'}') {
+            toks.push(Tok { kind: TokKind::Close, start, end: i + 1, line });
+            i += 1;
+            continue;
+        }
+        // Multi-byte operators, maximal munch. Non-ASCII bytes (em-dashes
+        // in char literals, unicode idents) are consumed as whole chars so
+        // slicing below never lands inside a UTF-8 sequence.
+        if !b.is_ascii() {
+            let mut end = i + 1;
+            while end < bytes.len() && (bytes[end] & 0b1100_0000) == 0b1000_0000 {
+                end += 1;
+            }
+            toks.push(Tok { kind: TokKind::Punct, start, end, line });
+            i = end;
+            continue;
+        }
+        let rest = &code[i..];
+        if let Some(op) = PUNCTS.iter().find(|op| rest.starts_with(**op)) {
+            toks.push(Tok { kind: TokKind::Punct, start, end: i + op.len(), line });
+            i += op.len();
+            continue;
+        }
+        toks.push(Tok { kind: TokKind::Punct, start, end: i + 1, line });
+        i += 1;
+    }
+    toks
+}
+
+/// Lex a number starting at `bytes[at]`; returns `(end, kind)`.
+///
+/// Handles `_` separators, `0x`/`0o`/`0b` prefixes, decimal points,
+/// exponents, and glued suffixes (`1u64`, `1f32`). A `.` after the digit
+/// run is part of the literal only when a digit follows *and* the previous
+/// token is not `.` (so tuple chains `x.0.1` stay two integers) — the same
+/// disambiguation rustc uses.
+fn lex_number(bytes: &[u8], at: usize, prev: Option<&Tok>) -> (usize, TokKind) {
+    let mut i = at;
+    let mut kind = TokKind::Int;
+    // Radix prefixes never carry fractional parts.
+    if bytes[i] == b'0' && i + 1 < bytes.len() && matches!(bytes[i + 1], b'x' | b'o' | b'b') {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (i, TokKind::Int);
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    let after_tuple_index = prev.is_some_and(|t| t.kind == TokKind::Punct && t.end == at && {
+        // A `.` token directly before this number means tuple indexing.
+        t.end - t.start == 1 && bytes[t.start] == b'.'
+    });
+    if !after_tuple_index
+        && i + 1 < bytes.len()
+        && bytes[i] == b'.'
+        && bytes[i + 1].is_ascii_digit()
+    {
+        kind = TokKind::Float;
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent (`1e5`, `2.5e-3`).
+    if i < bytes.len()
+        && matches!(bytes[i], b'e' | b'E')
+        && (i + 1 < bytes.len()
+            && (bytes[i + 1].is_ascii_digit()
+                || (matches!(bytes[i + 1], b'+' | b'-')
+                    && i + 2 < bytes.len()
+                    && bytes[i + 2].is_ascii_digit())))
+    {
+        kind = TokKind::Float;
+        i += 1;
+        if matches!(bytes[i], b'+' | b'-') {
+            i += 1;
+        }
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Glued suffix: `u64`, `usize`, `f64`, ...
+    if i < bytes.len() && is_ident_start(bytes[i]) {
+        let suffix_start = i;
+        while i < bytes.len() && is_ident_cont(bytes[i]) {
+            i += 1;
+        }
+        if bytes[suffix_start] == b'f' {
+            kind = TokKind::Float;
+        }
+    }
+    (i, kind)
+}
+
+/// Compute, for every `Open` token, the index of its matching `Close`
+/// token (and vice versa). Unmatched delimiters map to themselves.
+pub fn match_delims(toks: &[Tok], code: &str) -> Vec<usize> {
+    let mut matches: Vec<usize> = (0..toks.len()).collect();
+    let mut stack: Vec<usize> = Vec::new();
+    for (idx, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Open => stack.push(idx),
+            TokKind::Close => {
+                // Pop to the nearest open of the same family; tolerate
+                // mismatches (macro-heavy code) by popping unconditionally.
+                if let Some(open) = stack.pop() {
+                    let ob = code.as_bytes()[toks[open].start];
+                    let cb = code.as_bytes()[t.start];
+                    let pairs = matches!(
+                        (ob, cb),
+                        (b'(', b')') | (b'[', b']') | (b'{', b'}')
+                    );
+                    if pairs {
+                        matches[open] = idx;
+                        matches[idx] = open;
+                    } else {
+                        // Put the open back: this close had no partner.
+                        stack.push(open);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(code: &str) -> Vec<(TokKind, String)> {
+        lex(code).into_iter().map(|t| (t.kind, code[t.start..t.end].to_string())).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = texts("let x = a::b(c);");
+        let strs: Vec<&str> = t.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(strs, vec!["let", "x", "=", "a", "::", "b", "(", "c", ")", ";"]);
+        assert_eq!(t[4].0, TokKind::Punct);
+        assert_eq!(t[6].0, TokKind::Open);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let t = texts("1 1.0 2.5e-3 1e5 0xFF 1_000 1u64 1f32 7usize");
+        let kinds: Vec<TokKind> = t.iter().map(|(k, _)| *k).collect();
+        use TokKind::{Float, Int};
+        assert_eq!(kinds, vec![Int, Float, Float, Float, Int, Int, Int, Float, Int]);
+    }
+
+    #[test]
+    fn tuple_index_chains_are_integers() {
+        let t = texts("x.0.1");
+        let kinds: Vec<TokKind> = t.iter().map(|(k, _)| *k).collect();
+        use TokKind::{Ident, Int, Punct};
+        assert_eq!(kinds, vec![Ident, Punct, Int, Punct, Int]);
+    }
+
+    #[test]
+    fn method_on_int_literal_is_not_a_float() {
+        let t = texts("1.max(2)");
+        assert_eq!(t[0].0, TokKind::Int);
+        assert_eq!(t[0].1, "1");
+        assert_eq!(t[1].1, ".");
+    }
+
+    #[test]
+    fn shift_operators_merge() {
+        let t = texts("a << 32 >> 2 <<= 1");
+        let strs: Vec<&str> = t.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(strs, vec!["a", "<<", "32", ">>", "2", "<<=", "1"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) { ' ' }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'a"));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Char));
+        let u = texts("'y'");
+        assert_eq!(u[0].0, TokKind::Char);
+    }
+
+    #[test]
+    fn blanked_strings_are_single_tokens() {
+        let t = texts("f(\"      \") + 1");
+        assert_eq!(t[2].0, TokKind::Str);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn delimiter_matching() {
+        let code = "f(a[b{c}d])";
+        let toks = lex(code);
+        let m = match_delims(&toks, code);
+        // `(` at index 1 matches `)` at the last index.
+        assert_eq!(m[1], toks.len() - 1);
+        assert_eq!(m[toks.len() - 1], 1);
+        // `{` matches `}`.
+        let open_brace = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Open && &code[t.start..t.end] == "{")
+            .expect("has brace");
+        assert_eq!(&code[toks[m[open_brace]].start..toks[m[open_brace]].end], "}");
+    }
+}

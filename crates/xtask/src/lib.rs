@@ -20,12 +20,35 @@
 //!    `hypersparse` library code outside `keypack.rs`; the packed
 //!    `(row << 32) | col` layout must be built through
 //!    `keypack::pack_key`/`unpack_key` only.
+//! 7. **`map-iter-order`** — `HashMap`/`HashSet` iteration order must not
+//!    flow into ordered output (Vec pushes, string building, or — via the
+//!    cross-file symbol index, one call hop — the `obscor_obs::json`
+//!    codec).
+//! 8. **`nonassoc-reduce`** — no rayon `reduce`/`fold`/`sum`/`product`
+//!    over float accumulators outside blessed tree-reduction helpers.
+//! 9. **`atomic-ordering`** — every `Ordering::*` site carries an
+//!    `// ordering:` justification; stricter-than-Relaxed notes must name
+//!    the happens-before edge.
+//! 10. **`shared-static-mut`** — no process-global mutable statics outside
+//!     the `obs` registry and the declared metric-enable flags.
+//! 11. **`allow-justification`** — every `audit:allow(...)` marker carries
+//!     a non-empty justification.
+//!
+//! The engine lexes each file into spanned tokens ([`lex`]), parses a
+//! brace-tree of items ([`parse`]), and builds a cross-file symbol index
+//! ([`index`]); rules ([`rules`]) walk tokens, never raw strings.
 //!
 //! Violations print as `file:line: [rule] message` (or as JSON with
-//! `--json`) and the process exits non-zero. Individual sites are
+//! `--format json`) and the process exits non-zero. Individual sites are
 //! suppressed with `// audit:allow(<rule>) — justification` on the same or
-//! the preceding line.
+//! the preceding line; pre-existing debt is frozen in a ratchet baseline
+//! ([`baseline`], `--baseline audit-baseline.json`) keyed by stable
+//! line-number-free fingerprints.
 
+pub mod baseline;
+pub mod index;
+pub mod lex;
+pub mod parse;
 pub mod rules;
 pub mod scan;
 
@@ -49,25 +72,45 @@ impl AuditReport {
         self.diagnostics.is_empty()
     }
 
-    /// Render as a JSON object (machine-readable `--json` mode).
+    /// Render as a JSON object (machine-readable `--format json` mode).
     pub fn to_json(&self) -> String {
+        self.to_json_gated(None)
+    }
+
+    /// Render as JSON; when gated against a baseline, `ok` reflects *new*
+    /// findings only and each violation carries a `baselined` flag.
+    pub fn to_json_gated(&self, gate: Option<&baseline::Gate>) -> String {
+        let ok = match gate {
+            Some(g) => g.new.is_empty(),
+            None => self.is_clean(),
+        };
         let mut s = String::from("{");
-        s.push_str(&format!(
-            "\"ok\":{},\"files_scanned\":{},\"violations\":[",
-            self.is_clean(),
-            self.files_scanned
-        ));
+        s.push_str(&format!("\"ok\":{ok},\"files_scanned\":{},", self.files_scanned));
+        if let Some(g) = gate {
+            s.push_str(&format!(
+                "\"new\":{},\"baselined\":{},\"stale\":{},",
+                g.new.len(),
+                g.baselined,
+                g.stale.len()
+            ));
+        }
+        s.push_str("\"violations\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
+            let baselined = gate.map(|g| !g.new.contains(&i));
             s.push_str(&format!(
-                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"fingerprint\":\"{}\",",
                 json_escape(d.rule),
                 json_escape(&d.file),
                 d.line,
-                json_escape(&d.message)
+                json_escape(&d.fingerprint),
             ));
+            if let Some(b) = baselined {
+                s.push_str(&format!("\"baselined\":{b},"));
+            }
+            s.push_str(&format!("\"message\":\"{}\"}}", json_escape(&d.message)));
         }
         s.push_str("]}");
         s
@@ -148,6 +191,12 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
     let files_scanned = lib_files.len() + test_files.len();
     let mut diagnostics = Vec::new();
 
+    // Cross-file symbol index over all library sources: fn definitions
+    // plus the set of fns that reach the obscor_obs::json codec within one
+    // call hop (the map-iter-order taint sink).
+    let lib_refs: Vec<&SourceFile> = lib_files.iter().map(|(_, f)| f).collect();
+    let symbol_index = index::build_index(&lib_refs);
+
     // Per-file rules.
     for (crate_name, file) in &lib_files {
         diagnostics.extend(rules::rule_index_cast(file));
@@ -167,6 +216,15 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
         if crate_name == "hypersparse" {
             diagnostics.extend(rules::rule_key_pack(file));
         }
+        diagnostics.extend(rules::rule_map_iter_order(file, &symbol_index));
+        diagnostics.extend(rules::rule_nonassoc_reduce(file));
+        diagnostics.extend(rules::rule_atomic_ordering(file));
+        // `obs` hosts the sanctioned process-global state (the metrics
+        // registry); everywhere else globals must be declared or routed.
+        if crate_name != "obs" {
+            diagnostics.extend(rules::rule_shared_static_mut(file));
+        }
+        diagnostics.extend(rules::rule_allow_justification(file));
     }
 
     // Invariant coverage: corpus is every test source (integration tests
@@ -202,7 +260,13 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
         diagnostics.extend(rules::rule_invariant_coverage(&owned, &corpus));
     }
 
-    diagnostics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    // Stable, line-number-free fingerprints for the ratchet baseline.
+    let sources: std::collections::HashMap<&str, &SourceFile> =
+        lib_files.iter().map(|(_, f)| (f.rel.as_str(), f)).collect();
+    baseline::assign_fingerprints(&mut diagnostics, &sources);
+
     Ok(AuditReport { diagnostics, files_scanned })
 }
 
@@ -251,12 +315,51 @@ mod tests {
                 file: "crates/core/src/lib.rs".into(),
                 line: 7,
                 message: "`unwrap()` in panic-free library code".into(),
+                fingerprint: "deadbeefdeadbeef".into(),
             }],
             files_scanned: 3,
         };
         let json = report.to_json();
         assert!(json.contains("\"ok\":false"));
         assert!(json.contains("\"line\":7"));
+        assert!(json.contains("\"fingerprint\":\"deadbeefdeadbeef\""));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn gated_json_reports_new_vs_baselined() {
+        let report = AuditReport {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "panic-path",
+                    file: "a.rs".into(),
+                    line: 1,
+                    message: "m".into(),
+                    fingerprint: "aaaaaaaaaaaaaaaa".into(),
+                },
+                Diagnostic {
+                    rule: "float-eq",
+                    file: "b.rs".into(),
+                    line: 2,
+                    message: "m".into(),
+                    fingerprint: "bbbbbbbbbbbbbbbb".into(),
+                },
+            ],
+            files_scanned: 2,
+        };
+        let b = baseline::Baseline {
+            entries: vec![baseline::BaselineEntry {
+                fingerprint: "aaaaaaaaaaaaaaaa".into(),
+                rule: "panic-path".into(),
+                file: "a.rs".into(),
+            }],
+        };
+        let g = baseline::gate(&report.diagnostics, &b);
+        let json = report.to_json_gated(Some(&g));
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"new\":1"));
+        assert!(json.contains("\"baselined\":1,"));
+        assert!(json.contains("\"baselined\":true"));
+        assert!(json.contains("\"baselined\":false"));
     }
 }

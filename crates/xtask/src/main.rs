@@ -1,11 +1,22 @@
-//! CLI entry point: `cargo xtask audit [--json] [--root <dir>]`.
+//! CLI entry point:
+//! `cargo xtask audit [--format text|json] [--root <dir>] [--baseline <file>] [--update-baseline]`.
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes: `0` clean (or all findings baselined), `1` new violations,
+//! `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask audit [--json] [--root <dir>]
+use xtask::baseline::{self, Baseline};
+
+const USAGE: &str = "usage: cargo xtask audit [options]
+
+Options:
+  --format <text|json>   output format (default text); --json is an alias
+  --root <dir>           workspace root to audit (default .)
+  --baseline <file>      ratchet baseline: only findings NOT in the file fail
+  --update-baseline      regenerate the baseline from current findings
+                         (requires --baseline) and exit 0
 
 Runs the workspace static-analysis gate. Rules:
   index-cast           truncating `as u32`/`as usize`/`as Index` casts
@@ -14,6 +25,11 @@ Runs the workspace static-analysis gate. Rules:
   invariant-coverage   public constructors without check_invariants tests
   instant-timing       ad-hoc Instant/SystemTime timing outside the obs crate
   key-pack             ad-hoc `as u64` key packing outside hypersparse::keypack
+  map-iter-order       HashMap/HashSet iteration order reaching ordered output
+  nonassoc-reduce      rayon float reduce/fold/sum outside blessed helpers
+  atomic-ordering      Ordering::* sites without an `// ordering:` note
+  shared-static-mut    process-global mutable statics outside the obs registry
+  allow-justification  audit:allow markers without a justification
 
 Suppress a single site with `// audit:allow(<rule>) — justification`.";
 
@@ -21,11 +37,22 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut command: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    let got = other.unwrap_or("<missing>");
+                    eprintln!("error: --format expects `text` or `json`, got `{got}`\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -33,6 +60,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --baseline requires a file argument\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update_baseline = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -49,6 +84,10 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
+    if update_baseline && baseline_path.is_none() {
+        eprintln!("error: --update-baseline requires --baseline <file>\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
 
     // Default root: the workspace directory `cargo xtask` runs from (cargo
     // sets the cwd to the invocation directory; the alias lives in the
@@ -56,33 +95,89 @@ fn main() -> ExitCode {
     // CARGO_MANIFEST_DIR's grandparent when run via `cargo run -p xtask`.
     let root = root.unwrap_or_else(|| PathBuf::from("."));
 
-    match xtask::audit(&root) {
-        Ok(report) => {
-            if json {
-                println!("{}", report.to_json());
-            } else {
-                for d in &report.diagnostics {
-                    println!("{}", d.render());
-                }
-                if report.is_clean() {
-                    println!("audit: clean ({} files scanned)", report.files_scanned);
-                } else {
-                    println!(
-                        "audit: {} violation(s) ({} files scanned)",
-                        report.diagnostics.len(),
-                        report.files_scanned
-                    );
-                }
-            }
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    let report = match xtask::audit(&root) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("error: audit failed: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if update_baseline {
+        let path = baseline_path.expect("checked above");
+        let b = Baseline::from_diagnostics(&report.diagnostics);
+        if let Err(e) = b.save(&path) {
+            eprintln!("error: cannot write baseline `{}`: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "audit: baseline `{}` updated ({} entr{})",
+            path.display(),
+            b.entries.len(),
+            if b.entries.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = baseline_path {
+        let b = match Baseline::load(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot read baseline `{}`: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let gate = baseline::gate(&report.diagnostics, &b);
+        if json {
+            println!("{}", report.to_json_gated(Some(&gate)));
+        } else {
+            for &i in &gate.new {
+                println!("{}", report.diagnostics[i].render());
+            }
+            if !gate.stale.is_empty() {
+                println!(
+                    "audit: note: {} stale baseline entr{} (fixed or moved); \
+                     run --update-baseline to shrink the ratchet",
+                    gate.stale.len(),
+                    if gate.stale.len() == 1 { "y" } else { "ies" }
+                );
+            }
+            if gate.new.is_empty() {
+                println!(
+                    "audit: clean ({} files scanned, {} baselined finding(s))",
+                    report.files_scanned, gate.baselined
+                );
+            } else {
+                println!(
+                    "audit: {} new violation(s) ({} files scanned, {} baselined)",
+                    gate.new.len(),
+                    report.files_scanned,
+                    gate.baselined
+                );
+            }
+        }
+        return if gate.new.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) };
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        if report.is_clean() {
+            println!("audit: clean ({} files scanned)", report.files_scanned);
+        } else {
+            println!(
+                "audit: {} violation(s) ({} files scanned)",
+                report.diagnostics.len(),
+                report.files_scanned
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

@@ -1,0 +1,831 @@
+//! Lightweight item parser for the audit engine.
+//!
+//! Walks the token stream from [`crate::lex`] and produces a brace-tree of
+//! items — `mod`, `fn`, `impl`, `trait`, `struct`/`enum`, `static`, `const`
+//! — each with its attribute run, body span, parent link, and an inherited
+//! `is_test` flag (`#[cfg(test)]` / `#[test]` items and everything nested
+//! inside them). This replaces the old `mark_test_lines` string heuristics:
+//! test exemption now follows the real item structure, and rules that need
+//! function bodies (taint tracking, reduction scanning) get exact spans.
+//!
+//! The parser is tolerant by construction: it never fails, it skips token
+//! ranges it does not model (macro bodies, signatures after the fields it
+//! needs), and an unparseable construct simply yields no item.
+
+use crate::lex::{Tok, TokKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `mod name { ... }` (or `mod name;`).
+    Mod,
+    /// A `fn` definition (free, impl method, or trait default).
+    Fn,
+    /// An `impl` block; `type_name` is the self type's last path segment.
+    Impl {
+        /// Last path segment of the implemented type (`Csr` in
+        /// `impl<V> Csr<V>`).
+        type_name: String,
+        /// True for `impl Trait for Type`.
+        trait_impl: bool,
+    },
+    /// A `trait` definition.
+    Trait,
+    /// A `struct`, `enum`, or `union` definition.
+    TypeDef,
+    /// A `static` item; `type_range` spans the declared type's tokens
+    /// (half-open token-index range) and `mutable` marks `static mut`.
+    Static {
+        /// Token range `[start, end)` of the declared type.
+        type_range: (usize, usize),
+        /// `static mut` declarations.
+        mutable: bool,
+    },
+    /// A `const` item.
+    Const,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind plus kind-specific payload.
+    pub kind: ItemKind,
+    /// Item name (`""` for impl blocks).
+    pub name: String,
+    /// Token index where the item's attribute/modifier run starts (the
+    /// item keyword itself when there is none) — line spans for test
+    /// marking start here.
+    pub first_tok: usize,
+    /// Token index of the item keyword (`fn`, `impl`, ...).
+    pub kw_tok: usize,
+    /// Token indices of the body `{` and its matching `}`, if any.
+    pub body: Option<(usize, usize)>,
+    /// Token index of the last token (the `}` or `;`).
+    pub end_tok: usize,
+    /// Index of the enclosing item in the returned vector.
+    pub parent: Option<usize>,
+    /// Declared `pub` (plain, not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Inside `#[cfg(test)]` / `#[test]` (own attribute or inherited).
+    pub is_test: bool,
+}
+
+/// Parse the token stream into a flat item list (parents precede children).
+pub fn parse_items(code: &str, toks: &[Tok], delims: &[usize]) -> Vec<Item> {
+    Parser { code, toks, delims, items: Vec::new() }.run()
+}
+
+struct Parser<'a> {
+    code: &'a str,
+    toks: &'a [Tok],
+    delims: &'a [usize],
+    items: Vec<Item>,
+}
+
+/// Pending attribute/modifier state collected before an item keyword.
+#[derive(Default, Clone, Copy)]
+struct Pending {
+    first_tok: Option<usize>,
+    is_test: bool,
+    is_pub: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        let t = &self.toks[i];
+        &self.code[t.start..t.end]
+    }
+
+    fn kind(&self, i: usize) -> TokKind {
+        self.toks[i].kind
+    }
+
+    /// Skip a delimited group starting at an `Open` token; returns the
+    /// index just past the matching `Close`.
+    fn past_group(&self, open: usize) -> usize {
+        let close = self.delims[open];
+        if close > open {
+            close + 1
+        } else {
+            open + 1
+        }
+    }
+
+    /// Find the next token with text `what` at the current delimiter depth,
+    /// starting at `from`, jumping over nested groups. Returns its index.
+    fn find_at_depth(&self, from: usize, what: &[&str]) -> Option<usize> {
+        let mut i = from;
+        while i < self.toks.len() {
+            match self.kind(i) {
+                TokKind::Open => i = self.past_group(i),
+                TokKind::Close => return None, // left the enclosing scope
+                _ => {
+                    if what.contains(&self.text(i)) {
+                        return Some(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        None
+    }
+
+    fn run(mut self) -> Vec<Item> {
+        // Stack of (item index, body-close token index) for open containers.
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        let mut pending = Pending::default();
+        let mut i = 0;
+        while i < self.toks.len() {
+            while let Some(&(_, close)) = stack.last() {
+                if i > close {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let parent = stack.last().map(|&(idx, _)| idx);
+            let inherited_test = parent.is_some_and(|p| self.items[p].is_test);
+
+            // Attributes: `#[...]` accumulates into the pending run,
+            // `#![...]` (inner) is skipped outright.
+            if self.kind(i) == TokKind::Punct && self.text(i) == "#" {
+                if i + 1 < self.toks.len()
+                    && self.kind(i + 1) == TokKind::Open
+                    && self.text(i + 1) == "["
+                {
+                    pending.first_tok.get_or_insert(i);
+                    pending.is_test |= self.attr_is_test(i + 1);
+                    i = self.past_group(i + 1);
+                    continue;
+                }
+                if i + 2 < self.toks.len() && self.text(i + 1) == "!" && self.text(i + 2) == "[" {
+                    i = self.past_group(i + 2);
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+
+            if self.kind(i) != TokKind::Ident {
+                // Expression punctuation/literals break the pending run.
+                pending = Pending::default();
+                i += 1;
+                continue;
+            }
+
+            match self.text(i) {
+                // Visibility / item modifiers keep the pending run alive.
+                "pub" => {
+                    pending.first_tok.get_or_insert(i);
+                    if i + 1 < self.toks.len()
+                        && self.kind(i + 1) == TokKind::Open
+                        && self.text(i + 1) == "("
+                    {
+                        i = self.past_group(i + 1); // pub(crate) & co: scoped
+                    } else {
+                        pending.is_pub = true;
+                        i += 1;
+                    }
+                }
+                "unsafe" | "async" | "default" => {
+                    pending.first_tok.get_or_insert(i);
+                    i += 1;
+                }
+                "extern" => {
+                    pending.first_tok.get_or_insert(i);
+                    i += 1;
+                    if i < self.toks.len() && self.kind(i) == TokKind::Str {
+                        i += 1; // extern "C" — fn modifier or foreign block
+                    }
+                    if i < self.toks.len() && self.kind(i) == TokKind::Open && self.text(i) == "{" {
+                        i = self.past_group(i); // foreign block: no items inside
+                        pending = Pending::default();
+                    }
+                }
+                "const" => {
+                    // `const fn` is a modifier; `const NAME: T = ...;` an item.
+                    if i + 1 < self.toks.len()
+                        && matches!(self.text(i + 1), "fn" | "unsafe" | "extern" | "async")
+                    {
+                        pending.first_tok.get_or_insert(i);
+                        i += 1;
+                    } else {
+                        i = self.const_or_static(i, parent, inherited_test, pending, false);
+                        pending = Pending::default();
+                    }
+                }
+                "static" => {
+                    i = self.const_or_static(i, parent, inherited_test, pending, true);
+                    pending = Pending::default();
+                }
+                "mod" => {
+                    i = self.named_block(i, ItemKind::Mod, parent, inherited_test, pending, &mut stack);
+                    pending = Pending::default();
+                }
+                "trait" => {
+                    i = self.named_block(i, ItemKind::Trait, parent, inherited_test, pending, &mut stack);
+                    pending = Pending::default();
+                }
+                "fn" if i + 1 < self.toks.len() && self.kind(i + 1) == TokKind::Ident => {
+                    i = self.fn_item(i, parent, inherited_test, pending, &mut stack);
+                    pending = Pending::default();
+                }
+                "impl" if self.at_item_position(i) => {
+                    i = self.impl_item(i, parent, inherited_test, pending, &mut stack);
+                    pending = Pending::default();
+                }
+                "struct" | "enum" | "union" => {
+                    i = self.type_def(i, parent, inherited_test, pending);
+                    pending = Pending::default();
+                }
+                "use" | "type" => {
+                    i = self.find_at_depth(i + 1, &[";"]).map_or(self.toks.len(), |p| p + 1);
+                    pending = Pending::default();
+                }
+                _ => {
+                    // Macro invocation at any position: skip its body so
+                    // macro contents never masquerade as items.
+                    if i + 2 < self.toks.len()
+                        && self.text(i + 1) == "!"
+                        && self.kind(i + 2) == TokKind::Open
+                    {
+                        i = self.past_group(i + 2);
+                    } else {
+                        i += 1;
+                    }
+                    pending = Pending::default();
+                }
+            }
+        }
+        self.items
+    }
+
+    /// Is the attribute group opening at `open` (`[`) a test marker —
+    /// `#[test]`, `#[cfg(test)]`, or any `cfg(...)` mentioning `test`?
+    fn attr_is_test(&self, open: usize) -> bool {
+        let close = self.delims[open];
+        if close <= open + 1 {
+            return false;
+        }
+        let head = self.text(open + 1);
+        if head == "test" && close == open + 2 {
+            return true;
+        }
+        head == "cfg"
+            && (open + 2..close)
+                .any(|j| self.kind(j) == TokKind::Ident && self.text(j) == "test")
+    }
+
+    /// `impl` introduces a block only at item position; elsewhere it is an
+    /// `impl Trait` type. Item positions follow `;`, braces, an attribute's
+    /// `]`, `unsafe`, or the start of the stream.
+    fn at_item_position(&self, i: usize) -> bool {
+        if i == 0 {
+            return true;
+        }
+        let prev = i - 1;
+        matches!(self.text(prev), ";" | "{" | "}" | "]" | "unsafe")
+    }
+
+    fn push_item(
+        &mut self,
+        item: Item,
+        body: Option<(usize, usize)>,
+        stack: &mut Vec<(usize, usize)>,
+    ) {
+        let idx = self.items.len();
+        self.items.push(item);
+        if let Some((_, close)) = body {
+            stack.push((idx, close));
+        }
+    }
+
+    /// Parse `mod`/`trait` — keyword, name, then `;` or a brace body that
+    /// is descended into. Returns the resume index.
+    fn named_block(
+        &mut self,
+        kw: usize,
+        kind: ItemKind,
+        parent: Option<usize>,
+        inherited_test: bool,
+        pending: Pending,
+        stack: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let name = if kw + 1 < self.toks.len() && self.kind(kw + 1) == TokKind::Ident {
+            self.text(kw + 1).to_string()
+        } else {
+            return kw + 1;
+        };
+        let Some(stop) = self.find_body_or_semi(kw + 2) else { return kw + 2 };
+        let (body, end_tok, resume) = match stop {
+            BodyOrSemi::Body(open) => {
+                let close = self.delims[open];
+                (Some((open, close)), close, open + 1)
+            }
+            BodyOrSemi::Semi(p) => (None, p, p + 1),
+        };
+        self.push_item(
+            Item {
+                kind,
+                name,
+                first_tok: pending.first_tok.unwrap_or(kw),
+                kw_tok: kw,
+                body,
+                end_tok,
+                parent,
+                is_pub: pending.is_pub,
+                is_test: pending.is_test || inherited_test,
+            },
+            body,
+            stack,
+        );
+        resume
+    }
+
+    /// Parse a `fn` definition: record it, then resume *inside* its body
+    /// (so nested items are found) or past its `;`. The signature tokens
+    /// between name and body are never scanned for items — that is what
+    /// keeps `-> impl Iterator` and `fn(u32)` pointer types harmless.
+    fn fn_item(
+        &mut self,
+        kw: usize,
+        parent: Option<usize>,
+        inherited_test: bool,
+        pending: Pending,
+        stack: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let name = self.text(kw + 1).to_string();
+        let Some(stop) = self.find_body_or_semi(kw + 2) else { return kw + 2 };
+        let (body, end_tok, resume) = match stop {
+            BodyOrSemi::Body(open) => {
+                let close = self.delims[open];
+                (Some((open, close)), close, open + 1)
+            }
+            BodyOrSemi::Semi(p) => (None, p, p + 1),
+        };
+        self.push_item(
+            Item {
+                kind: ItemKind::Fn,
+                name,
+                first_tok: pending.first_tok.unwrap_or(kw),
+                kw_tok: kw,
+                body,
+                end_tok,
+                parent,
+                is_pub: pending.is_pub,
+                is_test: pending.is_test || inherited_test,
+            },
+            body,
+            stack,
+        );
+        resume
+    }
+
+    /// Parse an `impl` block: extract the self-type name and whether it is
+    /// a trait impl, then descend into the body.
+    fn impl_item(
+        &mut self,
+        kw: usize,
+        parent: Option<usize>,
+        inherited_test: bool,
+        pending: Pending,
+        stack: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        // Skip the generic parameter list directly after `impl`.
+        let mut j = kw + 1;
+        if j < self.toks.len() && self.text(j) == "<" {
+            j = self.past_angles(j);
+        }
+        let ty_start = j;
+        // Scan the header for `for` / the body `{` at angle depth 0.
+        let mut angle = 0i32;
+        let mut for_pos: Option<usize> = None;
+        let mut body_open: Option<usize> = None;
+        while j < self.toks.len() {
+            match self.kind(j) {
+                TokKind::Open if self.text(j) == "{" && angle <= 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                TokKind::Open => j = self.past_group(j),
+                TokKind::Close => break,
+                _ => {
+                    match self.text(j) {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        ">>" => angle -= 2,
+                        ";" if angle <= 0 => break,
+                        "for" if angle <= 0 => for_pos = Some(j),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        let Some(open) = body_open else {
+            return self.find_at_depth(kw + 1, &[";"]).map_or(j.max(kw + 1), |p| p + 1);
+        };
+        let ty_from = for_pos.map_or(ty_start, |p| p + 1);
+        let type_name = self.path_tail(ty_from, open).unwrap_or_default();
+        let close = self.delims[open];
+        self.push_item(
+            Item {
+                kind: ItemKind::Impl { type_name, trait_impl: for_pos.is_some() },
+                name: String::new(),
+                first_tok: pending.first_tok.unwrap_or(kw),
+                kw_tok: kw,
+                body: Some((open, close)),
+                end_tok: close,
+                parent,
+                is_pub: false,
+                is_test: pending.is_test || inherited_test,
+            },
+            Some((open, close)),
+            stack,
+        );
+        open + 1
+    }
+
+    /// Parse `struct`/`enum`/`union` and skip the field body entirely.
+    fn type_def(
+        &mut self,
+        kw: usize,
+        parent: Option<usize>,
+        inherited_test: bool,
+        pending: Pending,
+    ) -> usize {
+        let name = if kw + 1 < self.toks.len() && self.kind(kw + 1) == TokKind::Ident {
+            self.text(kw + 1).to_string()
+        } else {
+            return kw + 1;
+        };
+        let Some(stop) = self.find_body_or_semi(kw + 2) else { return kw + 2 };
+        let (end_tok, resume) = match stop {
+            BodyOrSemi::Body(open) => (self.delims[open], self.past_group(open)),
+            BodyOrSemi::Semi(p) => (p, p + 1),
+        };
+        self.items.push(Item {
+            kind: ItemKind::TypeDef,
+            name,
+            first_tok: pending.first_tok.unwrap_or(kw),
+            kw_tok: kw,
+            body: None,
+            end_tok,
+            parent,
+            is_pub: pending.is_pub,
+            is_test: pending.is_test || inherited_test,
+        });
+        resume
+    }
+
+    /// Parse `static [mut] NAME: Type = init;` or `const NAME: Type = ...;`.
+    fn const_or_static(
+        &mut self,
+        kw: usize,
+        parent: Option<usize>,
+        inherited_test: bool,
+        pending: Pending,
+        is_static: bool,
+    ) -> usize {
+        let mut j = kw + 1;
+        let mut mutable = false;
+        if is_static && j < self.toks.len() && self.text(j) == "mut" {
+            mutable = true;
+            j += 1;
+        }
+        if j >= self.toks.len() || self.kind(j) != TokKind::Ident {
+            return j;
+        }
+        let name = self.text(j).to_string();
+        // Type tokens run from past the `:` to the `=` (or terminal `;`).
+        let colon = self.find_at_depth(j + 1, &[":"]);
+        let eq_or_semi = self.find_at_depth(j + 1, &["=", ";"]);
+        let semi = self.find_at_depth(j + 1, &[";"]);
+        let end_tok = semi.unwrap_or(self.toks.len() - 1);
+        let type_range = match (colon, eq_or_semi) {
+            (Some(c), Some(e)) if e > c => (c + 1, e),
+            _ => (j, j),
+        };
+        self.items.push(Item {
+            kind: if is_static {
+                ItemKind::Static { type_range, mutable }
+            } else {
+                ItemKind::Const
+            },
+            name,
+            first_tok: pending.first_tok.unwrap_or(kw),
+            kw_tok: kw,
+            body: None,
+            end_tok,
+            parent,
+            is_pub: pending.is_pub,
+            is_test: pending.is_test || inherited_test,
+        });
+        end_tok + 1
+    }
+
+    /// From `from`, find the item's body `{` or terminating `;`, skipping
+    /// `(`/`[` groups and generic parameter lists (angle-aware so `->` in
+    /// `Fn(V) -> V` bounds cannot confuse it — `->` is one token).
+    fn find_body_or_semi(&self, from: usize) -> Option<BodyOrSemi> {
+        let mut angle = 0i32;
+        let mut j = from;
+        while j < self.toks.len() {
+            match self.kind(j) {
+                TokKind::Open if self.text(j) == "{" && angle <= 0 => {
+                    return Some(BodyOrSemi::Body(j));
+                }
+                TokKind::Open => j = self.past_group(j),
+                TokKind::Close => return None,
+                _ => {
+                    match self.text(j) {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        ">>" => angle -= 2,
+                        ";" if angle <= 0 => return Some(BodyOrSemi::Semi(j)),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Index just past a balanced `<...>` run starting at `open` (a `<`).
+    fn past_angles(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.toks.len() {
+            match self.kind(j) {
+                TokKind::Open => {
+                    j = self.past_group(j);
+                    continue;
+                }
+                TokKind::Close => return j,
+                _ => match self.text(j) {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    ";" => return j,
+                    _ => {}
+                },
+            }
+            j += 1;
+            if depth <= 0 {
+                return j;
+            }
+        }
+        j
+    }
+
+    /// Last identifier of the leading path in `[from, to)`, skipping `&`,
+    /// `dyn`, `mut`, and lifetimes: `foo::bar::Baz<T>` → `Baz`.
+    fn path_tail(&self, from: usize, to: usize) -> Option<String> {
+        let mut j = from;
+        while j < to
+            && (self.kind(j) == TokKind::Lifetime
+                || matches!(self.text(j), "&" | "dyn" | "mut" | "*" | "const"))
+        {
+            j += 1;
+        }
+        let mut last: Option<&str> = None;
+        while j < to {
+            if self.kind(j) == TokKind::Ident {
+                last = Some(self.text(j));
+                j += 1;
+                if j < to && self.text(j) == "::" {
+                    j += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        let name = last?;
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            Some(name.to_string())
+        } else {
+            None
+        }
+    }
+}
+
+enum BodyOrSemi {
+    Body(usize),
+    Semi(usize),
+}
+
+/// Token ranges of a function signature.
+#[derive(Debug, Clone, Copy)]
+pub struct FnSig {
+    /// Token indices of the parameter list's `(` and `)`.
+    pub params: (usize, usize),
+    /// Half-open token range of the return type (after `->`, trimmed at
+    /// `where` and the body `{`); empty when the fn returns `()`.
+    pub ret: (usize, usize),
+}
+
+/// Locate the parameter list and return type of a parsed `fn` item.
+pub fn fn_signature(item: &Item, code: &str, toks: &[Tok], delims: &[usize]) -> Option<FnSig> {
+    if item.kind != ItemKind::Fn {
+        return None;
+    }
+    let text = |i: usize| &code[toks[i].start..toks[i].end];
+    // Token after the name; skip a generic parameter list if present.
+    let mut j = item.kw_tok + 2;
+    if j < toks.len() && text(j) == "<" {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match text(j) {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            j += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    if j >= toks.len() || toks[j].kind != TokKind::Open || text(j) != "(" {
+        return None;
+    }
+    let close = delims[j];
+    if close <= j {
+        return None;
+    }
+    let sig_end = item.body.map_or(item.end_tok, |(open, _)| open);
+    let mut ret = (close + 1, close + 1);
+    if close + 1 < sig_end && text(close + 1) == "->" {
+        let mut end = close + 2;
+        while end < sig_end && text(end) != "where" {
+            end += 1;
+        }
+        ret = (close + 2, end);
+    }
+    Some(FnSig { params: (j, close), ret })
+}
+
+/// Per-line test mask: `mask[line]` (1-based) is true when the line belongs
+/// to a `#[cfg(test)]` / `#[test]` item, counted from the item's first
+/// attribute line through its closing token.
+pub fn test_line_mask(items: &[Item], toks: &[Tok], n_lines: usize) -> Vec<bool> {
+    let mut mask = vec![false; n_lines + 1];
+    for item in items {
+        if !item.is_test {
+            continue;
+        }
+        let start = toks[item.first_tok].line;
+        let end = toks[item.end_tok.min(toks.len() - 1)].line;
+        for m in mask.iter_mut().take(end.min(n_lines) + 1).skip(start) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::{lex, match_delims};
+
+    fn parse(code: &str) -> (Vec<Item>, Vec<Tok>) {
+        let toks = lex(code);
+        let delims = match_delims(&toks, code);
+        (parse_items(code, &toks, &delims), toks)
+    }
+
+    #[test]
+    fn finds_fns_mods_impls() {
+        let src = "pub fn free() {}\nmod inner { fn nested() {} }\nimpl<V> Csr<V> { pub fn new() -> Self { x } }\n";
+        let (items, _) = parse(src);
+        let names: Vec<(&str, &str)> = items
+            .iter()
+            .map(|i| {
+                (
+                    match &i.kind {
+                        ItemKind::Fn => "fn",
+                        ItemKind::Mod => "mod",
+                        ItemKind::Impl { .. } => "impl",
+                        _ => "?",
+                    },
+                    i.name.as_str(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![("fn", "free"), ("mod", "inner"), ("fn", "nested"), ("impl", ""), ("fn", "new")]
+        );
+        assert!(items[0].is_pub);
+        assert!(!items[2].is_pub);
+        assert_eq!(items[2].parent, Some(1));
+        assert_eq!(items[4].parent, Some(3));
+        match &items[3].kind {
+            ItemKind::Impl { type_name, trait_impl } => {
+                assert_eq!(type_name, "Csr");
+                assert!(!trait_impl);
+            }
+            k => panic!("expected impl, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn trait_impls_are_tagged() {
+        let (items, _) = parse("impl std::fmt::Display for Foo { fn fmt(&self) {} }\n");
+        match &items[0].kind {
+            ItemKind::Impl { type_name, trait_impl } => {
+                assert_eq!(type_name, "Foo");
+                assert!(*trait_impl);
+            }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn cfg_test_marks_whole_subtree() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n    fn helper() {}\n}\n";
+        let (items, toks) = parse(src);
+        assert!(!items[0].is_test);
+        assert!(items[1].is_test, "mod tests");
+        assert!(items.iter().filter(|i| i.kind == ItemKind::Fn).skip(1).all(|i| i.is_test));
+        let mask = test_line_mask(&items, &toks, 7);
+        assert!(!mask[1]);
+        assert!((2..=7).all(|l| mask[l]), "{mask:?}");
+    }
+
+    #[test]
+    fn bare_test_attr_marks_fn() {
+        let src = "#[test]\nfn alone() { body(); }\nfn other() {}\n";
+        let (items, toks) = parse(src);
+        assert!(items[0].is_test);
+        assert!(!items[1].is_test);
+        let mask = test_line_mask(&items, &toks, 3);
+        assert_eq!(&mask[1..], &[true, true, false]);
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_an_impl_block() {
+        let src = "fn gen() -> impl Iterator<Item = u32> { (0..3) }\n";
+        let (items, _) = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_defs() {
+        let src = "fn hof() { let f: fn(u32) -> u32 = other; f(1); }\nfn other(x: u32) -> u32 { x }\n";
+        let (items, _) = parse(src);
+        let fns: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(fns, vec!["hof", "other"]);
+    }
+
+    #[test]
+    fn statics_capture_type_and_mutability() {
+        let src = "static GLOBAL: AtomicBool = AtomicBool::new(false);\nfn f() { static LOCAL: OnceLock<usize> = OnceLock::new(); }\nstatic mut RAW: u32 = 0;\n";
+        let (items, toks) = parse(src);
+        let statics: Vec<&Item> = items
+            .iter()
+            .filter(|i| matches!(i.kind, ItemKind::Static { .. }))
+            .collect();
+        assert_eq!(statics.len(), 3);
+        assert_eq!(statics[0].name, "GLOBAL");
+        let ItemKind::Static { type_range, mutable } = &statics[0].kind else { unreachable!() };
+        assert!(!mutable);
+        let ty: Vec<&str> = (type_range.0..type_range.1)
+            .map(|i| &src[toks[i].start..toks[i].end])
+            .collect();
+        assert_eq!(ty, vec!["AtomicBool"]);
+        assert_eq!(statics[1].name, "LOCAL");
+        assert!(statics[1].parent.is_some(), "fn-local static has a parent");
+        let ItemKind::Static { mutable: m2, .. } = &statics[2].kind else { unreachable!() };
+        assert!(m2);
+    }
+
+    #[test]
+    fn macro_bodies_are_opaque() {
+        let src = "fn f() { assert!(matches!(x, Some(_))); my_macro! { fn not_an_item() {} } }\n";
+        let (items, _) = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "f");
+    }
+
+    #[test]
+    fn where_clauses_do_not_hide_bodies() {
+        let src = "fn g<F>(f: F) -> u32 where F: Fn(u32) -> u32 { f(1) }\n";
+        let (items, _) = parse(src);
+        assert_eq!(items.len(), 1);
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn generic_bounds_with_fn_arrows_parse() {
+        let src = "impl<V: Value, F: Fn(V, V) -> V> Merger<V, F> { fn run(&self) {} }\n";
+        let (items, _) = parse(src);
+        match &items[0].kind {
+            ItemKind::Impl { type_name, .. } => assert_eq!(type_name, "Merger"),
+            k => panic!("{k:?}"),
+        }
+    }
+}

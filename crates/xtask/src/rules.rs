@@ -1,9 +1,11 @@
-//! The six audit rules.
+//! The audit rules, built on the token engine.
 //!
-//! Each rule scans preprocessed [`SourceFile`]s (comments/strings blanked,
-//! test lines marked) and emits [`Diagnostic`]s. Rules are suppressible
-//! per-site with an inline `// audit:allow(<rule>) — justification` marker
-//! on the offending line or the line above it.
+//! Each rule scans preprocessed [`SourceFile`]s — token stream, delimiter
+//! match table, and item tree from [`crate::lex`]/[`crate::parse`] — and
+//! emits [`Diagnostic`]s. Rules are suppressible per-site with an inline
+//! `// audit:allow(<rule>) — justification` marker on the offending line or
+//! the line above it; the justification is mandatory (see
+//! `allow-justification` below).
 //!
 //! | rule                 | scope                                  | what it catches |
 //! |----------------------|----------------------------------------|-----------------|
@@ -13,8 +15,18 @@
 //! | `invariant-coverage` | `hypersparse`, `assoc`                 | public constructors not exercised by any `check_invariants` test |
 //! | `instant-timing`     | all library code except `obs`          | ad-hoc `Instant::now()` / `SystemTime::now()` timing outside the metrics layer |
 //! | `key-pack`           | `hypersparse` lib code except `keypack.rs` | ad-hoc `as u64` + `<< 32` key packing outside the shared `keypack` helper |
+//! | `map-iter-order`     | all library code                       | `HashMap`/`HashSet` iteration order flowing into `Vec` pushes, string building, or (via the symbol index, one call hop) the `obscor_obs::json` codec |
+//! | `nonassoc-reduce`    | all library code                       | rayon `reduce`/`fold`/`sum`/`product` over float accumulators outside blessed tree-reduction helpers |
+//! | `atomic-ordering`    | all library code                       | `Ordering::*` sites without an `// ordering:` justification; stricter-than-Relaxed notes must name the happens-before edge |
+//! | `shared-static-mut`  | all library code except `obs`          | process-global `static` atomics/locks/cells outside the obs registry and the declared metric-enable flags |
+//! | `allow-justification`| all library code                       | `audit:allow(<rule>)` markers without a trailing justification |
 
-use crate::scan::{find_token, has_token, SourceFile};
+use std::collections::HashSet;
+
+use crate::index::SymbolIndex;
+use crate::lex::TokKind;
+use crate::parse::{fn_signature, Item, ItemKind};
+use crate::scan::{has_token, SourceFile};
 
 /// One audit finding, pointing at a concrete `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +39,9 @@ pub struct Diagnostic {
     pub line: usize,
     /// Human-readable explanation of the finding.
     pub message: String,
+    /// Stable fingerprint (hex), filled by the audit driver; rules leave it
+    /// empty.
+    pub fingerprint: String,
 }
 
 impl Diagnostic {
@@ -34,6 +49,10 @@ impl Diagnostic {
     pub fn render(&self) -> String {
         format!("{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
     }
+}
+
+fn diag(rule: &'static str, file: &SourceFile, line: usize, message: String) -> Diagnostic {
+    Diagnostic { rule, file: file.rel.clone(), line, message, fingerprint: String::new() }
 }
 
 /// Crates whose library code must be panic-free. `telescope` and `pcap`
@@ -46,6 +65,184 @@ pub const PANIC_FREE_CRATES: &[&str] =
 /// Crates whose public constructors require invariant-test coverage.
 pub const INVARIANT_CRATES: &[&str] = &["hypersparse", "assoc"];
 
+/// Static names the `shared-static-mut` rule accepts outside `obs`: the
+/// declared metric-enable flags (set once at startup, read Relaxed).
+pub const ALLOWED_GLOBAL_STATICS: &[&str] = &["METRICS_ENABLED", "CACHE_METRICS_ENABLED"];
+
+/// Function names blessed as deterministic tree-reduction helpers; float
+/// reductions inside them are exempt from `nonassoc-reduce`.
+pub const BLESSED_REDUCERS: &[&str] = &["merge_all"];
+
+const PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_iter_mut",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_exact",
+    "par_windows",
+    "par_drain",
+];
+const REDUCE_TERMINALS: &[&str] = &["reduce", "fold", "sum", "product"];
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+const SHARED_STATIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "Mutex",
+    "RwLock",
+    "OnceLock",
+    "OnceCell",
+    "LazyLock",
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+];
+const MEM_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+// ---------------------------------------------------------------------------
+// Token-walk helpers
+// ---------------------------------------------------------------------------
+
+/// Brace depth of each token: `{` carries the depth *outside* it, tokens
+/// inside carry depth+1, and the matching `}` carries the outside depth
+/// again. Paren/bracket groups do not change brace depth, so a closure
+/// body `{ .. }` nested in a call chain sits one level deeper than the
+/// chain itself — the property the reduction and taint extents rely on.
+fn brace_depths(file: &SourceFile) -> Vec<u32> {
+    let mut out = Vec::with_capacity(file.toks.len());
+    let mut depth = 0u32;
+    for i in 0..file.toks.len() {
+        match file.toks[i].kind {
+            TokKind::Open if file.tok_text(i) == "{" => {
+                out.push(depth);
+                depth += 1;
+            }
+            TokKind::Close if file.tok_text(i) == "}" => {
+                depth = depth.saturating_sub(1);
+                out.push(depth);
+            }
+            _ => out.push(depth),
+        }
+    }
+    out
+}
+
+/// First token of the statement containing token `i` (same brace depth).
+fn stmt_start(file: &SourceFile, depths: &[u32], i: usize) -> usize {
+    let d = depths[i];
+    let mut j = i;
+    while j > 0 {
+        let p = j - 1;
+        if depths[p] < d {
+            break; // crossed the enclosing `{`
+        }
+        if depths[p] == d {
+            let txt = file.tok_text(p);
+            if txt == ";" {
+                break;
+            }
+            if txt == "}" && file.toks[p].kind == TokKind::Close {
+                // A closing brace ends the statement unless the expression
+                // continues through it (`}).sum()`, `}, other)`, `} else`).
+                let follow = file.tok_text(p + 1);
+                if !matches!(follow, "." | ")" | "]" | "," | "?" | ";" | "else") {
+                    break;
+                }
+            }
+        }
+        j = p;
+    }
+    j
+}
+
+/// Last token (inclusive) of the statement containing token `i`. Nested
+/// brace groups are jumped via the delimiter table; a jumped group ends the
+/// statement unless a chain continues after it.
+fn stmt_end(file: &SourceFile, depths: &[u32], i: usize) -> usize {
+    let d = depths[i];
+    let mut j = i;
+    while j + 1 < file.toks.len() {
+        let n = j + 1;
+        if depths[n] < d {
+            break; // the enclosing `}` closed
+        }
+        if depths[n] == d {
+            let txt = file.tok_text(n);
+            if txt == ";" {
+                return n;
+            }
+            if file.toks[n].kind == TokKind::Open && txt == "{" {
+                let close = file.delims[n];
+                if close <= n {
+                    return n;
+                }
+                j = close;
+                if j + 1 < file.toks.len()
+                    && depths[j + 1] == d
+                    && matches!(file.tok_text(j + 1), "." | "?" | "else" | ")" | "]" | ",")
+                {
+                    continue;
+                }
+                return j;
+            }
+        }
+        j = n;
+    }
+    j
+}
+
+/// Consecutive same-line token runs: `(line, token index range)`.
+fn line_runs(file: &SourceFile) -> Vec<(usize, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let n = file.toks.len();
+    let mut s = 0;
+    for i in 1..=n {
+        if i == n || file.toks[i].line != file.toks[s].line {
+            out.push((file.toks[s].line, s..i));
+            s = i;
+        }
+    }
+    out
+}
+
+/// Innermost `fn` item whose body contains token `i`.
+fn enclosing_fn(file: &SourceFile, i: usize) -> Option<&Item> {
+    file.items
+        .iter()
+        .filter(|it| matches!(it.kind, ItemKind::Fn))
+        .filter(|it| it.body.is_some_and(|(open, close)| open < i && i < close))
+        .max_by_key(|it| it.body.unwrap().0)
+}
+
+fn line_exempt(file: &SourceFile, rule: &str, line: usize) -> bool {
+    file.is_test_line(line) || file.is_allowed(rule, line)
+}
+
+// ---------------------------------------------------------------------------
+// Ported rules
+// ---------------------------------------------------------------------------
+
 /// Rule `index-cast`: flag `as u32` / `as Index` / `as usize` casts whose
 /// surrounding expression mentions a wider source type, i.e. the places a
 /// silent truncation can corrupt an index. Pure narrowing of already-narrow
@@ -53,50 +250,57 @@ pub const INVARIANT_CRATES: &[&str] = &["hypersparse", "assoc"];
 pub fn rule_index_cast(file: &SourceFile) -> Vec<Diagnostic> {
     const RULE: &str = "index-cast";
     let mut out = Vec::new();
-    for (line_no, line) in file.code_lines() {
-        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+    let mut seen: HashSet<(usize, &str)> = HashSet::new();
+    for i in 0..file.toks.len().saturating_sub(1) {
+        if file.toks[i].kind != TokKind::Ident || file.tok_text(i) != "as" {
             continue;
         }
-        for target in ["u32", "usize", "Index"] {
-            let mut from = 0;
-            while let Some(as_pos) = find_token(line, "as", from) {
-                from = as_pos + 2;
-                let after = line[as_pos + 2..].trim_start();
-                if !after.starts_with(target)
-                    || after[target.len()..]
-                        .starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_')
-                {
-                    continue;
-                }
-                let left = &line[..as_pos];
-                let wide = match target {
-                    // usize is 64-bit here; only 64-bit+ sources can truncate.
-                    "usize" => ["u64", "i64", "u128", "i128", "f64"]
-                        .iter()
-                        .any(|t| has_token(left, t)),
-                    // u32 / Index also truncate from usize-width sources.
-                    _ => {
-                        ["u64", "i64", "u128", "i128", "f64", "usize"]
-                            .iter()
-                            .any(|t| has_token(left, t))
-                            || left.contains(".len()")
-                            || left.contains(">>")
-                            || left.contains("<<")
-                    }
-                };
-                if wide {
-                    out.push(Diagnostic {
-                        rule: RULE,
-                        file: file.rel.clone(),
-                        line: line_no,
-                        message: format!(
-                            "truncating `as {target}` cast from a wide source; use \
-                             `try_from`/`try_into` or annotate with audit:allow({RULE})"
-                        ),
-                    });
-                    break; // one diagnostic per line per target is enough
-                }
+        if file.toks[i + 1].kind != TokKind::Ident {
+            continue;
+        }
+        let target = file.tok_text(i + 1);
+        if !matches!(target, "u32" | "usize" | "Index") {
+            continue;
+        }
+        let line = file.tok_line(i);
+        if line_exempt(file, RULE, line) || seen.contains(&(line, target)) {
+            continue;
+        }
+        // Wide-source evidence among the tokens to the left on this line.
+        let left: Vec<usize> = (0..i).rev().take_while(|&j| file.tok_line(j) == line).collect();
+        let has_ident = |names: &[&str]| {
+            left.iter().any(|&j| {
+                file.toks[j].kind == TokKind::Ident && names.contains(&file.tok_text(j))
+            })
+        };
+        let wide = match target {
+            // usize is 64-bit here; only 64-bit+ sources can truncate.
+            "usize" => has_ident(&["u64", "i64", "u128", "i128", "f64"]),
+            // u32 / Index also truncate from usize-width sources.
+            _ => {
+                has_ident(&["u64", "i64", "u128", "i128", "f64", "usize"])
+                    || left.iter().any(|&j| matches!(file.tok_text(j), "<<" | ">>"))
+                    || left.iter().any(|&j| {
+                        file.toks[j].kind == TokKind::Ident
+                            && file.tok_text(j) == "len"
+                            && j > 0
+                            && file.tok_text(j - 1) == "."
+                            && j + 1 < i
+                            && file.tok_text(j + 1) == "("
+                    })
             }
+        };
+        if wide {
+            seen.insert((line, target));
+            out.push(diag(
+                RULE,
+                file,
+                line,
+                format!(
+                    "truncating `as {target}` cast from a wide source; use \
+                     `try_from`/`try_into` or annotate with audit:allow({RULE})"
+                ),
+            ));
         }
     }
     out
@@ -107,82 +311,90 @@ pub fn rule_index_cast(file: &SourceFile) -> Vec<Diagnostic> {
 pub fn rule_panic_path(file: &SourceFile) -> Vec<Diagnostic> {
     const RULE: &str = "panic-path";
     let mut out = Vec::new();
-    for (line_no, line) in file.code_lines() {
-        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+    let mut seen: HashSet<(usize, &str)> = HashSet::new();
+    for i in 0..file.toks.len() {
+        if file.toks[i].kind != TokKind::Ident {
             continue;
         }
-        for (needle, label) in [
-            (".unwrap()", "`unwrap()`"),
-            (".expect(", "`expect(...)`"),
-            ("panic!", "`panic!`"),
-            ("unreachable!", "`unreachable!`"),
-            ("todo!", "`todo!`"),
-            ("unimplemented!", "`unimplemented!`"),
-        ] {
-            let hit = if needle.starts_with('.') {
-                line.contains(needle)
-            } else {
-                // Macro names must be whole tokens (`catch_panic!` is fine).
-                find_token(line, needle.trim_end_matches('!'), 0)
-                    .is_some_and(|p| line[p..].trim_start_matches(char::is_alphanumeric)
-                        .trim_start_matches('_')
-                        .starts_with('!'))
-            };
-            if hit {
-                // `debug_assert!`-style macros legitimately contain `panic`
-                // semantics but are debug-only; they never match the needles
-                // above, so no carve-out is needed.
-                out.push(Diagnostic {
-                    rule: RULE,
-                    file: file.rel.clone(),
-                    line: line_no,
-                    message: format!(
-                        "{label} in panic-free library code; return a Result or \
-                         annotate a documented contract with audit:allow({RULE})"
-                    ),
-                });
+        let line = file.tok_line(i);
+        let name = file.tok_text(i);
+        let label = match name {
+            // `.unwrap()` — empty-arg method call on a receiver.
+            "unwrap"
+                if i > 0
+                    && file.tok_text(i - 1) == "."
+                    && i + 2 < file.toks.len()
+                    && file.tok_text(i + 1) == "("
+                    && file.delims[i + 1] == i + 2 =>
+            {
+                "`unwrap()`"
             }
+            "expect"
+                if i > 0
+                    && file.tok_text(i - 1) == "."
+                    && i + 1 < file.toks.len()
+                    && file.tok_text(i + 1) == "(" =>
+            {
+                "`expect(...)`"
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if i + 1 < file.toks.len() && file.tok_text(i + 1) == "!" =>
+            {
+                match name {
+                    "panic" => "`panic!`",
+                    "unreachable" => "`unreachable!`",
+                    "todo" => "`todo!`",
+                    _ => "`unimplemented!`",
+                }
+            }
+            _ => continue,
+        };
+        if line_exempt(file, RULE, line) || !seen.insert((line, label)) {
+            continue;
         }
+        out.push(diag(
+            RULE,
+            file,
+            line,
+            format!(
+                "{label} in panic-free library code; return a Result or \
+                 annotate a documented contract with audit:allow({RULE})"
+            ),
+        ));
     }
     out
 }
 
-/// Rule `float-eq`: no `==` / `!=` where either side shows floating-point
-/// evidence (an `f64`/`f32` token or a float literal on the line).
+/// Rule `float-eq`: no `==` / `!=` on a line showing floating-point
+/// evidence (an `f64`/`f32` token or a float literal).
 pub fn rule_float_eq(file: &SourceFile) -> Vec<Diagnostic> {
     const RULE: &str = "float-eq";
     let mut out = Vec::new();
-    for (line_no, line) in file.code_lines() {
-        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+    for (line, run) in line_runs(file) {
+        if line_exempt(file, RULE, line) {
             continue;
         }
-        if !line_has_float_evidence(line) {
+        let evidence = run.clone().any(|j| {
+            file.toks[j].kind == TokKind::Float
+                || (file.toks[j].kind == TokKind::Ident
+                    && matches!(file.tok_text(j), "f64" | "f32"))
+        });
+        if !evidence {
             continue;
         }
-        let bytes = line.as_bytes();
-        let mut i = 0;
-        while i + 1 < bytes.len() {
-            let two = &bytes[i..i + 2];
-            let is_eq = two == b"==";
-            let is_ne = two == b"!=";
-            if (is_eq || is_ne)
-                && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'!' | b'=' | b'&' | b'|'))
-                && (i + 2 >= bytes.len() || bytes[i + 2] != b'=')
-            {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    file: file.rel.clone(),
-                    line: line_no,
-                    message: format!(
+        for j in run {
+            if file.toks[j].kind == TokKind::Punct && matches!(file.tok_text(j), "==" | "!=") {
+                out.push(diag(
+                    RULE,
+                    file,
+                    line,
+                    format!(
                         "floating-point `{}` comparison; use an epsilon/ULP helper or \
                          total ordering, or annotate with audit:allow({RULE})",
-                        if is_eq { "==" } else { "!=" }
+                        file.tok_text(j)
                     ),
-                });
-                i += 2;
-                continue;
+                ));
             }
-            i += 1;
         }
     }
     out
@@ -197,34 +409,33 @@ pub fn rule_float_eq(file: &SourceFile) -> Vec<Diagnostic> {
 pub fn rule_instant_timing(file: &SourceFile) -> Vec<Diagnostic> {
     const RULE: &str = "instant-timing";
     let mut out = Vec::new();
-    for (line_no, line) in file.code_lines() {
-        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+    let mut seen: HashSet<(usize, &str)> = HashSet::new();
+    for i in 0..file.toks.len().saturating_sub(2) {
+        if file.toks[i].kind != TokKind::Ident {
             continue;
         }
-        for needle in ["Instant::now", "SystemTime::now"] {
-            let mut from = 0;
-            while let Some(pos) = line[from..].find(needle).map(|p| p + from) {
-                from = pos + needle.len();
-                // Whole-token on the left (`MyInstant::now` is fine); the
-                // right edge is already non-ident (`(`, whitespace, ...).
-                let bounded = pos == 0
-                    || !matches!(line.as_bytes()[pos - 1],
-                        b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
-                if bounded {
-                    out.push(Diagnostic {
-                        rule: RULE,
-                        file: file.rel.clone(),
-                        line: line_no,
-                        message: format!(
-                            "ad-hoc `{needle}()` timing outside the obs crate; use \
-                             `obscor_obs::span` / `SpanTimer` so the measurement lands \
-                             in the metrics registry, or annotate with audit:allow({RULE})"
-                        ),
-                    });
-                    break; // one diagnostic per line per needle is enough
-                }
-            }
+        let name = file.tok_text(i);
+        if !matches!(name, "Instant" | "SystemTime") {
+            continue;
         }
+        if file.tok_text(i + 1) != "::" || file.tok_text(i + 2) != "now" {
+            continue;
+        }
+        let line = file.tok_line(i);
+        let needle = if name == "Instant" { "Instant::now" } else { "SystemTime::now" };
+        if line_exempt(file, RULE, line) || !seen.insert((line, needle)) {
+            continue;
+        }
+        out.push(diag(
+            RULE,
+            file,
+            line,
+            format!(
+                "ad-hoc `{needle}()` timing outside the obs crate; use \
+                 `obscor_obs::span` / `SpanTimer` so the measurement lands \
+                 in the metrics registry, or annotate with audit:allow({RULE})"
+            ),
+        ));
     }
     out
 }
@@ -243,80 +454,41 @@ pub fn rule_key_pack(file: &SourceFile) -> Vec<Diagnostic> {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for (line_no, line) in file.code_lines() {
-        if file.is_test_line(line_no) || file.is_allowed(RULE, line_no) {
+    for (line, run) in line_runs(file) {
+        if line_exempt(file, RULE, line) {
             continue;
         }
-        if !has_shift_32(line) {
-            continue;
-        }
-        let mut from = 0;
-        while let Some(as_pos) = find_token(line, "as", from) {
-            from = as_pos + 2;
-            let after = line[as_pos + 2..].trim_start();
-            let cast_u64 = after.starts_with("u64")
-                && !after["u64".len()..]
-                    .starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
-            if cast_u64 {
-                out.push(Diagnostic {
-                    rule: RULE,
-                    file: file.rel.clone(),
-                    line: line_no,
-                    message: format!(
-                        "ad-hoc `as u64` + `<< 32` key packing; route key \
-                         construction through `keypack::pack_key` / \
-                         `unpack_key`, or annotate with audit:allow({RULE})"
-                    ),
-                });
-                break; // one diagnostic per line is enough
-            }
+        let shift_32 = run.clone().any(|j| {
+            file.tok_text(j) == "<<"
+                && j + 1 < run.end
+                && file.toks[j + 1].kind == TokKind::Int
+                && file.tok_text(j + 1) == "32"
+        });
+        let cast_u64 = run.clone().any(|j| {
+            file.toks[j].kind == TokKind::Ident
+                && file.tok_text(j) == "as"
+                && j + 1 < run.end
+                && file.tok_text(j + 1) == "u64"
+        });
+        if shift_32 && cast_u64 {
+            out.push(diag(
+                RULE,
+                file,
+                line,
+                format!(
+                    "ad-hoc `as u64` + `<< 32` key packing; route key \
+                     construction through `keypack::pack_key` / \
+                     `unpack_key`, or annotate with audit:allow({RULE})"
+                ),
+            ));
         }
     }
     out
 }
 
-/// True when `line` contains a `<< 32` shift (any spacing, but not a longer
-/// literal like `<< 320`).
-fn has_shift_32(line: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = line[from..].find("<<").map(|p| p + from) {
-        from = pos + 2;
-        let rest = line[pos + 2..].trim_start();
-        if rest.starts_with("32")
-            && !rest[2..].starts_with(|c: char| c.is_ascii_digit() || c == '_' || c == '.')
-        {
-            return true;
-        }
-    }
-    false
-}
-
-/// Float evidence: an `f64`/`f32` token or a numeric literal with a decimal
-/// point (`1.0`, `2.5e-3`). Integer-only lines never match.
-fn line_has_float_evidence(line: &str) -> bool {
-    if has_token(line, "f64") || has_token(line, "f32") {
-        return true;
-    }
-    let bytes = line.as_bytes();
-    for i in 1..bytes.len().saturating_sub(1) {
-        if bytes[i] == b'.'
-            && bytes[i - 1].is_ascii_digit()
-            && bytes[i + 1].is_ascii_digit()
-            // Exclude tuple-index-like `x.0.1` chains: require the char before
-            // the leading digit run to not be `.` or identifier-ish.
-            && {
-                let mut j = i - 1;
-                while j > 0 && bytes[j - 1].is_ascii_digit() {
-                    j -= 1;
-                }
-                j == 0 || !(bytes[j - 1] == b'.' || bytes[j - 1].is_ascii_alphanumeric() || bytes[j - 1] == b'_')
-            }
-        {
-            return true;
-        }
-    }
-    false
-}
+// ---------------------------------------------------------------------------
+// Invariant coverage (parser-driven)
+// ---------------------------------------------------------------------------
 
 /// A public constructor discovered by [`find_constructors`].
 #[derive(Debug, Clone)]
@@ -332,167 +504,69 @@ pub struct Constructor {
 }
 
 /// Find `pub fn` constructors (no `self` receiver, returns `Self` or the
-/// impl type) in inherent `impl` blocks of `file`.
+/// impl type) in inherent `impl` blocks of `file`, via the item tree.
 pub fn find_constructors(file: &SourceFile) -> Vec<Constructor> {
-    let code = &file.code;
-    let bytes = code.as_bytes();
     let mut out = Vec::new();
-    let mut search = 0;
-    while let Some(impl_pos) = find_token(code, "impl", search) {
-        search = impl_pos + 4;
-        // Header runs to the opening brace.
-        let Some(brace_rel) = code[impl_pos..].find('{') else { break };
-        let brace = impl_pos + brace_rel;
-        let header = &code[impl_pos..brace];
-        // Skip trait impls (`impl Trait for Type`).
-        if has_token(header, "for") {
+    for item in &file.items {
+        if !matches!(item.kind, ItemKind::Fn) || !item.is_pub {
             continue;
         }
-        let Some(type_name) = impl_type_name(header) else { continue };
-        // Match braces to find the impl body span.
-        let mut depth = 0usize;
-        let mut end = brace;
-        while end < bytes.len() {
-            match bytes[end] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            end += 1;
+        let Some(p) = item.parent else { continue };
+        let ItemKind::Impl { ref type_name, trait_impl: false } = file.items[p].kind else {
+            continue;
+        };
+        if type_name.is_empty() {
+            continue;
         }
-        let body = &code[brace..end.min(bytes.len())];
-        let body_offset = brace;
-        let mut fns = 0;
-        while let Some(pub_rel) = find_token(body, "pub", fns) {
-            fns = pub_rel + 3;
-            let after_pub = body[pub_rel + 3..].trim_start();
-            // `pub(crate) fn` etc. are not public API.
-            if !after_pub.starts_with("fn") {
-                continue;
-            }
-            let fn_rel = pub_rel + 3 + (body[pub_rel + 3..].len() - after_pub.len());
-            let rest = &body[fn_rel + 2..];
-            let rest = rest.trim_start();
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
-            if name.is_empty() {
-                continue;
-            }
-            // Find the parameter list: the first `(` outside the generic
-            // parameter list (`Fn(..)` bounds inside `<..>` don't count).
-            let Some(paren_rel) = param_list_paren(rest) else { continue };
-            let params_and_on = &rest[paren_rel..];
-            let Some(close) = matching_paren(params_and_on) else { continue };
-            let params = &params_and_on[1..close];
-            let first_param = params.split(',').next().unwrap_or("");
-            if has_token(first_param, "self") {
-                continue; // a method, not a constructor
-            }
-            // Return type between `)` and the body `{` (or `;`).
-            let after_params = &params_and_on[close + 1..];
-            let sig_end = after_params
-                .find(['{', ';'])
-                .unwrap_or(after_params.len());
-            let ret = &after_params[..sig_end];
-            let Some(arrow) = ret.find("->") else { continue };
-            let ret_ty = &ret[arrow + 2..];
-            if has_token(ret_ty, "Self") || has_token(ret_ty, &type_name) {
-                let abs = body_offset + fn_rel;
-                let line = 1 + code[..abs].bytes().filter(|&b| b == b'\n').count();
-                if file.is_test_line(line) || file.is_allowed("invariant-coverage", line) {
-                    continue;
-                }
-                out.push(Constructor {
-                    type_name: type_name.clone(),
-                    fn_name: name,
-                    file: file.rel.clone(),
-                    line,
-                });
-            }
+        let line = file.tok_line(item.kw_tok);
+        if file.is_test_line(line) || file.is_allowed("invariant-coverage", line) {
+            continue;
         }
-        search = end.max(search);
+        let Some(sig) = fn_signature(item, &file.code, &file.toks, &file.delims) else {
+            continue;
+        };
+        // A `self` receiver in the first parameter marks a method.
+        if first_param_has_self(file, sig.params) {
+            continue;
+        }
+        let returns_self = (sig.ret.0..sig.ret.1).any(|j| {
+            file.toks[j].kind == TokKind::Ident
+                && (file.tok_text(j) == "Self" || file.tok_text(j) == type_name)
+        });
+        if returns_self {
+            out.push(Constructor {
+                type_name: type_name.clone(),
+                fn_name: item.name.clone(),
+                file: file.rel.clone(),
+                line,
+            });
+        }
     }
     out
 }
 
-/// Offset of the first `(` at angle-bracket depth 0, skipping the `>` of
-/// `->` arrows inside generic bounds like `<F: Fn(V, V) -> V>`.
-fn param_list_paren(s: &str) -> Option<usize> {
-    let bytes = s.as_bytes();
-    let mut depth = 0usize;
-    for i in 0..bytes.len() {
-        match bytes[i] {
-            b'<' => depth += 1,
-            b'>' if i > 0 && bytes[i - 1] != b'-' => depth = depth.saturating_sub(1),
-            b'(' if depth == 0 => return Some(i),
-            b'{' | b';' => return None,
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Offset of the `)` matching the `(` at byte 0 of `s`.
-fn matching_paren(s: &str) -> Option<usize> {
-    let mut depth = 0usize;
-    for (i, b) in s.bytes().enumerate() {
-        match b {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
-                }
+fn first_param_has_self(file: &SourceFile, params: (usize, usize)) -> bool {
+    let mut j = params.0 + 1;
+    let mut angle = 0i32;
+    while j < params.1 {
+        match file.toks[j].kind {
+            TokKind::Open => {
+                let close = file.delims[j];
+                j = if close > j { close + 1 } else { j + 1 };
+                continue;
             }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Extract `Csr` from headers like `impl<V: Value> Csr<V>`.
-fn impl_type_name(header: &str) -> Option<String> {
-    let mut rest = header.trim_start().strip_prefix("impl")?;
-    // Skip generic parameter list.
-    if rest.trim_start().starts_with('<') {
-        let s = rest.trim_start();
-        let mut depth = 0usize;
-        let mut cut = s.len();
-        for (i, c) in s.char_indices() {
-            match c {
-                '<' => depth += 1,
-                '>' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        cut = i + 1;
-                        break;
-                    }
-                }
+            TokKind::Ident if file.tok_text(j) == "self" => return true,
+            _ => match file.tok_text(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "," if angle <= 0 => return false,
                 _ => {}
-            }
+            },
         }
-        rest = &s[cut..];
+        j += 1;
     }
-    let ty = rest.trim();
-    // Last path segment before any generic args.
-    let base = ty.split('<').next()?.trim();
-    let name = base.rsplit("::").next()?.trim();
-    let name: String = name
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() || !name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
-        None
-    } else {
-        Some(name)
-    }
+    false
 }
 
 /// Rule `invariant-coverage`, run over a whole crate at once:
@@ -512,17 +586,15 @@ pub fn rule_invariant_coverage(
 ) -> Vec<Diagnostic> {
     const RULE: &str = "invariant-coverage";
     let mut out = Vec::new();
-    // Types that define check_invariants anywhere in this crate.
-    let mut checked_types = std::collections::HashSet::new();
+    // Types that define check_invariants in an inherent impl, crate-wide.
+    let mut checked_types = HashSet::new();
     for f in lib_files {
-        let code = &f.code;
-        let mut search = 0;
-        while let Some(pos) = find_token(code, "check_invariants", search) {
-            search = pos + 1;
-            // Attribute to the nearest enclosing inherent impl: rescan impls.
-            for c in find_impl_spans(f) {
-                if c.1 <= pos && pos < c.2 {
-                    checked_types.insert(c.0.clone());
+        for item in &f.items {
+            if matches!(item.kind, ItemKind::Fn) && item.name == "check_invariants" {
+                if let Some(p) = item.parent {
+                    if let ItemKind::Impl { ref type_name, trait_impl: false } = f.items[p].kind {
+                        checked_types.insert(type_name.clone());
+                    }
                 }
             }
         }
@@ -539,6 +611,7 @@ pub fn rule_invariant_coverage(
                          `check_invariants()` method",
                         ctor.type_name, ctor.fn_name
                     ),
+                    fingerprint: String::new(),
                 });
                 continue;
             }
@@ -554,6 +627,7 @@ pub fn rule_invariant_coverage(
                          `check_invariants` test",
                         ctor.type_name, ctor.fn_name
                     ),
+                    fingerprint: String::new(),
                 });
             }
         }
@@ -561,38 +635,461 @@ pub fn rule_invariant_coverage(
     out
 }
 
-/// All inherent-impl spans in a file: `(type_name, start_byte, end_byte)`.
-fn find_impl_spans(file: &SourceFile) -> Vec<(String, usize, usize)> {
-    let code = &file.code;
-    let bytes = code.as_bytes();
+// ---------------------------------------------------------------------------
+// New rules: determinism & concurrency
+// ---------------------------------------------------------------------------
+
+/// Rule `atomic-ordering`: every `Ordering::*` memory-ordering site must be
+/// covered by an `// ordering:` justification comment (own line or the line
+/// above) or an `audit:allow(atomic-ordering)` marker. Stricter-than-Relaxed
+/// orderings must name the happens-before edge their justification
+/// establishes (the note must contain "happens-before").
+/// `cmp::Ordering` variants (`Less`/`Equal`/`Greater`) never match.
+pub fn rule_atomic_ordering(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "atomic-ordering";
     let mut out = Vec::new();
-    let mut search = 0;
-    while let Some(impl_pos) = find_token(code, "impl", search) {
-        search = impl_pos + 4;
-        let Some(brace_rel) = code[impl_pos..].find('{') else { break };
-        let brace = impl_pos + brace_rel;
-        let header = &code[impl_pos..brace];
-        if has_token(header, "for") {
+    let mut seen_lines: HashSet<usize> = HashSet::new();
+    for i in 0..file.toks.len().saturating_sub(2) {
+        if file.toks[i].kind != TokKind::Ident || file.tok_text(i) != "Ordering" {
             continue;
         }
-        let Some(name) = impl_type_name(header) else { continue };
-        let mut depth = 0usize;
-        let mut end = brace;
-        while end < bytes.len() {
-            match bytes[end] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
+        if file.tok_text(i + 1) != "::" {
+            continue;
+        }
+        let member = file.tok_text(i + 2);
+        if !MEM_ORDERINGS.contains(&member) {
+            continue;
+        }
+        let line = file.tok_line(i + 2);
+        if line_exempt(file, RULE, line) || seen_lines.contains(&line) {
+            continue;
+        }
+        match file.ordering_note(line) {
+            None => {
+                seen_lines.insert(line);
+                out.push(diag(
+                    RULE,
+                    file,
+                    line,
+                    format!(
+                        "`Ordering::{member}` without an `// ordering:` justification \
+                         comment; document why this ordering is sufficient or annotate \
+                         with audit:allow({RULE})"
+                    ),
+                ));
+            }
+            Some(note) if member != "Relaxed" && !note.contains("happens-before") => {
+                seen_lines.insert(line);
+                out.push(diag(
+                    RULE,
+                    file,
+                    line,
+                    format!(
+                        "`Ordering::{member}` is stricter than Relaxed but its \
+                         `// ordering:` note does not name the happens-before edge \
+                         it establishes"
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// Rule `shared-static-mut`: process-global mutable state — `static mut`,
+/// or a `static` whose type is an atomic, lock, or interior-mutability cell
+/// — outside the `obs` registry (the caller skips the `obs` crate) and the
+/// declared metric-enable flags ([`ALLOWED_GLOBAL_STATICS`]). Fn-local
+/// statics count: they are still process-global storage.
+pub fn rule_shared_static_mut(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "shared-static-mut";
+    let mut out = Vec::new();
+    for item in &file.items {
+        let ItemKind::Static { type_range, mutable } = item.kind else { continue };
+        if item.is_test || ALLOWED_GLOBAL_STATICS.contains(&item.name.as_str()) {
+            continue;
+        }
+        let line = file.tok_line(item.kw_tok);
+        if file.is_allowed(RULE, line) {
+            continue;
+        }
+        let shared_ty = (type_range.0..type_range.1).find(|&j| {
+            file.toks[j].kind == TokKind::Ident && SHARED_STATIC_TYPES.contains(&file.tok_text(j))
+        });
+        if !mutable && shared_ty.is_none() {
+            continue; // immutable plain data (lookup tables etc.) is fine
+        }
+        let what = if mutable {
+            "`static mut`".to_string()
+        } else {
+            format!("`static {}: {}`", item.name, file.tok_text(shared_ty.unwrap()))
+        };
+        out.push(diag(
+            RULE,
+            file,
+            line,
+            format!(
+                "process-global {what} outside the obs registry; route shared \
+                 state through `obscor_obs` (or a declared enable flag), or \
+                 annotate with audit:allow({RULE})"
+            ),
+        ));
+    }
+    out
+}
+
+/// Rule `nonassoc-reduce`: a rayon `reduce`/`fold`/`sum`/`product` terminal
+/// at the same brace depth as a parallel-iterator source in the same
+/// statement, with floating-point evidence in the statement, is a
+/// non-associative reduction whose result depends on work-stealing split
+/// points. Sequential float reductions *inside* a parallel closure (one
+/// brace level deeper) are associative per-item work and pass. Functions
+/// named in [`BLESSED_REDUCERS`] are exempt — they implement the sanctioned
+/// deterministic tree shape.
+pub fn rule_nonassoc_reduce(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "nonassoc-reduce";
+    let depths = brace_depths(file);
+    let mut out = Vec::new();
+    for i in 0..file.toks.len() {
+        if file.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let term = file.tok_text(i);
+        if !REDUCE_TERMINALS.contains(&term) {
+            continue;
+        }
+        if i == 0 || file.tok_text(i - 1) != "." {
+            continue;
+        }
+        if i + 1 >= file.toks.len() || !matches!(file.tok_text(i + 1), "(" | "::") {
+            continue;
+        }
+        let line = file.tok_line(i);
+        if line_exempt(file, RULE, line) {
+            continue;
+        }
+        if let Some(f) = enclosing_fn(file, i) {
+            if BLESSED_REDUCERS.contains(&f.name.as_str()) {
+                continue;
+            }
+        }
+        let d = depths[i];
+        let start = stmt_start(file, &depths, i);
+        let end = stmt_end(file, &depths, i);
+        // The parallel source must sit on the same chain (same brace
+        // depth), before the terminal, within this statement.
+        let par = (start..i).find(|&j| {
+            depths[j] == d
+                && file.toks[j].kind == TokKind::Ident
+                && PAR_SOURCES.contains(&file.tok_text(j))
+        });
+        let Some(par_j) = par else { continue };
+        // Float evidence anywhere in the statement (closure bodies too).
+        let float = (start..=end).any(|j| {
+            file.toks[j].kind == TokKind::Float
+                || (file.toks[j].kind == TokKind::Ident
+                    && matches!(file.tok_text(j), "f64" | "f32"))
+        });
+        if !float {
+            continue;
+        }
+        out.push(diag(
+            RULE,
+            file,
+            line,
+            format!(
+                "non-associative floating-point `.{term}(...)` over `{}`; the result \
+                 depends on rayon split points — use the blessed tree-reduction \
+                 helpers (`merge_all`) or annotate with audit:allow({RULE})",
+                file.tok_text(par_j)
+            ),
+        ));
+    }
+    out
+}
+
+/// Rule `map-iter-order`: iteration over a `HashMap`/`HashSet`-typed
+/// binding whose extent feeds an order-sensitive sink — `Vec` pushes,
+/// string building, `collect` into `Vec`/`String`, or a call to a function
+/// that reaches the `obscor_obs::json` codec within one hop (per the
+/// symbol index). `BTreeMap`/sorted collections never match; sites that
+/// sort afterwards document it with `audit:allow(map-iter-order)`.
+pub fn rule_map_iter_order(file: &SourceFile, index: &SymbolIndex) -> Vec<Diagnostic> {
+    const RULE: &str = "map-iter-order";
+    let depths = brace_depths(file);
+    let mut out = Vec::new();
+    for item in &file.items {
+        if !matches!(item.kind, ItemKind::Fn) || item.is_test {
+            continue;
+        }
+        let Some((body_open, body_close)) = item.body else { continue };
+        let hash_idents = collect_hash_idents(file, item);
+        let mut emitted: HashSet<usize> = HashSet::new();
+
+        let mut j = body_open + 1;
+        while j < body_close {
+            // `for <pat> in <iterable> { body }` over a hash binding.
+            if file.toks[j].kind == TokKind::Ident && file.tok_text(j) == "for" {
+                if let Some((iter_from, brace)) = for_loop_parts(file, j, body_close) {
+                    let hashy = (iter_from..brace).any(|k| {
+                        file.toks[k].kind == TokKind::Ident
+                            && (hash_idents.contains(file.tok_text(k))
+                                || HASH_TYPES.contains(&file.tok_text(k)))
+                    });
+                    if hashy {
+                        let line = file.tok_line(j);
+                        let extent = (brace + 1, file.delims[brace]);
+                        if !line_exempt(file, RULE, line)
+                            && emitted.insert(line)
+                        {
+                            if let Some(sink) = find_order_sink(file, &depths, extent, index) {
+                                out.push(diag(
+                                    RULE,
+                                    file,
+                                    line,
+                                    format!(
+                                        "iteration over a hash-ordered collection flows into \
+                                         {sink}; iterate a BTreeMap/sorted view or annotate \
+                                         with audit:allow({RULE})"
+                                    ),
+                                ));
+                            }
+                        }
+                        j = brace + 1;
+                        continue;
                     }
                 }
-                _ => {}
             }
-            end += 1;
+            // `<hash binding> . <iter method> (` chains.
+            if file.toks[j].kind == TokKind::Ident
+                && hash_idents.contains(file.tok_text(j))
+                && (j == 0 || file.tok_text(j - 1) != ".")
+                && j + 2 < body_close
+                && file.tok_text(j + 1) == "."
+                && file.toks[j + 2].kind == TokKind::Ident
+                && ITER_METHODS.contains(&file.tok_text(j + 2))
+            {
+                let line = file.tok_line(j);
+                if !line_exempt(file, RULE, line) && emitted.insert(line) {
+                    let start = stmt_start(file, &depths, j);
+                    let end = stmt_end(file, &depths, j);
+                    if let Some(sink) = find_order_sink(file, &depths, (start, end + 1), index) {
+                        out.push(diag(
+                            RULE,
+                            file,
+                            line,
+                            format!(
+                                "iteration over hash-ordered `{}` flows into {sink}; \
+                                 iterate a BTreeMap/sorted view or annotate with \
+                                 audit:allow({RULE})",
+                                file.tok_text(j)
+                            ),
+                        ));
+                    }
+                }
+            }
+            j += 1;
         }
-        out.push((name, impl_pos, end.min(bytes.len())));
-        search = end.max(search);
+    }
+    out
+}
+
+/// Bindings with `HashMap`/`HashSet` evidence inside one fn: parameters
+/// whose type names a hash collection, and `let` bindings whose type
+/// annotation or initializer does.
+fn collect_hash_idents(file: &SourceFile, item: &Item) -> HashSet<String> {
+    let mut out = HashSet::new();
+    // Parameters.
+    if let Some(sig) = fn_signature(item, &file.code, &file.toks, &file.delims) {
+        let (open, close) = sig.params;
+        let mut seg_start = open + 1;
+        let mut angle = 0i32;
+        let mut k = open + 1;
+        while k <= close {
+            let at_end = k == close;
+            let top_comma = !at_end
+                && angle <= 0
+                && file.toks[k].kind == TokKind::Punct
+                && file.tok_text(k) == ",";
+            if at_end || top_comma {
+                record_hash_param(file, seg_start..k, &mut out);
+                seg_start = k + 1;
+                k += 1;
+                continue;
+            }
+            match file.toks[k].kind {
+                TokKind::Open => {
+                    let c = file.delims[k];
+                    k = if c > k { c + 1 } else { k + 1 };
+                    continue;
+                }
+                _ => match file.tok_text(k) {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    _ => {}
+                },
+            }
+            k += 1;
+        }
+    }
+    // Let bindings in the body.
+    let Some((body_open, body_close)) = item.body else { return out };
+    let mut j = body_open + 1;
+    while j < body_close {
+        if file.toks[j].kind == TokKind::Ident && file.tok_text(j) == "let" {
+            let mut p = j + 1;
+            if p < body_close && file.tok_text(p) == "mut" {
+                p += 1;
+            }
+            if p < body_close && file.toks[p].kind == TokKind::Ident {
+                let name = file.tok_text(p);
+                // Scan annotation and initializer up to the `;`.
+                let mut hash = false;
+                let mut q = p + 1;
+                while q < body_close {
+                    match file.toks[q].kind {
+                        TokKind::Ident if HASH_TYPES.contains(&file.tok_text(q)) => hash = true,
+                        TokKind::Punct if file.tok_text(q) == ";" => break,
+                        TokKind::Open if file.tok_text(q) == "{" => {
+                            // Initializer blocks: scan inside too (they are
+                            // part of the binding), then continue after.
+                            q += 1;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    q += 1;
+                }
+                if hash {
+                    out.insert(name.to_string());
+                }
+                j = p;
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+fn record_hash_param(
+    file: &SourceFile,
+    seg: std::ops::Range<usize>,
+    out: &mut HashSet<String>,
+) {
+    // `name: Type` — name is the ident right before the first `:`.
+    let Some(colon) = seg.clone().find(|&k| {
+        file.toks[k].kind == TokKind::Punct && file.tok_text(k) == ":"
+    }) else {
+        return;
+    };
+    if colon == seg.start || file.toks[colon - 1].kind != TokKind::Ident {
+        return;
+    }
+    let name = file.tok_text(colon - 1);
+    let hashy = (colon + 1..seg.end).any(|k| {
+        file.toks[k].kind == TokKind::Ident && HASH_TYPES.contains(&file.tok_text(k))
+    });
+    if hashy && name != "self" {
+        out.insert(name.to_string());
+    }
+}
+
+/// For a `for` keyword at `f`, find `(start of iterable, body brace)`:
+/// the token after the top-level `in` and the first `{` after it.
+fn for_loop_parts(file: &SourceFile, f: usize, limit: usize) -> Option<(usize, usize)> {
+    let mut j = f + 1;
+    let mut in_pos = None;
+    while j < limit {
+        match file.toks[j].kind {
+            TokKind::Open if file.tok_text(j) == "{" => {
+                let from = in_pos?;
+                return if file.delims[j] > j { Some((from, j)) } else { None };
+            }
+            TokKind::Open => {
+                let c = file.delims[j];
+                j = if c > j { c + 1 } else { j + 1 };
+                continue;
+            }
+            TokKind::Ident if file.tok_text(j) == "in" && in_pos.is_none() => {
+                in_pos = Some(j + 1);
+            }
+            TokKind::Close => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scan a token extent for an order-sensitive sink; returns a description.
+fn find_order_sink(
+    file: &SourceFile,
+    depths: &[u32],
+    extent: (usize, usize),
+    index: &SymbolIndex,
+) -> Option<String> {
+    let (start, end) = extent;
+    for j in start..end.min(file.toks.len()) {
+        if file.toks[j].kind != TokKind::Ident {
+            continue;
+        }
+        let name = file.tok_text(j);
+        let next = if j + 1 < end { file.tok_text(j + 1) } else { "" };
+        let prev_dot = j > 0 && file.tok_text(j - 1) == ".";
+        match name {
+            "push" | "push_str" | "extend" if prev_dot && next == "(" => {
+                return Some(format!("`.{name}(...)` (order-sensitive accumulation)"));
+            }
+            "format" | "write" | "writeln" if next == "!" => {
+                return Some(format!("`{name}!` string building"));
+            }
+            "collect" if prev_dot => {
+                // Only a collect whose own statement names Vec/String is
+                // order-sensitive (collecting into another map is not).
+                let s = stmt_start(file, depths, j);
+                let e = stmt_end(file, depths, j);
+                let ordered = (s..=e).any(|k| {
+                    file.toks[k].kind == TokKind::Ident
+                        && matches!(file.tok_text(k), "Vec" | "VecDeque" | "String")
+                });
+                if ordered {
+                    return Some("`.collect()` into an ordered container".to_string());
+                }
+            }
+            _ if next == "(" && index.json_reaching.contains(name) => {
+                return Some(format!(
+                    "`{name}(...)`, which reaches the `obscor_obs::json` codec"
+                ));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Rule `allow-justification`: every `audit:allow(<rule>)` marker must
+/// carry a non-empty trailing justification — a bare marker defeats the
+/// point of per-site suppression. This meta-rule cannot itself be
+/// suppressed with an allow marker.
+pub fn rule_allow_justification(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "allow-justification";
+    let mut out = Vec::new();
+    for site in &file.allow_sites {
+        if site.justified || file.is_test_line(site.line) {
+            continue;
+        }
+        out.push(diag(
+            RULE,
+            file,
+            site.line,
+            format!(
+                "audit:allow({}) marker without a justification; append \
+                 `— <why this site is sound>` after the closing paren",
+                site.rule
+            ),
+        ));
     }
     out
 }
@@ -600,6 +1097,7 @@ fn find_impl_spans(file: &SourceFile) -> Vec<(String, usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::build_index;
     use std::path::PathBuf;
 
     fn prep(src: &str) -> SourceFile {
@@ -642,6 +1140,14 @@ mod tests {
         let f = prep("if a == b { }\nif x == 0.0 { }\nif (y as f64) != z { }\nif i <= 3.0 { }\n");
         let d = rule_float_eq(&f);
         assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn float_eq_ignores_tuple_indices() {
+        // `x.0.1` is a tuple-index chain, not a float literal — the lexer
+        // classifies those digits as Int, so no float evidence arises.
+        let f = prep("if pair.0.1 == other.0 { }\n");
+        assert!(rule_float_eq(&f).is_empty());
     }
 
     #[test]
@@ -717,5 +1223,154 @@ mod tests {
 
         let d2 = rule_invariant_coverage(std::slice::from_ref(&lib), "");
         assert_eq!(d2.len(), 2);
+    }
+
+    #[test]
+    fn atomic_ordering_requires_notes() {
+        let src = "fn f(c: &AtomicU64) {\n\
+                   c.store(1, Ordering::SeqCst);\n\
+                   // ordering: monotonic counter, no reader depends on it\n\
+                   c.fetch_add(1, Ordering::Relaxed);\n\
+                   // ordering: publishes the buffer; happens-before the consumer load\n\
+                   c.store(2, Ordering::Release);\n\
+                   // ordering: pairs with the store above\n\
+                   let _ = c.load(Ordering::Acquire);\n\
+                   // audit:allow(atomic-ordering) — exercised by the gate test\n\
+                   c.store(3, Ordering::SeqCst);\n\
+                   }\n";
+        let f = prep(src);
+        let d = rule_atomic_ordering(&f);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 8]);
+        assert!(d[0].message.contains("without an `// ordering:`"));
+        assert!(d[1].message.contains("happens-before"), "{}", d[1].message);
+    }
+
+    #[test]
+    fn atomic_ordering_ignores_cmp_ordering() {
+        let f = prep("fn f() { let x = Ordering::Less; match y.cmp(&z) { Ordering::Equal => {} _ => {} } }\n");
+        assert!(rule_atomic_ordering(&f).is_empty());
+    }
+
+    #[test]
+    fn shared_static_flags_globals_not_flags() {
+        let src = "static HITS: AtomicU64 = AtomicU64::new(0);\n\
+                   static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);\n\
+                   static TABLE: [u8; 4] = [0, 1, 2, 3];\n\
+                   fn f() { static LOCAL: OnceLock<usize> = OnceLock::new(); }\n\
+                   // audit:allow(shared-static-mut) — lazily computed constant\n\
+                   static OK: Mutex<u32> = Mutex::new(0);\n\
+                   static mut RAW: u32 = 0;\n\
+                   #[cfg(test)]\nmod tests { static T: AtomicU32 = AtomicU32::new(0); }\n";
+        let f = prep(src);
+        let d = rule_shared_static_mut(&f);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1, 4, 7]);
+        assert!(d[0].message.contains("AtomicU64"));
+        assert!(d[2].message.contains("static mut"));
+    }
+
+    #[test]
+    fn nonassoc_reduce_flags_float_par_terminals() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n\
+                   xs.par_iter().map(|x| x * 2.0).sum()\n\
+                   }\n";
+        let f = prep(src);
+        let d = rule_nonassoc_reduce(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("par_iter"));
+    }
+
+    #[test]
+    fn nonassoc_reduce_ignores_sums_inside_par_closures() {
+        // The f64 `.sum()` is sequential, inside a braced closure one brace
+        // level below the par_iter chain — per-item work, not a parallel
+        // reduction (this is the zipf.rs likelihood-scan shape).
+        let src = "fn scan(ts: &[f64], ranks: &[f64]) -> f64 {\n\
+                   ts.par_iter()\n\
+                       .map(|t| {\n\
+                           let ll: f64 = ranks.iter().map(|r| r.ln() * t).sum();\n\
+                           ll\n\
+                       })\n\
+                       .count() as f64\n\
+                   }\n";
+        let f = prep(src);
+        assert!(rule_nonassoc_reduce(&f).is_empty());
+    }
+
+    #[test]
+    fn nonassoc_reduce_ignores_integer_reductions_and_blessed_fns() {
+        let int = prep("fn f(xs: &[u64]) -> u64 { xs.par_iter().sum() }\n");
+        assert!(rule_nonassoc_reduce(&int).is_empty());
+        let blessed = prep(
+            "fn merge_all(xs: &[f64]) -> f64 { xs.par_iter().map(|x| *x).reduce(|| 0.0, |a, b| a + b) }\n",
+        );
+        assert!(rule_nonassoc_reduce(&blessed).is_empty());
+    }
+
+    #[test]
+    fn map_iter_order_flags_push_and_passes_btree() {
+        let src = "fn f(m: &HashMap<u32, u64>) -> Vec<u32> {\n\
+                   let mut v = Vec::new();\n\
+                   for (k, _) in m.iter() {\n\
+                       v.push(*k);\n\
+                   }\n\
+                   v\n\
+                   }\n\
+                   fn g(m: &BTreeMap<u32, u64>) -> Vec<u32> {\n\
+                   let mut v = Vec::new();\n\
+                   for (k, _) in m.iter() {\n\
+                       v.push(*k);\n\
+                   }\n\
+                   v\n\
+                   }\n";
+        let f = prep(src);
+        let idx = build_index(&[&f]);
+        let d = rule_map_iter_order(&f, &idx);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn map_iter_order_chain_collect_and_json_sink() {
+        let src = "fn emit(v: u32) -> String { obscor_obs::json::escape(&v.to_string()) }\n\
+                   fn f() {\n\
+                   let m: HashMap<u32, u64> = HashMap::new();\n\
+                   let v: Vec<u32> = m.keys().copied().collect();\n\
+                   for k in m.keys() {\n\
+                       emit(*k);\n\
+                   }\n\
+                   let total: u64 = m.values().sum();\n\
+                   }\n";
+        let f = prep(src);
+        let idx = build_index(&[&f]);
+        let d = rule_map_iter_order(&f, &idx);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![4, 5]);
+        assert!(d[0].message.contains("collect"), "{}", d[0].message);
+        assert!(d[1].message.contains("json"), "{}", d[1].message);
+    }
+
+    #[test]
+    fn map_iter_order_allow_and_test_exempt() {
+        let src = "fn f(m: &HashSet<u32>) {\n\
+                   // audit:allow(map-iter-order) — output is sorted below\n\
+                   for k in m.iter() {\n\
+                       out.push(*k);\n\
+                   }\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests {\n\
+                   fn t(m: &HashMap<u32, u64>) { for k in m.keys() { v.push(*k); } }\n\
+                   }\n";
+        let f = prep(src);
+        let idx = build_index(&[&f]);
+        assert!(rule_map_iter_order(&f, &idx).is_empty());
+    }
+
+    #[test]
+    fn allow_justification_requires_text() {
+        let src = "// audit:allow(panic-path)\nx.unwrap();\n// audit:allow(float-eq) — exact golden comparison\nif a == 1.0 {}\n";
+        let f = prep(src);
+        let d = rule_allow_justification(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("panic-path"));
     }
 }

@@ -6,16 +6,39 @@
 //! * [`SourceFile::code`] is the original text with every comment and every
 //!   string/char literal blanked out (replaced by spaces, newlines kept),
 //!   so byte offsets and line numbers still line up with the original.
+//! * [`SourceFile::toks`] / [`SourceFile::delims`] / [`SourceFile::items`]
+//!   are the token stream, delimiter match table, and item tree produced by
+//!   [`crate::lex`] and [`crate::parse`] over the blanked code — the
+//!   substrate every rule scans.
 //! * [`SourceFile::test_lines`] marks lines inside `#[cfg(test)]` /
-//!   `#[test]` items — project rules apply to *library* code only.
+//!   `#[test]` items, derived from the parsed item tree — project rules
+//!   apply to *library* code only.
 //! * [`SourceFile::allows`] carries `audit:allow(<rule>)` markers collected
 //!   from comments. A marker suppresses the named rule on its own line and
 //!   on the following line, so it can sit either inline or just above the
-//!   code it justifies. Markers are expected to carry a trailing
-//!   justification comment; the audit does not parse it, reviewers do.
+//!   code it justifies. Markers must carry a non-empty trailing
+//!   justification; bare markers are themselves findings
+//!   (`allow-justification`), recorded in [`SourceFile::allow_sites`].
+//! * [`SourceFile::ordering_notes`] carries `// ordering:` comments — the
+//!   justification text the `atomic-ordering` rule requires next to every
+//!   `Ordering::*` site. A note covers its own line and the next.
 
 use std::collections::HashSet;
 use std::path::PathBuf;
+
+use crate::lex::{lex, match_delims, Tok};
+use crate::parse::{parse_items, test_line_mask, Item};
+
+/// One `audit:allow(<rule>)` marker occurrence.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// 1-based line the marker sits on.
+    pub line: usize,
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// Whether a non-empty justification follows the closing paren.
+    pub justified: bool,
+}
 
 /// A preprocessed Rust source file.
 pub struct SourceFile {
@@ -27,8 +50,20 @@ pub struct SourceFile {
     pub raw: String,
     /// Text with comments and string/char literals blanked.
     pub code: String,
+    /// Token stream over the blanked code.
+    pub toks: Vec<Tok>,
+    /// `toks[i]`'s matching delimiter index (see [`crate::lex::match_delims`]).
+    pub delims: Vec<usize>,
+    /// Parsed item tree (parents precede children).
+    pub items: Vec<Item>,
+    /// Number of lines in the file.
+    pub n_lines: usize,
     /// 1-based line -> set of rule names allowed on that line.
     pub allows: Vec<HashSet<String>>,
+    /// Every allow-marker occurrence, for the justification meta-rule.
+    pub allow_sites: Vec<AllowSite>,
+    /// 1-based line -> `// ordering:` note text starting on that line.
+    pub ordering_notes: Vec<Option<String>>,
     /// 1-based line -> true when the line belongs to test-only code.
     pub test_lines: Vec<bool>,
 }
@@ -43,18 +78,47 @@ impl SourceFile {
     /// Preprocess in-memory source (used by the fixture tests).
     pub fn from_source(path: PathBuf, rel: String, raw: String) -> Self {
         let code = blank_comments_and_strings(&raw);
-        let n_lines = raw.lines().count() + 1;
+        let n_lines = raw.lines().count();
+        // Line tables are 1-based: slot 0 is unused, slots 1..=n_lines are
+        // the file's lines — exactly n_lines + 1 entries.
         let mut allows = vec![HashSet::new(); n_lines + 1];
+        let mut allow_sites = Vec::new();
+        let mut ordering_notes = vec![None; n_lines + 1];
         for (i, line) in raw.lines().enumerate() {
-            for rule in parse_allow_markers(line) {
-                allows[i + 1].insert(rule.clone());
-                if i + 2 <= n_lines {
-                    allows[i + 2].insert(rule);
+            let line_no = i + 1;
+            for (rule, justified) in parse_allow_markers(line) {
+                allows[line_no].insert(rule.clone());
+                if line_no < n_lines {
+                    allows[line_no + 1].insert(rule.clone());
                 }
+                allow_sites.push(AllowSite { line: line_no, rule, justified });
+            }
+            if let Some(note) = parse_ordering_note(line) {
+                ordering_notes[line_no] = Some(note);
             }
         }
-        let test_lines = mark_test_lines(&code, n_lines);
-        Self { path, rel, raw, code, allows, test_lines }
+        let toks = lex(&code);
+        let delims = match_delims(&toks, &code);
+        let items = parse_items(&code, &toks, &delims);
+        let test_lines = if toks.is_empty() {
+            vec![false; n_lines + 1]
+        } else {
+            test_line_mask(&items, &toks, n_lines)
+        };
+        Self {
+            path,
+            rel,
+            raw,
+            code,
+            toks,
+            delims,
+            items,
+            n_lines,
+            allows,
+            allow_sites,
+            ordering_notes,
+            test_lines,
+        }
     }
 
     /// Lines of the blanked code, 1-based alongside their line numbers.
@@ -71,18 +135,51 @@ impl SourceFile {
     pub fn is_test_line(&self, line: usize) -> bool {
         self.test_lines.get(line).copied().unwrap_or(false)
     }
+
+    /// The `// ordering:` note covering `line`, if any — a note covers its
+    /// own line and the next (so it can sit inline or just above).
+    pub fn ordering_note(&self, line: usize) -> Option<&str> {
+        if let Some(Some(note)) = self.ordering_notes.get(line) {
+            return Some(note);
+        }
+        if line >= 1 {
+            if let Some(Some(note)) = self.ordering_notes.get(line - 1) {
+                return Some(note);
+            }
+        }
+        None
+    }
+
+    /// Text of token `i` (slice of the blanked code).
+    pub fn tok_text(&self, i: usize) -> &str {
+        let t = &self.toks[i];
+        &self.code[t.start..t.end]
+    }
+
+    /// 1-based line of token `i`.
+    pub fn tok_line(&self, i: usize) -> usize {
+        self.toks[i].line
+    }
 }
 
-/// Extract every `audit:allow(<rule>)` marker on a line.
-fn parse_allow_markers(line: &str) -> Vec<String> {
+/// Extract every `audit:allow(<rule>)` marker on a line, together with
+/// whether a non-empty justification follows the closing paren (after
+/// trimming separator punctuation: spaces, dashes, colons).
+fn parse_allow_markers(line: &str) -> Vec<(String, bool)> {
     let mut out = Vec::new();
     let mut rest = line;
     while let Some(at) = rest.find("audit:allow(") {
         let tail = &rest[at + "audit:allow(".len()..];
         if let Some(close) = tail.find(')') {
             let rule = tail[..close].trim();
+            let after = &tail[close + 1..];
+            // The justification runs to the end of the comment (or the
+            // next marker, for multi-marker lines).
+            let just_end = after.find("audit:allow(").unwrap_or(after.len());
+            let justification = after[..just_end]
+                .trim_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | ';' | ','));
             if !rule.is_empty() {
-                out.push(rule.to_string());
+                out.push((rule.to_string(), !justification.is_empty()));
             }
             rest = &tail[close + 1..];
         } else {
@@ -90,6 +187,17 @@ fn parse_allow_markers(line: &str) -> Vec<String> {
         }
     }
     out
+}
+
+/// Extract the `// ordering:` note text from a raw line, if present.
+fn parse_ordering_note(line: &str) -> Option<String> {
+    let at = line.find("// ordering:")?;
+    let note = line[at + "// ordering:".len()..].trim();
+    if note.is_empty() {
+        None
+    } else {
+        Some(note.to_string())
+    }
 }
 
 /// Replace comments and string/char literal *contents* with spaces,
@@ -248,67 +356,6 @@ fn is_token_boundary(bytes: &[u8], i: usize) -> bool {
     !(prev.is_ascii_alphanumeric() || prev == b'_')
 }
 
-/// Mark every line covered by a `#[cfg(test)]` or `#[test]` item.
-fn mark_test_lines(code: &str, n_lines: usize) -> Vec<bool> {
-    let mut marked = vec![false; n_lines + 2];
-    let bytes = code.as_bytes();
-    let line_of = build_line_index(code);
-    let mut search = 0;
-    while let Some(found) = find_from(code, search, "#[cfg(test)]").or_else(|| {
-        // `#[test]` fns outside a cfg(test) mod are still test code.
-        find_from(code, search, "#[test]")
-    }) {
-        // Find the opening brace of the annotated item, then match braces.
-        let mut j = found;
-        while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
-            j += 1;
-        }
-        if j >= bytes.len() || bytes[j] == b';' {
-            search = found + 1;
-            continue;
-        }
-        let mut depth = 0usize;
-        let mut k = j;
-        while k < bytes.len() {
-            match bytes[k] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        let (start_line, end_line) = (line_of(found), line_of(k.min(bytes.len() - 1)));
-        for line in start_line..=end_line {
-            if line < marked.len() {
-                marked[line] = true;
-            }
-        }
-        search = k.max(found + 1);
-    }
-    marked
-}
-
-/// Earliest occurrence of either needle at/after `from`.
-fn find_from(haystack: &str, from: usize, needle: &str) -> Option<usize> {
-    haystack.get(from..).and_then(|h| h.find(needle)).map(|p| p + from)
-}
-
-/// Byte offset -> 1-based line number lookup.
-fn build_line_index(s: &str) -> impl Fn(usize) -> usize + '_ {
-    let starts: Vec<usize> = std::iter::once(0)
-        .chain(s.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i + 1))
-        .collect();
-    move |offset: usize| match starts.binary_search(&offset) {
-        Ok(i) => i + 1,
-        Err(i) => i,
-    }
-}
-
 /// True when `tok` occurs in `s` as a whole identifier-ish token.
 pub fn has_token(s: &str, tok: &str) -> bool {
     find_token(s, tok, 0).is_some()
@@ -383,6 +430,56 @@ mod tests {
         assert!(f.is_allowed("panic-path", 1));
         assert!(f.is_allowed("panic-path", 2));
         assert!(!f.is_allowed("panic-path", 3));
+    }
+
+    #[test]
+    fn allow_markers_track_justifications() {
+        let f = prep("// audit:allow(panic-path) — bounded by construction\n// audit:allow(float-eq)\n// audit:allow(key-pack) —  \n");
+        let by_rule: Vec<(&str, bool)> =
+            f.allow_sites.iter().map(|s| (s.rule.as_str(), s.justified)).collect();
+        assert_eq!(
+            by_rule,
+            vec![("panic-path", true), ("float-eq", false), ("key-pack", false)]
+        );
+    }
+
+    #[test]
+    fn line_tables_match_file_length_exactly() {
+        // Trailing newline: 3 lines, tables hold slots 0..=3.
+        let f = prep("a();\nb();\nc();\n");
+        assert_eq!(f.n_lines, 3);
+        assert_eq!(f.allows.len(), 4);
+        assert_eq!(f.ordering_notes.len(), 4);
+        // No trailing newline: same 3 lines, same table sizes, and a
+        // marker on the final line still registers.
+        let g = prep("a();\nb();\nx(); // audit:allow(panic-path) — last line");
+        assert_eq!(g.n_lines, 3);
+        assert_eq!(g.allows.len(), 4);
+        assert!(g.is_allowed("panic-path", 3));
+        assert!(!g.is_test_line(3));
+        // Empty file: only the unused slot 0.
+        let e = prep("");
+        assert_eq!(e.n_lines, 0);
+        assert_eq!(e.allows.len(), 1);
+    }
+
+    #[test]
+    fn ordering_notes_cover_their_line_and_the_next() {
+        let src = "// ordering: monotonic counter, no cross-thread edge\nc.fetch_add(1, Ordering::Relaxed);\nd.load(Ordering::Relaxed);\n";
+        let f = prep(src);
+        assert_eq!(f.ordering_note(1), Some("monotonic counter, no cross-thread edge"));
+        assert_eq!(f.ordering_note(2), Some("monotonic counter, no cross-thread edge"));
+        assert_eq!(f.ordering_note(3), None);
+    }
+
+    #[test]
+    fn token_stream_and_items_are_built() {
+        let f = prep("fn f() { let x = 1; }\n");
+        assert!(!f.toks.is_empty());
+        assert_eq!(f.items.len(), 1);
+        assert_eq!(f.items[0].name, "f");
+        assert_eq!(f.tok_text(0), "fn");
+        assert_eq!(f.tok_line(0), 1);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+// Seeds an `allow-justification` violation: a suppression marker with no
+// trailing justification defeats the point of per-site allows.
+
+pub fn suppressed_without_reason() -> u32 {
+    // audit:allow(index-cast)
+    0
+}
+
+pub fn suppressed_with_reason(x: u64) -> u32 {
+    // audit:allow(index-cast) — fixture: bounded by construction
+    (x & 0xffff) as u32
+}

@@ -1,0 +1,39 @@
+// Seeds `atomic-ordering` violations: an undocumented SeqCst and a
+// stricter-than-Relaxed note that fails to name the happens-before edge.
+
+mod bare_allow;
+mod globals;
+mod reduce;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn undocumented(c: &AtomicU64) {
+    c.store(1, Ordering::SeqCst);
+}
+
+pub fn vague_strict(c: &AtomicU64) {
+    // ordering: seems safer this way
+    c.store(2, Ordering::Release);
+}
+
+pub fn documented(c: &AtomicU64) {
+    // ordering: publishes the buffer; happens-before the consumer's Acquire load
+    c.store(3, Ordering::Release);
+    // ordering: stat counter; no reader synchronizes on it
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn allowed(c: &AtomicU64) {
+    // audit:allow(atomic-ordering) — fixture: the marker must silence this site
+    c.store(4, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub fn exempt() {
+        let c = AtomicU64::new(0);
+        c.store(9, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,30 @@
+// Seeds a `nonassoc-reduce` violation: a float sum over a rayon parallel
+// iterator, whose result depends on work-stealing split points.
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn merge_all(xs: &[f64]) -> f64 {
+    xs.par_iter().cloned().reduce(|| 0.0, |a, b| a + b)
+}
+
+pub fn int_total(xs: &[u64]) -> u64 {
+    xs.par_iter().sum()
+}
+
+pub fn per_item(xs: &[Vec<f64>]) -> usize {
+    xs.par_iter()
+        .filter(|v| {
+            let s: f64 = v.iter().sum();
+            s > 0.5
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(xs: &[f64]) -> f64 {
+        xs.par_iter().sum()
+    }
+}

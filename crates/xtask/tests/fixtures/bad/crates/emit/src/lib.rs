@@ -1,0 +1,42 @@
+// Seeds a `map-iter-order` violation through the cross-file symbol index:
+// `emit_row` calls `escape` (defined in the fixture's obs/src/json.rs), so
+// it is json-reaching within one hop, and the HashMap iteration below
+// feeds it.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn emit_row(k: u32) -> String {
+    escape(&k.to_string())
+}
+
+pub fn dump(m: &HashMap<u32, u64>) {
+    for k in m.keys() {
+        emit_row(*k);
+    }
+}
+
+pub fn dump_sorted(m: &BTreeMap<u32, u64>) {
+    for k in m.keys() {
+        emit_row(*k);
+    }
+}
+
+pub fn no_sink(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+pub fn dump_allowed(m: &HashMap<u32, u64>) {
+    // audit:allow(map-iter-order) — fixture: the marker must silence this site
+    for k in m.keys() {
+        emit_row(*k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn dump_in_test(m: &std::collections::HashMap<u32, u64>) {
+        for k in m.keys() {
+            super::emit_row(*k);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture codec: any fn defined in obs/src/json.rs is a level-0 taint
+// source for the map-iter-order rule's symbol index.
+
+pub fn escape(s: &str) -> String {
+    s.to_string()
+}

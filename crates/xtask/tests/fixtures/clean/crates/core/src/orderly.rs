@@ -1,0 +1,30 @@
+// Deterministic counterparts to the seeded concurrency violations:
+// ordered iteration, documented atomics, declared enable flags, and
+// integer reductions — all of which must pass the audit untouched.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+pub fn metrics_enabled() -> bool {
+    // ordering: enable-flag read; staleness only delays metric emission
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+pub fn rows(m: &BTreeMap<u32, u64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn hash_without_ordered_sink(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+pub fn hits(c: &AtomicU64) -> u64 {
+    // ordering: monotonic counter snapshot; staleness is acceptable
+    c.load(Ordering::Relaxed)
+}
