@@ -313,7 +313,26 @@ impl RecoveringRestore {
             packets_expected: source.expected_packets(),
             packets_restored: 0,
         };
+        // Fault/backoff metrics are reconstructed here, after the barrier,
+        // rather than recorded inside `restore_leaf`: the registry name
+        // lookup takes a lock, and the leaf workers must stay lock-free
+        // (blocking-in-par). The reconstruction is exact — every retried
+        // fault is transient by construction, and the backoff schedule is
+        // a pure function of the retry ordinal.
+        let backoff_hist = obscor_obs::histogram("telescope.restore.backoff_ns");
+        let transient_faults = obscor_obs::counter("telescope.restore.transient_faults_total");
         for (index, outcome) in outcomes.into_iter().enumerate() {
+            let (retries, terminal) = match &outcome {
+                LeafOutcome::Decoded { retries, .. } => (*retries, None),
+                LeafOutcome::Quarantined { retries, class, .. } => (*retries, Some(*class)),
+            };
+            transient_faults.add(u64::from(retries));
+            for r in 0..retries {
+                backoff_hist.observe(self.policy.backoff_ns(r));
+            }
+            if let Some(class) = terminal {
+                count_fault(class);
+            }
             match outcome {
                 LeafOutcome::Decoded { matrix, retries } => {
                     report.retries += u64::from(retries);
@@ -350,8 +369,11 @@ impl RecoveringRestore {
     }
 
     /// Drive one leaf to a decoded matrix or a quarantine decision.
+    ///
+    /// Runs on rayon workers, so it deliberately records no metrics (the
+    /// registry name lookup takes a lock); [`RecoveringRestore::restore`]
+    /// reconstructs the fault and backoff metrics sequentially afterwards.
     fn restore_leaf<S: LeafSource>(&self, source: &S, index: usize) -> LeafOutcome {
-        let backoff_hist = obscor_obs::histogram("telescope.restore.backoff_ns");
         let mut retries = 0u32;
         loop {
             let fault: (FaultClass, String) = match source.read_leaf(index) {
@@ -361,14 +383,12 @@ impl RecoveringRestore {
                     Err(e) => (e.class(), e.to_string()),
                 },
             };
-            count_fault(fault.0);
             let attempts_left = fault.0.is_transient()
                 && retries + 1 < self.policy.max_attempts.max(1);
             if !attempts_left {
                 return LeafOutcome::Quarantined { retries, class: fault.0, reason: fault.1 };
             }
             let backoff = self.policy.backoff_ns(retries);
-            backoff_hist.observe(backoff);
             if backoff > 0 {
                 std::thread::sleep(std::time::Duration::from_nanos(backoff));
             }

@@ -69,6 +69,23 @@ pub fn capture_window_at(
     spec: &CaidaWindowSpec,
     octet: u8,
 ) -> TelescopeWindow {
+    let w = capture_window_quiet(scenario, spec, octet);
+    record_capture_totals(std::slice::from_ref(&w));
+    w
+}
+
+/// The capture itself, with no metric recording.
+///
+/// This is the body the parallel driver runs on rayon workers: the
+/// registry's metric name lookup takes a lock, so counter updates stay
+/// out of the closure (blocking-in-par) and are recorded by the caller
+/// via [`record_capture_totals`]. Timing spans are fine — starting one
+/// touches no lock, and the drop-time recording is outside this fn.
+fn capture_window_quiet(
+    scenario: &Scenario,
+    spec: &CaidaWindowSpec,
+    octet: u8,
+) -> TelescopeWindow {
     let _span = obscor_obs::span("telescope.capture_window");
     let ds = Darkspace::slash8(octet, scenario.traffic.n_allocated);
     let start_micros = (spec.coord * SECS_PER_MONTH * 1e6) as u64;
@@ -88,10 +105,15 @@ pub fn capture_window_at(
         .next()
         // audit:allow(panic-path) — the synthetic traffic stream is infinite by construction, so the windower can never run dry; a None here is a programming error
         .expect("endless packet stream must always fill a window");
-    obscor_obs::counter("telescope.capture.valid_packets_total")
-        .add(window.packets.len() as u64);
-    obscor_obs::counter("telescope.capture.discarded_packets_total").add(window.discarded);
     TelescopeWindow { label: spec.label.clone(), coord: spec.coord, window }
+}
+
+/// Record the valid/discarded packet counters for captured windows.
+fn record_capture_totals(windows: &[TelescopeWindow]) {
+    let valid: u64 = windows.iter().map(|w| w.packets() as u64).sum();
+    let discarded: u64 = windows.iter().map(|w| w.window.discarded).sum();
+    obscor_obs::counter("telescope.capture.valid_packets_total").add(valid);
+    obscor_obs::counter("telescope.capture.discarded_packets_total").add(discarded);
 }
 
 /// Capture every scenario window, in parallel.
@@ -99,11 +121,14 @@ pub fn capture_all_windows(scenario: &Scenario) -> Vec<TelescopeWindow> {
     let _span = obscor_obs::span("telescope.capture_all_windows");
     obscor_obs::counter("telescope.capture.windows_total")
         .add(scenario.caida_windows.len() as u64);
-    scenario
+    let octet = scenario.population.config.darkspace_octet;
+    let windows: Vec<TelescopeWindow> = scenario
         .caida_windows
         .par_iter()
-        .map(|spec| capture_window(scenario, spec))
-        .collect()
+        .map(|spec| capture_window_quiet(scenario, spec, octet))
+        .collect();
+    record_capture_totals(&windows);
+    windows
 }
 
 #[cfg(test)]

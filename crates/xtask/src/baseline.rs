@@ -36,6 +36,10 @@ pub struct BaselineEntry {
     pub rule: String,
     /// Workspace-relative path (informational).
     pub file: String,
+    /// Written justification for carrying the finding instead of fixing
+    /// it. Every committed entry must have one (the gate tests assert
+    /// non-empty); `--update-baseline` preserves it across regeneration.
+    pub why: String,
 }
 
 /// A loaded (or freshly built) baseline.
@@ -54,6 +58,7 @@ impl Baseline {
                 fingerprint: d.fingerprint.clone(),
                 rule: d.rule.to_string(),
                 file: d.file.clone(),
+                why: String::new(),
             })
             .collect();
         entries.sort_by(|a, b| {
@@ -89,6 +94,7 @@ impl Baseline {
                         fingerprint: v,
                         rule: String::new(),
                         file: String::new(),
+                        why: String::new(),
                     });
                 }
                 "rule" => {
@@ -101,6 +107,12 @@ impl Baseline {
                     let Some(v) = strings.next() else { break };
                     if let Some(e) = cur.as_mut() {
                         e.file = v;
+                    }
+                }
+                "why" => {
+                    let Some(v) = strings.next() else { break };
+                    if let Some(e) = cur.as_mut() {
+                        e.why = v;
                     }
                 }
                 _ => {}
@@ -123,15 +135,31 @@ impl Baseline {
         let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
         for (i, e) in entries.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"fingerprint\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\"}}{}\n",
+                "    {{\"fingerprint\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\", \
+                 \"why\": \"{}\"}}{}\n",
                 e.fingerprint,
                 e.rule,
                 e.file,
+                crate::json_escape(&e.why),
                 if i + 1 < entries.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
         s
+    }
+
+    /// Copy the `why` justifications of `old` onto matching fingerprints,
+    /// so `--update-baseline` regeneration never loses the written record.
+    pub fn adopt_whys(&mut self, old: &Baseline) {
+        for e in &mut self.entries {
+            if e.why.is_empty() {
+                if let Some(prev) =
+                    old.entries.iter().find(|o| o.fingerprint == e.fingerprint)
+                {
+                    e.why = prev.why.clone();
+                }
+            }
+        }
     }
 
     /// Write the canonical form to `path`.
@@ -316,11 +344,13 @@ mod tests {
                     fingerprint: "00ff00ff00ff00ff".into(),
                     rule: "panic-path".into(),
                     file: "crates/a/src/lib.rs".into(),
+                    why: "checked invariant: index proven in-bounds".into(),
                 },
                 BaselineEntry {
                     fingerprint: "1234567812345678".into(),
                     rule: "map-iter-order".into(),
                     file: "crates/b/src/lib.rs".into(),
+                    why: String::new(),
                 },
             ],
         };
@@ -330,6 +360,22 @@ mod tests {
         assert!(parsed.contains("1234567812345678"));
         assert_eq!(parsed.entries[1].rule, "map-iter-order");
         assert_eq!(parsed.entries[0].file, "crates/a/src/lib.rs");
+        assert_eq!(parsed.entries[0].why, "checked invariant: index proven in-bounds");
+        assert_eq!(parsed.entries[1].why, "");
+    }
+
+    #[test]
+    fn regeneration_preserves_whys() {
+        let f = mem("x.unwrap();\n");
+        let sources = HashMap::from([("m.rs", &f)]);
+        let mut diags = vec![d("panic-path", "m.rs", 1)];
+        assign_fingerprints(&mut diags, &sources);
+        let mut old = Baseline::from_diagnostics(&diags);
+        old.entries[0].why = "legacy debt, tracked in ROADMAP".into();
+        let mut fresh = Baseline::from_diagnostics(&diags);
+        assert!(fresh.entries[0].why.is_empty());
+        fresh.adopt_whys(&old);
+        assert_eq!(fresh.entries[0].why, "legacy debt, tracked in ROADMAP");
     }
 
     #[test]

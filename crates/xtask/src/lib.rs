@@ -33,10 +33,24 @@
 //!     the `obs` registry and the declared metric-enable flags.
 //! 11. **`allow-justification`** — every `audit:allow(...)` marker carries
 //!     a non-empty justification.
+//! 12. **`nondet-reach`** — nondeterminism sources (hash-ordered
+//!     iteration, wall-clock reads, thread identity) in any function that
+//!     *transitively* reaches the `obscor_obs::json` codec or the
+//!     hypersparse archive codec, at any call depth.
+//! 13. **`blocking-in-par`** — blocking operations (`.lock()`, `.recv()`,
+//!     `.join()`, ...) directly or transitively reachable from inside a
+//!     rayon parallel-closure extent.
+//! 14. **`lock-order`** — cycles in the workspace lock-acquisition graph
+//!     (lock A held while acquiring B, and elsewhere B while acquiring A),
+//!     including holds that cross function boundaries.
+//! 15. **`panic-in-drop`** — panic-path sites directly or transitively
+//!     reachable from `Drop::drop` bodies.
 //!
 //! The engine lexes each file into spanned tokens ([`lex`]), parses a
-//! brace-tree of items ([`parse`]), and builds a cross-file symbol index
-//! ([`index`]); rules ([`rules`]) walk tokens, never raw strings.
+//! brace-tree of items ([`parse`]), and builds a workspace call graph
+//! with memoized reachability closures ([`index`]); rules ([`rules`])
+//! walk tokens, never raw strings. Rule documentation lives in a single
+//! registry ([`docs`]) that `--explain` and the README table share.
 //!
 //! Violations print as `file:line: [rule] message` (or as JSON with
 //! `--format json`) and the process exits non-zero. Individual sites are
@@ -46,7 +60,9 @@
 //! line-number-free fingerprints.
 
 pub mod baseline;
+pub mod docs;
 pub mod index;
+pub mod sarif;
 pub mod lex;
 pub mod parse;
 pub mod rules;
@@ -64,6 +80,9 @@ pub struct AuditReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The workspace call graph the interprocedural rules ran over
+    /// (exported by `--call-graph`).
+    pub call_graph: index::CallGraph,
 }
 
 impl AuditReport {
@@ -118,7 +137,7 @@ impl AuditReport {
 }
 
 /// Escape a string for embedding in a JSON literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -191,14 +210,16 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
     let files_scanned = lib_files.len() + test_files.len();
     let mut diagnostics = Vec::new();
 
-    // Cross-file symbol index over all library sources: fn definitions
-    // plus the set of fns that reach the obscor_obs::json codec within one
-    // call hop (the map-iter-order taint sink).
+    // Workspace call graph over all library sources, with memoized
+    // reachability closures shared by the interprocedural rules; the
+    // one-hop symbol index `map-iter-order` consumes is derived from it.
     let lib_refs: Vec<&SourceFile> = lib_files.iter().map(|(_, f)| f).collect();
-    let symbol_index = index::build_index(&lib_refs);
+    let analyses = index::Analyses::new(index::build_graph(&lib_refs));
+    let symbol_index = index::SymbolIndex::from_graph(&analyses.graph);
 
-    // Per-file rules.
-    for (crate_name, file) in &lib_files {
+    // Per-file rules. `file_id` is the node-graph file index (lib_refs
+    // order == lib_files order).
+    for (file_id, (crate_name, file)) in lib_files.iter().enumerate() {
         diagnostics.extend(rules::rule_index_cast(file));
         if PANIC_FREE_CRATES.contains(&crate_name.as_str()) {
             diagnostics.extend(rules::rule_panic_path(file));
@@ -225,7 +246,14 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
             diagnostics.extend(rules::rule_shared_static_mut(file));
         }
         diagnostics.extend(rules::rule_allow_justification(file));
+        diagnostics.extend(rules::rule_nondet_reach(file, file_id, &analyses, crate_name));
+        diagnostics.extend(rules::rule_blocking_in_par(file, file_id, &analyses));
+        diagnostics.extend(rules::rule_panic_in_drop(file, file_id, &analyses));
     }
+
+    // Lock-order cycles are a whole-workspace property: fold every
+    // function's held-while-acquiring pairs into one lock graph.
+    diagnostics.extend(rules::rule_lock_order(&lib_refs, &analyses));
 
     // Invariant coverage: corpus is every test source (integration tests
     // plus in-crate `#[cfg(test)]` regions) that mentions check_invariants.
@@ -267,7 +295,7 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
         lib_files.iter().map(|(_, f)| (f.rel.as_str(), f)).collect();
     baseline::assign_fingerprints(&mut diagnostics, &sources);
 
-    Ok(AuditReport { diagnostics, files_scanned })
+    Ok(AuditReport { diagnostics, files_scanned, call_graph: analyses.graph })
 }
 
 /// Recursively visit every `.rs` file under `dir`, reporting paths relative
@@ -318,6 +346,7 @@ mod tests {
                 fingerprint: "deadbeefdeadbeef".into(),
             }],
             files_scanned: 3,
+            call_graph: Default::default(),
         };
         let json = report.to_json();
         assert!(json.contains("\"ok\":false"));
@@ -346,12 +375,14 @@ mod tests {
                 },
             ],
             files_scanned: 2,
+            call_graph: Default::default(),
         };
         let b = baseline::Baseline {
             entries: vec![baseline::BaselineEntry {
                 fingerprint: "aaaaaaaaaaaaaaaa".into(),
                 rule: "panic-path".into(),
                 file: "a.rs".into(),
+                why: "test".into(),
             }],
         };
         let g = baseline::gate(&report.diagnostics, &b);

@@ -1,91 +1,136 @@
 //! CLI entry point:
-//! `cargo xtask audit [--format text|json] [--root <dir>] [--baseline <file>] [--update-baseline]`.
+//! `cargo xtask audit [--format text|json|sarif] [--root <dir>]
+//! [--baseline <file>] [--update-baseline] [--allow-stale]
+//! [--call-graph <file>[.dot]] [--explain <rule>]`.
 //!
-//! Exit codes: `0` clean (or all findings baselined), `1` new violations,
-//! `2` usage or I/O error.
+//! Exit codes: `0` clean (or all findings baselined), `1` new violations
+//! or stale baseline entries without `--allow-stale`, `2` usage or I/O
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::baseline::{self, Baseline};
+use xtask::docs;
 
-const USAGE: &str = "usage: cargo xtask audit [options]
+/// Static usage header; the rule list is appended from the doc registry
+/// so it can never drift from the engine.
+const USAGE_HEAD: &str = "usage: cargo xtask audit [options]
 
 Options:
-  --format <text|json>   output format (default text); --json is an alias
+  --format <text|json|sarif>  output format (default text); --json is an alias
   --root <dir>           workspace root to audit (default .)
   --baseline <file>      ratchet baseline: only findings NOT in the file fail
-  --update-baseline      regenerate the baseline from current findings
-                         (requires --baseline) and exit 0
+  --update-baseline      regenerate the baseline from current findings,
+                         preserving `why` justifications (requires --baseline),
+                         and exit 0
+  --allow-stale          tolerate stale baseline entries (default: they fail
+                         the gate so the ratchet can only shrink)
+  --call-graph <file>    export the workspace call graph (JSON; a `.dot`
+                         extension selects Graphviz DOT)
+  --explain <rule>       print one rule's full documentation and exit
 
-Runs the workspace static-analysis gate. Rules:
-  index-cast           truncating `as u32`/`as usize`/`as Index` casts
-  panic-path           unwrap/expect/panic! in panic-free crates
-  float-eq             floating-point ==/!= in stats and core::fitscan
-  invariant-coverage   public constructors without check_invariants tests
-  instant-timing       ad-hoc Instant/SystemTime timing outside the obs crate
-  key-pack             ad-hoc `as u64` key packing outside hypersparse::keypack
-  map-iter-order       HashMap/HashSet iteration order reaching ordered output
-  nonassoc-reduce      rayon float reduce/fold/sum outside blessed helpers
-  atomic-ordering      Ordering::* sites without an `// ordering:` note
-  shared-static-mut    process-global mutable statics outside the obs registry
-  allow-justification  audit:allow markers without a justification
+Runs the workspace static-analysis gate. Rules:";
 
-Suppress a single site with `// audit:allow(<rule>) — justification`.";
+/// Full usage text: header plus the registry-driven rule list.
+fn usage() -> String {
+    let mut s = String::from(USAGE_HEAD);
+    let width = docs::RULE_DOCS.iter().map(|d| d.name.len()).max().unwrap_or(0);
+    for d in docs::RULE_DOCS {
+        s.push_str(&format!("\n  {:width$}  {}", d.name, d.short));
+    }
+    s.push_str("\n\nSuppress a single site with `// audit:allow(<rule>) — justification`.");
+    s
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut update_baseline = false;
+    let mut allow_stale = false;
+    let mut call_graph: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
     let mut command: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
             "--format" => match it.next().as_deref() {
-                Some("json") => json = true,
-                Some("text") => json = false,
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                Some("sarif") => format = Format::Sarif,
                 other => {
                     let got = other.unwrap_or("<missing>");
-                    eprintln!("error: --format expects `text` or `json`, got `{got}`\n\n{USAGE}");
+                    eprintln!(
+                        "error: --format expects `text`, `json`, or `sarif`, got `{got}`\n\n{}",
+                        usage()
+                    );
                     return ExitCode::from(2);
                 }
             },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
-                    eprintln!("error: --root requires a directory argument\n\n{USAGE}");
+                    eprintln!("error: --root requires a directory argument\n\n{}", usage());
                     return ExitCode::from(2);
                 }
             },
             "--baseline" => match it.next() {
                 Some(p) => baseline_path = Some(PathBuf::from(p)),
                 None => {
-                    eprintln!("error: --baseline requires a file argument\n\n{USAGE}");
+                    eprintln!("error: --baseline requires a file argument\n\n{}", usage());
                     return ExitCode::from(2);
                 }
             },
             "--update-baseline" => update_baseline = true,
+            "--allow-stale" => allow_stale = true,
+            "--call-graph" => match it.next() {
+                Some(p) => call_graph = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --call-graph requires a file argument\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match it.next() {
+                Some(r) => explain = Some(r),
+                None => {
+                    eprintln!("error: --explain requires a rule name\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
             _ if command.is_none() && !arg.starts_with('-') => command = Some(arg),
             _ => {
-                eprintln!("error: unrecognized argument `{arg}`\n\n{USAGE}");
+                eprintln!("error: unrecognized argument `{arg}`\n\n{}", usage());
                 return ExitCode::from(2);
             }
         }
     }
 
     if command.as_deref() != Some("audit") {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::from(2);
     }
+    if let Some(rule) = explain {
+        return match docs::explain(&rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                let known: Vec<&str> = docs::RULE_DOCS.iter().map(|d| d.name).collect();
+                eprintln!("error: unknown rule `{rule}`; known rules: {}", known.join(", "));
+                ExitCode::from(2)
+            }
+        };
+    }
     if update_baseline && baseline_path.is_none() {
-        eprintln!("error: --update-baseline requires --baseline <file>\n\n{USAGE}");
+        eprintln!("error: --update-baseline requires --baseline <file>\n\n{}", usage());
         return ExitCode::from(2);
     }
 
@@ -103,9 +148,26 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = call_graph {
+        let out = if path.extension().is_some_and(|e| e == "dot") {
+            report.call_graph.to_dot()
+        } else {
+            report.call_graph.to_json()
+        };
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("error: cannot write call graph `{}`: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("audit: call graph written to `{}`", path.display());
+    }
+
     if update_baseline {
         let path = baseline_path.expect("checked above");
-        let b = Baseline::from_diagnostics(&report.diagnostics);
+        let mut b = Baseline::from_diagnostics(&report.diagnostics);
+        // Keep the written justifications of entries that survive.
+        if let Ok(old) = Baseline::load(&path) {
+            b.adopt_whys(&old);
+        }
         if let Err(e) = b.save(&path) {
             eprintln!("error: cannot write baseline `{}`: {e}", path.display());
             return ExitCode::from(2);
@@ -128,51 +190,66 @@ fn main() -> ExitCode {
             }
         };
         let gate = baseline::gate(&report.diagnostics, &b);
-        if json {
-            println!("{}", report.to_json_gated(Some(&gate)));
-        } else {
-            for &i in &gate.new {
-                println!("{}", report.diagnostics[i].render());
-            }
-            if !gate.stale.is_empty() {
-                println!(
-                    "audit: note: {} stale baseline entr{} (fixed or moved); \
-                     run --update-baseline to shrink the ratchet",
-                    gate.stale.len(),
-                    if gate.stale.len() == 1 { "y" } else { "ies" }
-                );
-            }
-            if gate.new.is_empty() {
-                println!(
-                    "audit: clean ({} files scanned, {} baselined finding(s))",
-                    report.files_scanned, gate.baselined
-                );
-            } else {
-                println!(
-                    "audit: {} new violation(s) ({} files scanned, {} baselined)",
-                    gate.new.len(),
-                    report.files_scanned,
-                    gate.baselined
-                );
+        let stale_fails = !gate.stale.is_empty() && !allow_stale;
+        match format {
+            Format::Json => println!("{}", report.to_json_gated(Some(&gate))),
+            Format::Sarif => println!("{}", xtask::sarif::to_sarif(&report, Some((&gate, &b)))),
+            Format::Text => {
+                for &i in &gate.new {
+                    println!("{}", report.diagnostics[i].render());
+                }
+                if !gate.stale.is_empty() {
+                    println!(
+                        "audit: {} stale baseline entr{} (fixed or moved){}",
+                        gate.stale.len(),
+                        if gate.stale.len() == 1 { "y" } else { "ies" },
+                        if allow_stale {
+                            "; tolerated by --allow-stale"
+                        } else {
+                            "; the ratchet only shrinks — run --update-baseline \
+                             (or pass --allow-stale)"
+                        }
+                    );
+                }
+                if gate.new.is_empty() && !stale_fails {
+                    println!(
+                        "audit: clean ({} files scanned, {} baselined finding(s))",
+                        report.files_scanned, gate.baselined
+                    );
+                } else {
+                    println!(
+                        "audit: {} new violation(s) ({} files scanned, {} baselined{})",
+                        gate.new.len(),
+                        report.files_scanned,
+                        gate.baselined,
+                        if stale_fails { ", stale baseline" } else { "" }
+                    );
+                }
             }
         }
-        return if gate.new.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) };
+        return if gate.new.is_empty() && !stale_fails {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
 
-    if json {
-        println!("{}", report.to_json());
-    } else {
-        for d in &report.diagnostics {
-            println!("{}", d.render());
-        }
-        if report.is_clean() {
-            println!("audit: clean ({} files scanned)", report.files_scanned);
-        } else {
-            println!(
-                "audit: {} violation(s) ({} files scanned)",
-                report.diagnostics.len(),
-                report.files_scanned
-            );
+    match format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Sarif => println!("{}", xtask::sarif::to_sarif(&report, None)),
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}", d.render());
+            }
+            if report.is_clean() {
+                println!("audit: clean ({} files scanned)", report.files_scanned);
+            } else {
+                println!(
+                    "audit: {} violation(s) ({} files scanned)",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+            }
         }
     }
     if report.is_clean() {
@@ -180,4 +257,15 @@ fn main() -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Output format selector.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    /// Human-readable `file:line: [rule] message` lines.
+    Text,
+    /// The audit's own JSON shape.
+    Json,
+    /// SARIF 2.1.0 for code-scanning upload.
+    Sarif,
 }

@@ -28,6 +28,9 @@ pub enum ItemKind {
         type_name: String,
         /// True for `impl Trait for Type`.
         trait_impl: bool,
+        /// Last path segment of the implemented trait (`Drop` in
+        /// `impl Drop for Guard`); empty for inherent impls.
+        trait_name: String,
     },
     /// A `trait` definition.
     Trait,
@@ -427,10 +430,13 @@ impl<'a> Parser<'a> {
         };
         let ty_from = for_pos.map_or(ty_start, |p| p + 1);
         let type_name = self.path_tail(ty_from, open).unwrap_or_default();
+        let trait_name = for_pos
+            .and_then(|p| self.path_tail(ty_start, p))
+            .unwrap_or_default();
         let close = self.delims[open];
         self.push_item(
             Item {
-                kind: ItemKind::Impl { type_name, trait_impl: for_pos.is_some() },
+                kind: ItemKind::Impl { type_name, trait_impl: for_pos.is_some(), trait_name },
                 name: String::new(),
                 first_tok: pending.first_tok.unwrap_or(kw),
                 kw_tok: kw,
@@ -723,9 +729,10 @@ mod tests {
         assert_eq!(items[2].parent, Some(1));
         assert_eq!(items[4].parent, Some(3));
         match &items[3].kind {
-            ItemKind::Impl { type_name, trait_impl } => {
+            ItemKind::Impl { type_name, trait_impl, trait_name } => {
                 assert_eq!(type_name, "Csr");
                 assert!(!trait_impl);
+                assert!(trait_name.is_empty());
             }
             k => panic!("expected impl, got {k:?}"),
         }
@@ -735,10 +742,29 @@ mod tests {
     fn trait_impls_are_tagged() {
         let (items, _) = parse("impl std::fmt::Display for Foo { fn fmt(&self) {} }\n");
         match &items[0].kind {
-            ItemKind::Impl { type_name, trait_impl } => {
+            ItemKind::Impl { type_name, trait_impl, trait_name } => {
                 assert_eq!(type_name, "Foo");
                 assert!(*trait_impl);
+                assert_eq!(trait_name, "Display");
             }
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_impls_carry_the_trait_name() {
+        let (items, _) = parse("impl Drop for Guard { fn drop(&mut self) {} }\n");
+        match &items[0].kind {
+            ItemKind::Impl { type_name, trait_name, .. } => {
+                assert_eq!(type_name, "Guard");
+                assert_eq!(trait_name, "Drop");
+            }
+            k => panic!("{k:?}"),
+        }
+        // Generic trait impls still resolve the last path segment.
+        let (items, _) = parse("impl<V: Value> core::ops::Drop for Holder<V> { fn drop(&mut self) {} }\n");
+        match &items[0].kind {
+            ItemKind::Impl { trait_name, .. } => assert_eq!(trait_name, "Drop"),
             k => panic!("{k:?}"),
         }
     }

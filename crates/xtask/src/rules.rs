@@ -20,10 +20,14 @@
 //! | `atomic-ordering`    | all library code                       | `Ordering::*` sites without an `// ordering:` justification; stricter-than-Relaxed notes must name the happens-before edge |
 //! | `shared-static-mut`  | all library code except `obs`          | process-global `static` atomics/locks/cells outside the obs registry and the declared metric-enable flags |
 //! | `allow-justification`| all library code                       | `audit:allow(<rule>)` markers without a trailing justification |
+//! | `nondet-reach`       | all library code                       | nondeterminism sources (hash iteration, wall-clock, thread identity) in functions that transitively reach the `obscor_obs::json` codec or the hypersparse archive codec |
+//! | `blocking-in-par`    | all library code                       | blocking operations (`.lock()`, `.read()`/`.write()`, `.recv()`, `.join()`) inside rayon parallel extents, directly or through the call graph |
+//! | `lock-order`         | whole workspace                        | cycles in the named-lock acquisition graph (deadlock candidates) |
+//! | `panic-in-drop`      | all library code                       | panic-path sites reachable from `Drop::drop` bodies |
 
 use std::collections::HashSet;
 
-use crate::index::SymbolIndex;
+use crate::index::{Analyses, SymbolIndex};
 use crate::lex::TokKind;
 use crate::parse::{fn_signature, Item, ItemKind};
 use crate::scan::{has_token, SourceFile};
@@ -512,7 +516,7 @@ pub fn find_constructors(file: &SourceFile) -> Vec<Constructor> {
             continue;
         }
         let Some(p) = item.parent else { continue };
-        let ItemKind::Impl { ref type_name, trait_impl: false } = file.items[p].kind else {
+        let ItemKind::Impl { ref type_name, trait_impl: false, .. } = file.items[p].kind else {
             continue;
         };
         if type_name.is_empty() {
@@ -592,7 +596,9 @@ pub fn rule_invariant_coverage(
         for item in &f.items {
             if matches!(item.kind, ItemKind::Fn) && item.name == "check_invariants" {
                 if let Some(p) = item.parent {
-                    if let ItemKind::Impl { ref type_name, trait_impl: false } = f.items[p].kind {
+                    if let ItemKind::Impl { ref type_name, trait_impl: false, .. } =
+                        f.items[p].kind
+                    {
                         checked_types.insert(type_name.clone());
                     }
                 }
@@ -823,74 +829,92 @@ pub fn rule_map_iter_order(file: &SourceFile, index: &SymbolIndex) -> Vec<Diagno
         if !matches!(item.kind, ItemKind::Fn) || item.is_test {
             continue;
         }
-        let Some((body_open, body_close)) = item.body else { continue };
-        let hash_idents = collect_hash_idents(file, item);
         let mut emitted: HashSet<usize> = HashSet::new();
-
-        let mut j = body_open + 1;
-        while j < body_close {
-            // `for <pat> in <iterable> { body }` over a hash binding.
-            if file.toks[j].kind == TokKind::Ident && file.tok_text(j) == "for" {
-                if let Some((iter_from, brace)) = for_loop_parts(file, j, body_close) {
-                    let hashy = (iter_from..brace).any(|k| {
-                        file.toks[k].kind == TokKind::Ident
-                            && (hash_idents.contains(file.tok_text(k))
-                                || HASH_TYPES.contains(&file.tok_text(k)))
-                    });
-                    if hashy {
-                        let line = file.tok_line(j);
-                        let extent = (brace + 1, file.delims[brace]);
-                        if !line_exempt(file, RULE, line)
-                            && emitted.insert(line)
-                        {
-                            if let Some(sink) = find_order_sink(file, &depths, extent, index) {
-                                out.push(diag(
-                                    RULE,
-                                    file,
-                                    line,
-                                    format!(
-                                        "iteration over a hash-ordered collection flows into \
-                                         {sink}; iterate a BTreeMap/sorted view or annotate \
-                                         with audit:allow({RULE})"
-                                    ),
-                                ));
-                            }
-                        }
-                        j = brace + 1;
-                        continue;
-                    }
-                }
+        for site in hash_iteration_sites(file, item, &depths) {
+            if line_exempt(file, RULE, site.line) || !emitted.insert(site.line) {
+                continue;
             }
-            // `<hash binding> . <iter method> (` chains.
-            if file.toks[j].kind == TokKind::Ident
-                && hash_idents.contains(file.tok_text(j))
-                && (j == 0 || file.tok_text(j - 1) != ".")
-                && j + 2 < body_close
-                && file.tok_text(j + 1) == "."
-                && file.toks[j + 2].kind == TokKind::Ident
-                && ITER_METHODS.contains(&file.tok_text(j + 2))
-            {
-                let line = file.tok_line(j);
-                if !line_exempt(file, RULE, line) && emitted.insert(line) {
-                    let start = stmt_start(file, &depths, j);
-                    let end = stmt_end(file, &depths, j);
-                    if let Some(sink) = find_order_sink(file, &depths, (start, end + 1), index) {
-                        out.push(diag(
-                            RULE,
-                            file,
-                            line,
-                            format!(
-                                "iteration over hash-ordered `{}` flows into {sink}; \
-                                 iterate a BTreeMap/sorted view or annotate with \
-                                 audit:allow({RULE})",
-                                file.tok_text(j)
-                            ),
-                        ));
-                    }
-                }
+            if let Some(sink) = find_order_sink(file, &depths, site.extent, index) {
+                out.push(diag(
+                    RULE,
+                    file,
+                    site.line,
+                    format!(
+                        "iteration over {} flows into {sink}; iterate a \
+                         BTreeMap/sorted view or annotate with audit:allow({RULE})",
+                        site.desc
+                    ),
+                ));
             }
-            j += 1;
         }
+    }
+    out
+}
+
+/// One hash-ordered iteration site inside a fn body, shared between
+/// `map-iter-order` (which additionally demands an order sink in the
+/// extent) and `nondet-reach` (which taints by reachability instead).
+struct HashIterSite {
+    /// 1-based line of the `for` keyword or the binding identifier.
+    line: usize,
+    /// Token index anchoring the site (for ownership checks).
+    tok: usize,
+    /// Message fragment: `a hash-ordered collection` (for-loops) or
+    /// `` hash-ordered `m` `` (method chains).
+    desc: String,
+    /// Token extent to scan for order sinks: the loop body or the
+    /// chain's statement.
+    extent: (usize, usize),
+}
+
+/// Find every hash-ordered iteration site in `item`'s body: `for` loops
+/// whose iterable shows `HashMap`/`HashSet` evidence, and
+/// `<hash binding>.<iter method>(` chains.
+fn hash_iteration_sites(file: &SourceFile, item: &Item, depths: &[u32]) -> Vec<HashIterSite> {
+    let mut out = Vec::new();
+    let Some((body_open, body_close)) = item.body else { return out };
+    let hash_idents = collect_hash_idents(file, item);
+    let mut j = body_open + 1;
+    while j < body_close {
+        // `for <pat> in <iterable> { body }` over a hash binding.
+        if file.toks[j].kind == TokKind::Ident && file.tok_text(j) == "for" {
+            if let Some((iter_from, brace)) = for_loop_parts(file, j, body_close) {
+                let hashy = (iter_from..brace).any(|k| {
+                    file.toks[k].kind == TokKind::Ident
+                        && (hash_idents.contains(file.tok_text(k))
+                            || HASH_TYPES.contains(&file.tok_text(k)))
+                });
+                if hashy {
+                    out.push(HashIterSite {
+                        line: file.tok_line(j),
+                        tok: j,
+                        desc: "a hash-ordered collection".to_string(),
+                        extent: (brace + 1, file.delims[brace]),
+                    });
+                    j = brace + 1;
+                    continue;
+                }
+            }
+        }
+        // `<hash binding> . <iter method> (` chains.
+        if file.toks[j].kind == TokKind::Ident
+            && hash_idents.contains(file.tok_text(j))
+            && (j == 0 || file.tok_text(j - 1) != ".")
+            && j + 2 < body_close
+            && file.tok_text(j + 1) == "."
+            && file.toks[j + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&file.tok_text(j + 2))
+        {
+            let start = stmt_start(file, depths, j);
+            let end = stmt_end(file, depths, j);
+            out.push(HashIterSite {
+                line: file.tok_line(j),
+                tok: j,
+                desc: format!("hash-ordered `{}`", file.tok_text(j)),
+                extent: (start, end + 1),
+            });
+        }
+        j += 1;
     }
     out
 }
@@ -1092,6 +1116,523 @@ pub fn rule_allow_justification(file: &SourceFile) -> Vec<Diagnostic> {
         ));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural rules (call-graph driven)
+// ---------------------------------------------------------------------------
+
+/// Rule `nondet-reach`: a nondeterminism source — `HashMap`/`HashSet`
+/// iteration, a wall-clock read, or a thread-identity read — inside a
+/// function that *transitively* reaches the `obscor_obs::json` codec or
+/// the hypersparse archive codec (any call depth, per [`Analyses`]).
+/// Nondeterminism that can leak into serialized artifacts breaks the
+/// paper's byte-identical reproducibility claims; the finding names the
+/// full call chain to the sink. Function-granular by design: the source
+/// need not demonstrably flow into the sink call (that over-approximation
+/// is documented in DESIGN.md §14). The caller passes `crate_name`;
+/// wall-clock sources are skipped for `obs`, which owns the sanctioned
+/// clock.
+pub fn rule_nondet_reach(
+    file: &SourceFile,
+    file_id: usize,
+    an: &Analyses,
+    crate_name: &str,
+) -> Vec<Diagnostic> {
+    const RULE: &str = "nondet-reach";
+    let depths = brace_depths(file);
+    let mut out = Vec::new();
+    for (iid, item) in file.items.iter().enumerate() {
+        if !matches!(item.kind, ItemKind::Fn) || item.is_test {
+            continue;
+        }
+        let Some((body_open, body_close)) = item.body else { continue };
+        let Some(node) = an.graph.node_of(file_id, iid) else { continue };
+        let reaches_json = an.json_reach().reaches(node);
+        let reaches_archive = an.archive_reach().reaches(node);
+        if !reaches_json && !reaches_archive {
+            continue;
+        }
+        let (sink, chain) = if reaches_json {
+            ("the `obscor_obs::json` codec", an.graph.chain_names(an.json_reach(), node))
+        } else {
+            ("the hypersparse archive codec", an.graph.chain_names(an.archive_reach(), node))
+        };
+        // Collect sources in body order: hash iterations, wall-clock
+        // reads, thread-identity reads. Tokens owned by nested fns are
+        // that node's problem, not this one's.
+        let mut sources: Vec<(usize, usize, String)> = Vec::new(); // (tok, line, what)
+        for site in hash_iteration_sites(file, item, &depths) {
+            sources.push((site.tok, site.line, format!("iteration over {}", site.desc)));
+        }
+        for i in body_open + 1..body_close {
+            if file.toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let name = file.tok_text(i);
+            let what = match name {
+                "Instant" | "SystemTime"
+                    if crate_name != "obs"
+                        && i + 2 < body_close
+                        && file.tok_text(i + 1) == "::"
+                        && file.tok_text(i + 2) == "now" =>
+                {
+                    format!("`{name}::now()` wall-clock read")
+                }
+                "current_thread_index"
+                    if i + 1 < body_close && file.tok_text(i + 1) == "(" =>
+                {
+                    "`current_thread_index()` thread-identity read".to_string()
+                }
+                "thread"
+                    if i + 2 < body_close
+                        && file.tok_text(i + 1) == "::"
+                        && file.tok_text(i + 2) == "current" =>
+                {
+                    "`thread::current()` thread-identity read".to_string()
+                }
+                _ => continue,
+            };
+            sources.push((i, file.tok_line(i), what));
+        }
+        sources.sort_by_key(|&(tok, _, _)| tok);
+        let mut emitted: HashSet<usize> = HashSet::new();
+        for (tok, line, what) in sources {
+            if an.graph.fn_at(file_id, tok) != Some(node) {
+                continue; // owned by a nested fn
+            }
+            if line_exempt(file, RULE, line) || !emitted.insert(line) {
+                continue;
+            }
+            out.push(diag(
+                RULE,
+                file,
+                line,
+                format!(
+                    "nondeterministic {what} in `{}`, which reaches {sink} \
+                     ({chain}); make the source deterministic/ordered or \
+                     annotate with audit:allow({RULE})",
+                    item.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule `blocking-in-par`: a blocking operation — `.lock()`, RwLock
+/// `.read()`/`.write()`, channel `.recv()`/`.recv_timeout()`, or
+/// `.join()` — inside a rayon parallel extent (the statement tail of a
+/// `par_iter`-family source, or the argument list of `rayon::scope` /
+/// `rayon::join`), either directly or transitively through a call to a
+/// function whose closure reaches a blocking operation. Blocking a
+/// work-stealing worker can starve or deadlock the pool. Findings on
+/// transitive sites name the full call chain and the terminal operation.
+pub fn rule_blocking_in_par(file: &SourceFile, file_id: usize, an: &Analyses) -> Vec<Diagnostic> {
+    const RULE: &str = "blocking-in-par";
+    let depths = brace_depths(file);
+    let mut out = Vec::new();
+    let mut emitted: HashSet<usize> = HashSet::new();
+    for i in 0..file.toks.len() {
+        if file.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let txt = file.tok_text(i);
+        // A parallel extent: `(start, end_inclusive, opener)`.
+        let extent = if PAR_SOURCES.contains(&txt) && i > 0 && file.tok_text(i - 1) == "." {
+            Some((i + 1, stmt_end(file, &depths, i), txt))
+        } else if matches!(txt, "scope" | "join")
+            && i >= 2
+            && file.tok_text(i - 1) == "::"
+            && file.tok_text(i - 2) == "rayon"
+            && i + 1 < file.toks.len()
+            && file.tok_text(i + 1) == "("
+            && file.delims[i + 1] > i + 1
+        {
+            Some((i + 2, file.delims[i + 1].saturating_sub(1), txt))
+        } else {
+            None
+        };
+        let Some((start, end, opener)) = extent else { continue };
+        let par_line = file.tok_line(i);
+        for j in start..=end.min(file.toks.len().saturating_sub(1)) {
+            if file.toks[j].kind != TokKind::Ident {
+                continue;
+            }
+            let line = file.tok_line(j);
+            if line_exempt(file, RULE, line) || emitted.contains(&line) {
+                continue;
+            }
+            if let Some(what) = crate::index::blocking_at(file, j) {
+                emitted.insert(line);
+                out.push(diag(
+                    RULE,
+                    file,
+                    line,
+                    format!(
+                        "{what} inside the rayon parallel extent opened by \
+                         `{opener}` (line {par_line}); blocking a work-stealing \
+                         worker risks starvation or deadlock — hoist it out of \
+                         the parallel closure or annotate with audit:allow({RULE})"
+                    ),
+                ));
+                continue;
+            }
+            // A call to a function that transitively blocks. The owning
+            // node's recorded call sites carry the qualifier, so the
+            // resolution rules (no non-self method receivers, typed
+            // `Type::` paths) apply here too.
+            {
+                let Some(caller) = an.graph.fn_at(file_id, j) else { continue };
+                let Some(c) =
+                    an.graph.nodes[caller].calls.iter().find(|c| c.tok == j)
+                else {
+                    continue;
+                };
+                let callee = c.callee.as_str();
+                let hit = an
+                    .graph
+                    .resolve_call(caller, c)
+                    .into_iter()
+                    .find(|&t| !an.graph.nodes[t].is_test && an.blocking_reach().reaches(t));
+                let Some(t) = hit else { continue };
+                emitted.insert(line);
+                let chain = an.graph.chain_names(an.blocking_reach(), t);
+                let term_node = an.blocking_reach().chain(t).last().copied().unwrap_or(t);
+                let term = an.blocking_terminal(term_node);
+                out.push(diag(
+                    RULE,
+                    file,
+                    line,
+                    format!(
+                        "call to `{callee}` inside the rayon parallel extent \
+                         opened by `{opener}` (line {par_line}) blocks \
+                         transitively: {chain} ({term}); hoist the blocking \
+                         operation out of the parallel closure or annotate with \
+                         audit:allow({RULE})"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Rule `panic-in-drop`: a panic-path site — direct or reachable through
+/// the call graph — inside a `Drop::drop` body. A panic that starts
+/// while another panic unwinds aborts the process, so destructors must
+/// be infallible. Transitive findings name the full call chain and the
+/// terminal panic site.
+pub fn rule_panic_in_drop(
+    file: &SourceFile,
+    file_id: usize,
+    an: &Analyses,
+) -> Vec<Diagnostic> {
+    const RULE: &str = "panic-in-drop";
+    let mut out = Vec::new();
+    for (iid, item) in file.items.iter().enumerate() {
+        if !matches!(item.kind, ItemKind::Fn) || item.is_test || item.name != "drop" {
+            continue;
+        }
+        let Some(p) = item.parent else { continue };
+        let ItemKind::Impl { ref type_name, ref trait_name, .. } = file.items[p].kind else {
+            continue;
+        };
+        if trait_name != "Drop" {
+            continue;
+        }
+        let Some(node) = an.graph.node_of(file_id, iid) else { continue };
+        let n = &an.graph.nodes[node];
+        let mut emitted: HashSet<usize> = HashSet::new();
+        for site in &n.panics {
+            if line_exempt(file, RULE, site.line) || !emitted.insert(site.line) {
+                continue;
+            }
+            out.push(diag(
+                RULE,
+                file,
+                site.line,
+                format!(
+                    "{} in `Drop for {type_name}`; a panic during unwind aborts \
+                     the process — make drop infallible or annotate with \
+                     audit:allow({RULE})",
+                    site.what
+                ),
+            ));
+        }
+        for c in &n.calls {
+            if line_exempt(file, RULE, c.line) || emitted.contains(&c.line) {
+                continue;
+            }
+            let hit = an
+                .graph
+                .resolve_call(node, c)
+                .into_iter()
+                .find(|&t| !an.graph.nodes[t].is_test && an.panic_reach().reaches(t));
+            let Some(t) = hit else { continue };
+            emitted.insert(c.line);
+            let chain = an.graph.chain_names(an.panic_reach(), t);
+            let term_node = an.panic_reach().chain(t).last().copied().unwrap_or(t);
+            let term = an.panic_terminal(term_node);
+            out.push(diag(
+                RULE,
+                file,
+                c.line,
+                format!(
+                    "`Drop for {type_name}` calls `{}`, which can panic: {chain} \
+                     ({term}); a panic during unwind aborts the process — make \
+                     drop infallible or annotate with audit:allow({RULE})",
+                    c.callee
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule `lock-order`, run once over the whole workspace: fold every
+/// function's ordered lock-acquisition sequence (named static/field
+/// locks only) into a lock graph — edge `A → B` when `B` is acquired
+/// (directly or through a call) while `A` is still held, i.e. within the
+/// brace scope that contains `A`'s acquisition — and flag every cycle as
+/// a deadlock candidate. One diagnostic per cycle, anchored at the
+/// witness site of its first edge.
+pub fn rule_lock_order(files: &[&SourceFile], an: &Analyses) -> Vec<Diagnostic> {
+    const RULE: &str = "lock-order";
+    struct EdgeInfo {
+        file: usize,
+        line: usize,
+        desc: String,
+    }
+    let mut edges: std::collections::BTreeMap<(String, String), EdgeInfo> =
+        std::collections::BTreeMap::new();
+    for (nid, node) in an.graph.nodes.iter().enumerate() {
+        if node.is_test || node.locks.is_empty() {
+            continue;
+        }
+        let file = files[node.file];
+        let body_close =
+            file.items[node.item].body.map(|(_, c)| c).unwrap_or(file.toks.len());
+        for (k, held) in node.locks.iter().enumerate() {
+            // The guard lives (at most) to the end of the brace scope
+            // containing its acquisition; later acquisitions and calls
+            // inside that scope happen while it may still be held.
+            let close = scope_close(file, held.tok, body_close);
+            for later in node.locks.iter().skip(k + 1) {
+                if later.tok >= close || later.lock == held.lock {
+                    continue;
+                }
+                edges.entry((held.lock.clone(), later.lock.clone())).or_insert_with(|| {
+                    EdgeInfo {
+                        file: node.file,
+                        line: later.line,
+                        desc: format!(
+                            "`{}` then `{}` in `{}`",
+                            held.lock, later.lock, node.name
+                        ),
+                    }
+                });
+            }
+            for c in &node.calls {
+                if c.tok <= held.tok || c.tok >= close {
+                    continue;
+                }
+                let targets = an.graph.resolve_call(nid, c);
+                if targets.is_empty() {
+                    continue;
+                }
+                for (lname, reach) in an.lock_reach() {
+                    if *lname == held.lock {
+                        continue;
+                    }
+                    let hit = targets
+                        .iter()
+                        .copied()
+                        .find(|&t| !an.graph.nodes[t].is_test && reach.reaches(t));
+                    let Some(t) = hit else { continue };
+                    edges.entry((held.lock.clone(), lname.clone())).or_insert_with(|| {
+                        EdgeInfo {
+                            file: node.file,
+                            line: c.line,
+                            desc: format!(
+                                "`{}` held in `{}` while {} acquires `{}`",
+                                held.lock,
+                                node.name,
+                                an.graph.chain_names(reach, t),
+                                lname
+                            ),
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    // Fold edges into a graph over lock names and report each cycle
+    // (strongly connected component with >= 2 locks) once.
+    let mut names: Vec<&String> = Vec::new();
+    for (a, b) in edges.keys() {
+        names.push(a);
+        names.push(b);
+    }
+    names.sort();
+    names.dedup();
+    let idx_of = |n: &String| names.binary_search(&n).expect("name interned above");
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (a, b) in edges.keys() {
+        adj[idx_of(a)].push(idx_of(b));
+    }
+    let mut out = Vec::new();
+    for comp in sccs(&adj) {
+        if comp.len() < 2 {
+            continue;
+        }
+        let cycle = shortest_cycle(&adj, &comp);
+        let hops: Vec<String> =
+            cycle.iter().map(|&n| format!("`{}`", names[n])).collect();
+        let mut parts = Vec::new();
+        for w in cycle.windows(2) {
+            let key = (names[w[0]].clone(), names[w[1]].clone());
+            if let Some(info) = edges.get(&key) {
+                parts.push(format!(
+                    "{} ({}:{})",
+                    info.desc, files[info.file].rel, info.line
+                ));
+            }
+        }
+        let anchor_key = (names[cycle[0]].clone(), names[cycle[1]].clone());
+        let anchor = edges.get(&anchor_key).expect("cycle edges exist");
+        let anchor_file = files[anchor.file];
+        if line_exempt(anchor_file, RULE, anchor.line) {
+            continue;
+        }
+        out.push(diag(
+            RULE,
+            anchor_file,
+            anchor.line,
+            format!(
+                "lock-order cycle {} — {}; acquire these locks in one global \
+                 order everywhere or annotate with audit:allow({RULE})",
+                hops.join(" → "),
+                parts.join("; ")
+            ),
+        ));
+    }
+    out
+}
+
+/// End of the innermost brace scope containing `tok`: the matching `}`
+/// of the nearest preceding `{` that spans past `tok`; `fallback` when
+/// no such brace exists.
+fn scope_close(file: &SourceFile, tok: usize, fallback: usize) -> usize {
+    let mut j = tok;
+    while j > 0 {
+        j -= 1;
+        if file.toks[j].kind == TokKind::Open && file.tok_text(j) == "{" {
+            let c = file.delims[j];
+            if c > tok {
+                return c;
+            }
+        }
+    }
+    fallback
+}
+
+/// Strongly connected components of a small digraph (iterative Kosaraju);
+/// each component's node list is sorted.
+fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, vs) in adj.iter().enumerate() {
+        for &v in vs {
+            radj[v].push(u);
+        }
+    }
+    // Pass 1: finishing order on the forward graph.
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        let mut stack = vec![(s, 0usize)];
+        seen[s] = true;
+        while let Some(&mut (u, ref mut k)) = stack.last_mut() {
+            if *k < adj[u].len() {
+                let v = adj[u][*k];
+                *k += 1;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: components on the reverse graph, in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for &s in order.iter().rev() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let c = out.len();
+        let mut members = vec![s];
+        comp[s] = c;
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for &v in &radj[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = c;
+                    members.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        out.push(members);
+    }
+    out
+}
+
+/// A shortest cycle through the smallest node of a strongly connected
+/// component, as `[s, ..., s]` (first element repeated at the end).
+/// Deterministic: BFS over sorted adjacency restricted to the component.
+fn shortest_cycle(adj: &[Vec<usize>], comp: &[usize]) -> Vec<usize> {
+    let s = comp[0];
+    let in_comp = |v: usize| comp.binary_search(&v).is_ok();
+    let mut parent = vec![usize::MAX; adj.len()];
+    let mut queue = std::collections::VecDeque::from([s]);
+    let mut seen = vec![false; adj.len()];
+    seen[s] = true;
+    while let Some(u) = queue.pop_front() {
+        let mut next: Vec<usize> = adj[u].iter().copied().filter(|&v| in_comp(v)).collect();
+        next.sort_unstable();
+        for v in next {
+            if v == s {
+                // Close the cycle: s ... u -> s.
+                let mut path = vec![s];
+                let mut cur = u;
+                let mut tail = Vec::new();
+                while cur != usize::MAX && cur != s {
+                    tail.push(cur);
+                    cur = parent[cur];
+                }
+                tail.reverse();
+                path.extend(tail);
+                path.push(s);
+                return path;
+            }
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    vec![s, s] // unreachable for a true SCC; degenerate self-loop form
 }
 
 #[cfg(test)]
@@ -1362,6 +1903,204 @@ mod tests {
         let f = prep(src);
         let idx = build_index(&[&f]);
         assert!(rule_map_iter_order(&f, &idx).is_empty());
+    }
+
+    fn prep_at(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from(rel), rel.into(), src.to_string())
+    }
+
+    fn analyses(files: &[&SourceFile]) -> Analyses {
+        Analyses::new(crate::index::build_graph(files))
+    }
+
+    #[test]
+    fn nondet_reach_crosses_many_hops() {
+        let codec = prep_at(
+            "crates/obs/src/json.rs",
+            "pub fn escape(s: &str) -> String { s.into() }\n",
+        );
+        let mid = prep_at(
+            "crates/a/src/mid.rs",
+            "pub fn render(k: u32) -> String { escape(&k.to_string()) }\n\
+             pub fn relay(k: u32) -> String { render(k) }\n",
+        );
+        let far = prep_at(
+            "crates/b/src/far.rs",
+            "pub fn dump(m: &HashMap<u32, u64>) -> String {\n\
+                 let mut s = String::new();\n\
+                 for k in m.keys() {\n\
+                     s.push_str(&relay(*k));\n\
+                 }\n\
+                 s\n\
+             }\n\
+             pub fn local_only(m: &HashMap<u32, u64>) -> usize {\n\
+                 let mut n = 0;\n\
+                 for _k in m.keys() { n += 1; }\n\
+                 n\n\
+             }\n",
+        );
+        let an = analyses(&[&codec, &mid, &far]);
+        let d = rule_nondet_reach(&far, 2, &an, "b");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("`dump` → `relay` → `render` → `escape`"), "{}", d[0].message);
+        // The one-hop index misses `dump` (three hops out) — the whole
+        // point of the full closure.
+        let idx = build_index(&[&codec, &mid, &far]);
+        assert!(!idx.json_reaching.contains("dump"));
+    }
+
+    #[test]
+    fn nondet_reach_wall_clock_and_allow() {
+        let f = prep_at(
+            "crates/a/src/lib.rs",
+            "pub fn stamp() -> String { let t = Instant::now(); obscor_obs::json::escape(\"x\") }\n\
+             // audit:allow(nondet-reach) — seed for the allow test\n\
+             pub fn ok() -> String { let t = Instant::now(); obscor_obs::json::escape(\"x\") }\n",
+        );
+        let an = analyses(&[&f]);
+        let d = rule_nondet_reach(&f, 0, &an, "a");
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1]);
+        assert!(d[0].message.contains("wall-clock"), "{}", d[0].message);
+        // The obs crate owns the clock: same shape, no finding.
+        let in_obs = rule_nondet_reach(&f, 0, &an, "obs");
+        assert!(in_obs.is_empty());
+    }
+
+    #[test]
+    fn blocking_in_par_direct_and_transitive() {
+        let f = prep_at(
+            "crates/a/src/lib.rs",
+            "pub fn helper(x: u32) -> u32 { let g = lk.lock(); x }\n\
+             pub fn par_direct(v: &[u32]) -> Vec<u32> {\n\
+                 v.par_iter().map(|x| { let g = m.lock(); *x }).collect()\n\
+             }\n\
+             pub fn par_transitive(v: &[u32]) -> Vec<u32> {\n\
+                 v.par_iter().map(|x| helper(*x)).collect()\n\
+             }\n\
+             pub fn sequential(v: &[u32]) -> Vec<u32> {\n\
+                 v.iter().map(|x| helper(*x)).collect()\n\
+             }\n",
+        );
+        let an = analyses(&[&f]);
+        let d = rule_blocking_in_par(&f, 0, &an);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![3, 6]);
+        assert!(d[0].message.contains("`.lock()` inside"), "{}", d[0].message);
+        assert!(d[1].message.contains("`helper`"), "{}", d[1].message);
+        assert!(d[1].message.contains("blocks transitively"), "{}", d[1].message);
+    }
+
+    #[test]
+    fn blocking_in_par_rayon_scope_extent() {
+        let f = prep_at(
+            "crates/a/src/lib.rs",
+            "pub fn scoped() {\n\
+                 rayon::scope(|s| {\n\
+                     let g = m.lock();\n\
+                 });\n\
+                 let after = m.lock();\n\
+             }\n",
+        );
+        let an = analyses(&[&f]);
+        let d = rule_blocking_in_par(&f, 0, &an);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn panic_in_drop_direct_and_transitive() {
+        let f = prep_at(
+            "crates/a/src/lib.rs",
+            "pub fn flush(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             pub struct A;\n\
+             impl Drop for A {\n\
+                 fn drop(&mut self) { panic!(\"boom\"); }\n\
+             }\n\
+             pub struct B;\n\
+             impl Drop for B {\n\
+                 fn drop(&mut self) { flush(None); }\n\
+             }\n\
+             pub struct C;\n\
+             impl Drop for C {\n\
+                 fn drop(&mut self) { let _ = 1 + 1; }\n\
+             }\n\
+             pub fn not_a_drop() { panic!(\"fine elsewhere\") }\n",
+        );
+        let an = analyses(&[&f]);
+        let d = rule_panic_in_drop(&f, 0, &an);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![4, 8]);
+        assert!(d[0].message.contains("`panic!` in `Drop for A`"), "{}", d[0].message);
+        assert!(d[1].message.contains("`flush`"), "{}", d[1].message);
+        assert!(d[1].message.contains("`unwrap()` at crates/a/src/lib.rs:1"), "{}", d[1].message);
+    }
+
+    #[test]
+    fn lock_order_cycle_detection() {
+        let f = prep_at(
+            "crates/a/src/lib.rs",
+            "pub fn ab(&self) {\n\
+                 let a = self.alpha.lock();\n\
+                 let b = self.beta.lock();\n\
+             }\n\
+             pub fn ba(&self) {\n\
+                 let b = self.beta.lock();\n\
+                 let a = self.alpha.lock();\n\
+             }\n",
+        );
+        let an = analyses(&[&f]);
+        let d = rule_lock_order(&[&f], &an);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("lock-order cycle"), "{}", d[0].message);
+        assert!(d[0].message.contains("`alpha` → `beta` → `alpha`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn lock_order_consistent_order_is_clean() {
+        let f = prep_at(
+            "crates/a/src/lib.rs",
+            "pub fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+             pub fn also_ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n",
+        );
+        let an = analyses(&[&f]);
+        assert!(rule_lock_order(&[&f], &an).is_empty());
+    }
+
+    #[test]
+    fn lock_order_sequential_scopes_do_not_edge() {
+        // Each guard dies at its block's end before the next acquisition:
+        // no hold-while-acquiring, no edge, no cycle.
+        let f = prep_at(
+            "crates/a/src/lib.rs",
+            "pub fn ab(&self) {\n\
+                 { let a = self.alpha.lock(); }\n\
+                 { let b = self.beta.lock(); }\n\
+             }\n\
+             pub fn ba(&self) {\n\
+                 { let b = self.beta.lock(); }\n\
+                 { let a = self.alpha.lock(); }\n\
+             }\n",
+        );
+        let an = analyses(&[&f]);
+        assert!(rule_lock_order(&[&f], &an).is_empty());
+    }
+
+    #[test]
+    fn lock_order_interprocedural_cycle() {
+        let f = prep_at(
+            "crates/a/src/lib.rs",
+            "pub fn take_beta(&self) { let b = self.beta.lock(); }\n\
+             pub fn ab(&self) {\n\
+                 let a = self.alpha.lock();\n\
+                 self.take_beta();\n\
+             }\n\
+             pub fn ba(&self) {\n\
+                 let b = self.beta.lock();\n\
+                 let a = self.alpha.lock();\n\
+             }\n",
+        );
+        let an = analyses(&[&f]);
+        let d = rule_lock_order(&[&f], &an);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`take_beta`"), "{}", d[0].message);
     }
 
     #[test]

@@ -34,6 +34,10 @@ fn bad_fixture_trips_every_rule() {
         "atomic-ordering",
         "shared-static-mut",
         "allow-justification",
+        "nondet-reach",
+        "blocking-in-par",
+        "lock-order",
+        "panic-in-drop",
     ] {
         assert!(rules.contains(rule), "rule {rule} not tripped: {:?}", report.diagnostics);
     }
@@ -123,10 +127,27 @@ fn concurrency_rules_trip_exactly_the_seeded_sites() {
     // One bare allow marker; the justified one passes.
     assert_eq!(in_file("allow-justification", "conc/src/bare_allow.rs"), vec![5]);
     // One HashMap iteration reaching the codec; BTreeMap, sink-free,
-    // allow-marked, and test iterations pass.
+    // allow-marked, and test iterations pass. The same site also trips
+    // the transitive rule — one-hop and full-depth taint agree at depth 1.
     assert_eq!(in_file("map-iter-order", "emit/src/lib.rs"), vec![13]);
+    assert_eq!(in_file("nondet-reach", "emit/src/lib.rs"), vec![13]);
+    // Hash iterations reaching the JSON codec three hops away and the
+    // archive codec two hops away; the BTreeMap, allow-marked, and test
+    // iterations pass — and `map-iter-order` must stay silent (the sink
+    // is beyond its one-hop index; see the dedicated test below).
+    assert_eq!(in_file("nondet-reach", "deep/src/lib.rs"), vec![16, 39]);
+    // A direct `.lock()` on a worker, a transitive one through `bump`,
+    // and the same inside `rayon::scope`; the hoisted, allow-marked, and
+    // test sites pass.
+    assert_eq!(in_file("blocking-in-par", "parblock/src/lib.rs"), vec![14, 18, 23]);
+    // One two-lock cycle, reported once; the consistent order, the
+    // non-overlapping scopes, and the allow-marked cycle stay silent.
+    assert_eq!(in_file("lock-order", "locks/src/lib.rs"), vec![16]);
+    // A direct `unwrap()` in one destructor, a transitive panic in
+    // another; the allow-marked drop and the inherent `drop` pass.
+    assert_eq!(in_file("panic-in-drop", "dropper/src/lib.rs"), vec![21, 31]);
     // No rule fires anywhere else in these files.
-    for part in ["conc/", "emit/", "obs/"] {
+    for part in ["conc/", "emit/", "obs/", "deep/", "parblock/", "locks/", "dropper/"] {
         let extra: Vec<_> = report
             .diagnostics
             .iter()
@@ -140,6 +161,17 @@ fn concurrency_rules_trip_exactly_the_seeded_sites() {
                             | ("allow-justification", 5)
                             | ("map-iter-order", 13)
                     )
+                    && !(d.file.contains("emit/") && d.rule == "nondet-reach" && d.line == 13)
+                    && !(d.file.contains("deep/")
+                        && d.rule == "nondet-reach"
+                        && matches!(d.line, 16 | 39))
+                    && !(d.file.contains("parblock/")
+                        && d.rule == "blocking-in-par"
+                        && matches!(d.line, 14 | 18 | 23))
+                    && !(d.file.contains("locks/") && d.rule == "lock-order" && d.line == 16)
+                    && !(d.file.contains("dropper/")
+                        && d.rule == "panic-in-drop"
+                        && matches!(d.line, 21 | 31))
             })
             .collect();
         assert!(extra.is_empty(), "unexpected findings in {part}: {extra:?}");
@@ -163,6 +195,41 @@ fn map_iter_taint_crosses_files_through_the_symbol_index() {
         "finding should name the one-hop sink: {}",
         d.message
     );
+}
+
+/// The seeded three-hop chain in `crates/deep` — `digest` → `relay` →
+/// `emit_row` → `escape`, crossing three files — is caught by the full
+/// call-graph reachability and provably missed by the one-hop symbol
+/// index: neither `digest` nor `relay` is json-reaching at depth 1, so
+/// `map-iter-order` stays silent on the very line `nondet-reach` flags.
+#[test]
+fn nondet_taint_crosses_three_hops_beyond_the_one_hop_index() {
+    let report = xtask::audit(&fixture("bad")).expect("audit runs");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "nondet-reach" && d.file.contains("deep/src/lib.rs") && d.line == 16)
+        .expect("seeded three-hop taint finding");
+    assert!(
+        d.message.contains("`digest` → `relay` → `emit_row` → `escape`"),
+        "finding should render the full chain: {}",
+        d.message
+    );
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "map-iter-order" && d.file.contains("deep/")),
+        "the one-hop rule must miss the deep chain"
+    );
+    let one_hop = xtask::index::SymbolIndex::from_graph(&report.call_graph);
+    assert!(one_hop.json_reaching.contains("emit_row"), "depth 1 is indexed");
+    for beyond in ["relay", "digest"] {
+        assert!(
+            !one_hop.json_reaching.contains(beyond),
+            "`{beyond}` must be beyond the one-hop index"
+        );
+    }
 }
 
 #[test]

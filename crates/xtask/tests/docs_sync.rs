@@ -1,0 +1,58 @@
+//! Doc-sync gate: the README rule table is generated-by-hand from the
+//! in-engine rule registry, and this test keeps the two from drifting.
+//! Every rule in [`xtask::docs::RULE_DOCS`] must appear in the README
+//! table exactly once, in registry order, with the registry's `short`
+//! text verbatim in the second column — and the table must carry no
+//! rules the engine does not have.
+
+use std::path::Path;
+
+/// Parse `| `rule` | short |` rows out of the README's audit table.
+fn readme_rows() -> Vec<(String, String)> {
+    let readme = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    let text = std::fs::read_to_string(readme).expect("README.md readable");
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("| `") else { continue };
+        let Some((name, rest)) = rest.split_once("` | ") else { continue };
+        let Some(short) = rest.strip_suffix(" |") else { continue };
+        rows.push((name.to_string(), short.to_string()));
+    }
+    rows
+}
+
+#[test]
+fn readme_rule_table_matches_the_registry() {
+    let rows = readme_rows();
+    let docs = xtask::docs::RULE_DOCS;
+    assert_eq!(
+        rows.len(),
+        docs.len(),
+        "README table has {} rows, registry has {} rules: {:?}",
+        rows.len(),
+        docs.len(),
+        rows.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
+    for (row, doc) in rows.iter().zip(docs) {
+        assert_eq!(row.0, doc.name, "README row order diverges from the registry");
+        assert_eq!(
+            row.1, doc.short,
+            "README `rejects` text for `{}` diverges from the registry short",
+            doc.name
+        );
+    }
+}
+
+#[test]
+fn readme_rule_count_word_is_current() {
+    let readme = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    let text = std::fs::read_to_string(readme).expect("README.md readable");
+    let expected = match xtask::docs::RULE_DOCS.len() {
+        15 => "fifteen project rules",
+        n => panic!("registry grew to {n} rules — update README prose and this test"),
+    };
+    assert!(
+        text.contains(expected),
+        "README prose should say \"{expected}\""
+    );
+}

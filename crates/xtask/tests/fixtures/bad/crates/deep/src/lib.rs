@@ -1,0 +1,51 @@
+// Seeds `nondet-reach` violations only the transitive closure can see.
+//
+// `digest` → `relay` (this file) → `emit_row` (crates/emit/src/lib.rs) →
+// `escape` (crates/obs/src/json.rs) is a three-hop cross-file chain to
+// the JSON codec: the one-hop symbol index marks only `escape` and its
+// direct callers json-reaching, so `map-iter-order` must stay silent in
+// this file. `pack` reaches the hypersparse archive codec via `seal`.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn relay(k: u32) -> String {
+    emit_row(k)
+}
+
+pub fn digest(m: &HashMap<u32, u64>) {
+    for k in m.keys() {
+        relay(*k);
+    }
+}
+
+pub fn digest_sorted(m: &BTreeMap<u32, u64>) {
+    for k in m.keys() {
+        relay(*k);
+    }
+}
+
+pub fn digest_allowed(m: &HashMap<u32, u64>) {
+    // audit:allow(nondet-reach) — fixture: the marker must silence this site
+    for k in m.keys() {
+        relay(*k);
+    }
+}
+
+pub fn seal(buf: &[u8]) -> Vec<u8> {
+    obscor_hypersparse::serialize::encode(buf)
+}
+
+pub fn pack(m: &HashMap<u32, u64>) {
+    for k in m.keys() {
+        seal(&k.to_ne_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn digest_in_test(m: &std::collections::HashMap<u32, u64>) {
+        for k in m.keys() {
+            super::relay(*k);
+        }
+    }
+}

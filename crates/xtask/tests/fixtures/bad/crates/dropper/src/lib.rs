@@ -1,0 +1,52 @@
+// Seeds `panic-in-drop`: a direct `unwrap()` in `Drop for Flusher` and
+// a panic two calls away in `Drop for Spool`. The allow-marked drop and
+// the non-`Drop` inherent method named `drop` stay silent.
+
+pub fn must_flush(pending: &[u8]) {
+    if pending.len() > 4 {
+        panic!("flush overflow");
+    }
+}
+
+pub fn forward_flush(pending: &[u8]) {
+    must_flush(pending);
+}
+
+pub struct Flusher {
+    pub pending: Vec<u8>,
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.pending.pop().unwrap();
+    }
+}
+
+pub struct Spool {
+    pub pending: Vec<u8>,
+}
+
+impl Drop for Spool {
+    fn drop(&mut self) {
+        forward_flush(&self.pending);
+    }
+}
+
+pub struct Quiet {
+    pub pending: Vec<u8>,
+}
+
+impl Drop for Quiet {
+    fn drop(&mut self) {
+        // audit:allow(panic-in-drop) — fixture: the marker must silence this site
+        self.pending.pop().unwrap();
+    }
+}
+
+pub struct Manual;
+
+impl Manual {
+    pub fn drop(&mut self) {
+        must_flush(&[]);
+    }
+}

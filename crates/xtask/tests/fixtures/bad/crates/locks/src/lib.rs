@@ -1,0 +1,53 @@
+// Seeds `lock-order`: `transfer` takes `accounts` then `journal` while
+// `audit_log` takes them in the opposite order — a two-lock cycle in the
+// workspace lock graph. `settle` repeats the consistent order, the
+// scoped acquisitions in `report` never overlap, and the allow-marked
+// `alpha`/`beta` cycle is silenced at both witness sites.
+
+use std::sync::Mutex;
+
+pub struct Bank {
+    pub accounts: Mutex<Vec<u64>>,
+    pub journal: Mutex<Vec<String>>,
+}
+
+pub fn transfer(b: &Bank) {
+    let _a = b.accounts.lock();
+    let _j = b.journal.lock();
+}
+
+pub fn audit_log(b: &Bank) {
+    let _j = b.journal.lock();
+    let _a = b.accounts.lock();
+}
+
+pub fn settle(b: &Bank) {
+    let _a = b.accounts.lock();
+    let _j = b.journal.lock();
+}
+
+pub fn report(b: &Bank) {
+    {
+        let _a = b.accounts.lock();
+    }
+    {
+        let _j = b.journal.lock();
+    }
+}
+
+pub struct Pair {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn forward(p: &Pair) {
+    let _a = p.alpha.lock();
+    // audit:allow(lock-order) — fixture: the marker must silence this cycle
+    let _b = p.beta.lock();
+}
+
+pub fn backward(p: &Pair) {
+    let _b = p.beta.lock();
+    // audit:allow(lock-order) — fixture: the marker must silence this cycle
+    let _a = p.alpha.lock();
+}

@@ -1,0 +1,45 @@
+// Seeds `blocking-in-par`: a direct `.lock()` on a rayon worker, a call
+// to a helper that blocks one hop away, and the same helper inside a
+// `rayon::scope` spawn. The hoisted sequential lock, the allow-marked
+// site, and the test-module copy stay silent.
+
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+pub fn bump(slot: &Mutex<u64>) {
+    let _g = slot.lock();
+}
+
+pub fn tally(items: &[u64], slot: &Mutex<u64>) -> u64 {
+    items.par_iter().map(|x| { let _g = slot.lock(); x + 1 }).sum()
+}
+
+pub fn tally_via_helper(items: &[u64], slot: &Mutex<u64>) {
+    items.par_iter().for_each(|_x| bump(slot));
+}
+
+pub fn tally_scoped(items: &[u64], slot: &Mutex<u64>) {
+    rayon::scope(|s| {
+        s.spawn(|_s2| bump(slot));
+    });
+}
+
+pub fn tally_hoisted(items: &[u64], slot: &Mutex<u64>) -> u64 {
+    let _g = slot.lock();
+    items.par_iter().map(|x| x + 1).sum()
+}
+
+pub fn tally_allowed(items: &[u64], slot: &Mutex<u64>) -> u64 {
+    items
+        .par_iter()
+        // audit:allow(blocking-in-par) — fixture: the marker must silence this site
+        .map(|x| { let _g = slot.lock(); x + 1 })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn tally_in_test(items: &[u64], slot: &std::sync::Mutex<u64>) -> u64 {
+        items.par_iter().map(|x| { let _g = slot.lock(); x + 1 }).sum()
+    }
+}

@@ -1,0 +1,27 @@
+// Transitive-taint negatives for `nondet-reach`: ordered iteration
+// feeding a call chain, and hash iteration whose sinks never reach a
+// codec.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn render(k: u32) -> String {
+    format!("{k}")
+}
+
+pub fn relay(k: u32) -> String {
+    render(k)
+}
+
+pub fn digest_sorted(m: &BTreeMap<u32, u64>) {
+    for k in m.keys() {
+        relay(*k);
+    }
+}
+
+pub fn tally(m: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}

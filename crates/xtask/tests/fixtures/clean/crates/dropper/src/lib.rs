@@ -1,0 +1,26 @@
+// `panic-in-drop` negatives: an infallible destructor, and an inherent
+// method named `drop` that is not `Drop::drop`.
+
+pub fn must_flush(pending: &[u8]) {
+    if pending.len() > 4 {
+        panic!("flush overflow");
+    }
+}
+
+pub struct Flusher {
+    pub pending: Vec<u8>,
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        let _ = self.pending.pop();
+    }
+}
+
+pub struct Manual;
+
+impl Manual {
+    pub fn drop(&mut self) {
+        must_flush(&[]);
+    }
+}

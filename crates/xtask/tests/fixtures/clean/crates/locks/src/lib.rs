@@ -1,0 +1,19 @@
+// `lock-order` negatives: every function takes `accounts` before
+// `journal`, so the workspace lock graph is a straight line — no cycle.
+
+use std::sync::Mutex;
+
+pub struct Bank {
+    pub accounts: Mutex<Vec<u64>>,
+    pub journal: Mutex<Vec<String>>,
+}
+
+pub fn transfer(b: &Bank) {
+    let _a = b.accounts.lock();
+    let _j = b.journal.lock();
+}
+
+pub fn settle(b: &Bank) {
+    let _a = b.accounts.lock();
+    let _j = b.journal.lock();
+}

@@ -1,0 +1,10 @@
+// `blocking-in-par` negatives: the lock is taken before the parallel
+// extent begins, and only lock-free math runs on the rayon workers.
+
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+pub fn tally(items: &[u64], slot: &Mutex<u64>) -> u64 {
+    let base = *slot.lock().unwrap_or_else(|e| e.into_inner());
+    items.par_iter().map(|x| x + base).sum()
+}

@@ -1,0 +1,160 @@
+//! Lexer/blanker edge cases: raw strings, byte strings, and nested block
+//! comments.
+//!
+//! The audit engine's precision rests on the blanking pass — rule code
+//! matches tokens, so anything a string or comment smuggles past the
+//! blanker becomes a phantom finding (an `unwrap` inside an error
+//! message, a `HashMap` in a doc string). These tests pin the tricky
+//! literal forms with fixtures and then fuzz them with properties over
+//! arbitrary payloads and nesting depths.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use xtask::lex::TokKind;
+use xtask::scan::SourceFile;
+
+fn prep(src: &str) -> SourceFile {
+    SourceFile::from_source(PathBuf::from("mem.rs"), "mem.rs".into(), src.to_string())
+}
+
+/// All Ident token texts in the blanked code.
+fn idents(f: &SourceFile) -> Vec<&str> {
+    f.toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| &f.code[t.start..t.end])
+        .collect()
+}
+
+#[test]
+fn raw_string_contents_are_blanked() {
+    let f = prep("let p = r#\"x.unwrap() as u32 HashMap\"#;\nlet q = 2;\n");
+    for leaked in ["unwrap", "u32", "HashMap", "as"] {
+        assert!(!idents(&f).contains(&leaked), "`{leaked}` leaked: {:?}", idents(&f));
+    }
+    // The trailing code still lexes, on the right line.
+    let q = f.toks.iter().find(|t| &f.code[t.start..t.end] == "q").expect("q survives");
+    assert_eq!(q.line, 2);
+}
+
+#[test]
+fn raw_string_hash_depth_is_respected() {
+    // The `"#` inside must NOT terminate the `r##"..."##` literal.
+    let f = prep("let p = r##\"decoy\"# unwrap()\"##;\nlet q = 1;\n");
+    assert!(!idents(&f).contains(&"unwrap"), "decoy terminator honored: {:?}", idents(&f));
+    assert!(idents(&f).contains(&"q"));
+}
+
+#[test]
+fn multiline_raw_strings_keep_line_numbers() {
+    let f = prep("let p = r#\"one\ntwo\nthree\"#;\nlet q = 4;\n");
+    assert_eq!(f.code.lines().count(), f.raw.lines().count());
+    let q = f.toks.iter().find(|t| &f.code[t.start..t.end] == "q").expect("q survives");
+    assert_eq!(q.line, 4);
+}
+
+#[test]
+fn byte_strings_and_byte_raw_strings_are_blanked() {
+    let f = prep("let a = b\"panic! \\\" unwrap\"; let b2 = br#\"as u32 \"quoted\" lock\"#;\n");
+    for leaked in ["panic", "unwrap", "u32", "quoted", "lock"] {
+        assert!(!idents(&f).contains(&leaked), "`{leaked}` leaked: {:?}", idents(&f));
+    }
+    assert!(idents(&f).contains(&"b2"));
+}
+
+#[test]
+fn raw_prefix_requires_a_token_boundary() {
+    // `writer"x"` is an ident followed by a plain string, not a raw string
+    // — the blanker must not swallow to some imagined `"#` terminator.
+    let f = prep("let w = writer\"x\"; let tail = 1;\n");
+    assert!(idents(&f).contains(&"writer"));
+    assert!(idents(&f).contains(&"tail"));
+    // And a bare `br` identifier is not a byte-raw prefix.
+    let g = prep("let br = 1; let after = 2;\n");
+    assert!(idents(&g).contains(&"br"));
+    assert!(idents(&g).contains(&"after"));
+}
+
+#[test]
+fn nested_block_comments_are_blanked_to_full_depth() {
+    let f = prep("/* outer /* inner unwrap() */ still HashMap */ fn f() {}\n");
+    assert_eq!(idents(&f), vec!["fn", "f"], "comment payload leaked");
+    let g = prep("/* a\n/* b\n*/\nc */\nfn g() {}\n");
+    assert_eq!(idents(&g), vec!["fn", "g"]);
+    let tok = g.toks.iter().find(|t| &g.code[t.start..t.end] == "g").expect("g survives");
+    assert_eq!(tok.line, 5, "line numbers survive multiline nested comments");
+}
+
+#[test]
+fn delimiters_inside_literals_do_not_skew_matching() {
+    let src = "fn f() { g(r#\"((({\"#, b\"}}))\"); }\n";
+    let f = prep(src);
+    // The parser found exactly one fn item with a body despite the
+    // unbalanced delimiters inside the two literals.
+    let body = f.items.iter().find_map(|it| it.body).expect("fn body parsed");
+    assert_eq!(&f.code[f.toks[body.0].start..f.toks[body.0].end], "{");
+    assert_eq!(&f.code[f.toks[body.1].start..f.toks[body.1].end], "}");
+}
+
+proptest! {
+    /// No payload characters survive blanking inside `r#"..."#`: every
+    /// identifier token in the lexed file comes from the code skeleton.
+    #[test]
+    fn raw_string_payload_never_leaks(payload in "[a-zA-Z0-9 ]{0,12}") {
+        let src = format!("fn f() {{ let s = r#\"{payload}\"#; }}\n");
+        let f = prep(&src);
+        for id in idents(&f) {
+            prop_assert!(
+                matches!(id, "fn" | "f" | "let" | "s" | "r"),
+                "leaked ident `{}` from payload `{}`", id, payload
+            );
+        }
+    }
+
+    /// Byte-string payloads are equally inert.
+    #[test]
+    fn byte_string_payload_never_leaks(payload in "[a-zA-Z0-9 ]{0,12}") {
+        let src = format!("fn f() {{ let s = b\"{payload}\"; }}\n");
+        let f = prep(&src);
+        for id in idents(&f) {
+            prop_assert!(
+                matches!(id, "fn" | "f" | "let" | "s" | "b"),
+                "leaked ident `{}` from payload `{}`", id, payload
+            );
+        }
+    }
+
+    /// Arbitrarily deep nested block comments blank completely and the
+    /// code after them lexes as if the comment were a single space.
+    #[test]
+    fn nested_comments_blank_at_any_depth(depth in 1usize..8, payload in "[a-z]{1,6}") {
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("{open} {payload} {close}\nfn g() {{}}\n");
+        let f = prep(&src);
+        prop_assert_eq!(idents(&f), vec!["fn", "g"]);
+        let g_tok = f
+            .toks
+            .iter()
+            .find(|t| &f.code[t.start..t.end] == "g")
+            .expect("g survives");
+        prop_assert_eq!(g_tok.line, 2);
+    }
+
+    /// Blanking never changes the file's line structure, whatever mix of
+    /// raw-string lines the payload contributes.
+    #[test]
+    fn blanking_preserves_line_counts(
+        lines in proptest::collection::vec("[a-zA-Z0-9 ]{0,8}", 0..5),
+    ) {
+        let src = format!("let s = r#\"{}\"#;\nlet t = 1;\n", lines.join("\n"));
+        let f = prep(&src);
+        prop_assert_eq!(f.code.lines().count(), f.raw.lines().count());
+        let t_tok = f
+            .toks
+            .iter()
+            .find(|t| &f.code[t.start..t.end] == "t")
+            .expect("t survives");
+        prop_assert_eq!(t_tok.line, f.raw.lines().count());
+    }
+}
