@@ -5,9 +5,11 @@
 //! fast path against the differential oracle it replaced (serial sort
 //! compaction vs the radix kernel, uncached CryptoPAN vs the memoized
 //! prefix table, string key sets vs numeric key sets) and writes the
-//! comparison as `BENCH_ingest.json` (schema `obscor.bench.ingest.v1`,
-//! path override `OBSCOR_BENCH_INGEST_OUT`) — the before/after record
-//! DESIGN.md §12 and CI's bench-smoke step point at.
+//! comparison — plus sustained `telescope::stream` throughput rows at
+//! several worker counts — as `BENCH_ingest.json` (schema
+//! `obscor.bench.ingest.v2`, path override `OBSCOR_BENCH_INGEST_OUT`) —
+//! the before/after record DESIGN.md §12 and CI's bench-smoke step
+//! point at.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use obscor_anonymize::{CryptoPan, MemoCryptoPan};
@@ -16,7 +18,7 @@ use obscor_bench::fixture;
 use obscor_hypersparse::{Coo, Index};
 use obscor_netmodel::{PacketStream, TrafficConfig};
 use obscor_pcap::{AcceptAll, ConstantPacketWindower, PcapReader, PcapWriter};
-use obscor_telescope::{capture_window, matrix};
+use obscor_telescope::{capture_window, matrix, IngestConfig, IngestService};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -35,6 +37,15 @@ impl Comparison {
     fn speedup(&self) -> f64 {
         self.baseline_ns as f64 / (self.fast_ns.max(1)) as f64
     }
+}
+
+/// One sustained-throughput row of the streaming section.
+struct StreamingRow {
+    workers: usize,
+    queue_depth: usize,
+    window_packets: usize,
+    median_ns: u64,
+    packets_per_sec: f64,
 }
 
 /// Median of `reps` timed runs of `f` (wall-clock, via the obs stopwatch).
@@ -114,6 +125,33 @@ fn ingest_report(n_v: usize, seed: u64) {
     let comparisons =
         [compaction, cryptopan_scalar, cryptopan_batched, matrix_build, overlap];
 
+    // 5. Sustained streaming throughput: the same captured window pushed
+    //    through the `telescope::stream` service at several worker
+    //    counts, as packets/sec over the median wall-clock of a full
+    //    window (push → shard → compact → fold → snapshot → drain).
+    let coords: Vec<(u32, u32)> =
+        w.window.packets.iter().map(|p| (p.src.0, p.dst.0)).collect();
+    let streaming: Vec<StreamingRow> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&workers| {
+            let cfg = IngestConfig::new(workers, coords.len());
+            let median = median_ns(INGEST_REPS, || {
+                let mut svc = IngestService::new(cfg.clone());
+                svc.push_pairs(&coords);
+                let (snaps, drain) = svc.finish();
+                assert!(drain.is_exact(), "bench drain must be exact");
+                snaps
+            });
+            StreamingRow {
+                workers,
+                queue_depth: cfg.queue_depth,
+                window_packets: coords.len(),
+                median_ns: median,
+                packets_per_sec: coords.len() as f64 * 1e9 / median.max(1) as f64,
+            }
+        })
+        .collect();
+
     eprintln!("\n=== WINDOW INGEST FAST PATH (N_V = {n_v}) ===");
     eprintln!("memo_table_build {table_build_ns} ns");
     for c in &comparisons {
@@ -125,10 +163,16 @@ fn ingest_report(n_v: usize, seed: u64) {
             c.speedup()
         );
     }
+    for r in &streaming {
+        eprintln!(
+            "streaming workers={} depth={}            median {:>12} ns  {:>12.0} packets/sec",
+            r.workers, r.queue_depth, r.median_ns, r.packets_per_sec
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"obscor.bench.ingest.v1\",\n");
+    json.push_str("  \"schema\": \"obscor.bench.ingest.v2\",\n");
     json.push_str(&format!("  \"n_v\": {n_v},\n"));
     json.push_str(&format!("  \"reps\": {INGEST_REPS},\n"));
     json.push_str(&format!("  \"memo_table_build_ns\": {table_build_ns},\n"));
@@ -141,6 +185,19 @@ fn ingest_report(n_v: usize, seed: u64) {
             c.fast_ns,
             c.speedup(),
             if i + 1 < comparisons.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"streaming\": [\n");
+    for (i, r) in streaming.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"queue_depth\": {}, \"window_packets\": {}, \"median_ns\": {}, \"packets_per_sec\": {:.0}}}{}\n",
+            r.workers,
+            r.queue_depth,
+            r.window_packets,
+            r.median_ns,
+            r.packets_per_sec,
+            if i + 1 < streaming.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

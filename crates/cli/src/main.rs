@@ -20,7 +20,7 @@
 use obscor_core::{pipeline, AnalysisConfig, ArchiveConfig};
 use obscor_netmodel::Scenario;
 use obscor_pcap::PcapWriter;
-use obscor_telescope::{capture_window, FaultPlan};
+use obscor_telescope::{capture_window, stream, FaultPlan, IngestConfig, IngestService};
 use std::process::ExitCode;
 
 const DEFAULT_NV: usize = 1 << 20;
@@ -43,10 +43,22 @@ const USAGE: &str = "usage:
                    [--metrics FILE] [--fast-path-metrics]
                    [--fault-plan SEED:RATE] [--strict-archive]
   obscor generate  [--nv N] [--seed S] [--window 0..4] [--filter EXPR] --out FILE
+  obscor serve     [--nv N] [--seed S] [--window 0..4] [--workers W]
+                   [--window-packets P] [--queue-depth D] [--windows K]
+                   [--anonymize] [--check] [--metrics FILE]
   obscor forecast  [--nv N] [--seed S] [--cutoff K]
   obscor info      [--nv N] [--seed S]
 
 Flags given without a subcommand run `reproduce` (e.g. `obscor --metrics m.json`).
+serve runs the streaming line-rate ingest service on the scenario's live
+traffic stream: packets are sharded over --workers threads through bounded
+queues (depth --queue-depth; full queues block the producer, never drop),
+leaves compact through the radix kernel as they fill, and one `snapshot` line
+is printed per closed window (--windows windows of --window-packets valid
+packets each, defaulting to N_V). --anonymize applies line-rate memoized
+CryptoPAN inside the workers. --check verifies each streamed window against
+the batch-built matrix of the same packets. --metrics writes the run's
+telescope.ingest.* observability delta as obscor.metrics.v1 JSON.
 --metrics FILE writes the run's per-stage observability report (span timings,
 counters, gauges) as obscor.metrics.v1 JSON.
 --fast-path-metrics additionally records the opt-in ingest fast-path metrics
@@ -75,6 +87,11 @@ struct Options {
     fast_path_metrics: bool,
     fault_plan: Option<FaultPlan>,
     strict_archive: bool,
+    workers: usize,
+    window_packets: Option<usize>,
+    queue_depth: usize,
+    serve_windows: usize,
+    anonymize: bool,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -93,6 +110,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
         fast_path_metrics: false,
         fault_plan: None,
         strict_archive: false,
+        workers: 4,
+        window_packets: None,
+        queue_depth: 4,
+        serve_windows: 3,
+        anonymize: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -121,6 +143,34 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--fast-path-metrics" => o.fast_path_metrics = true,
             "--fault-plan" => o.fault_plan = Some(FaultPlan::parse(&value("--fault-plan")?)?),
             "--strict-archive" => o.strict_archive = true,
+            "--workers" => {
+                o.workers = value("--workers")?.parse().map_err(|_| "bad --workers")?;
+                if o.workers == 0 {
+                    return Err("--workers must be positive".into());
+                }
+            }
+            "--window-packets" => {
+                let v = value("--window-packets")?;
+                let p = parse_nv(&v).map_err(|_| "bad --window-packets")?;
+                if p == 0 {
+                    return Err("--window-packets must be positive".into());
+                }
+                o.window_packets = Some(p);
+            }
+            "--queue-depth" => {
+                o.queue_depth =
+                    value("--queue-depth")?.parse().map_err(|_| "bad --queue-depth")?;
+                if o.queue_depth == 0 {
+                    return Err("--queue-depth must be positive".into());
+                }
+            }
+            "--windows" => {
+                o.serve_windows = value("--windows")?.parse().map_err(|_| "bad --windows")?;
+                if o.serve_windows == 0 {
+                    return Err("--windows must be positive".into());
+                }
+            }
+            "--anonymize" => o.anonymize = true,
             "--cutoff" => {
                 o.cutoff = value("--cutoff")?.parse().map_err(|_| "bad --cutoff")?;
                 if !(4..15).contains(&o.cutoff) {
@@ -157,6 +207,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     match cmd.as_str() {
         "reproduce" => reproduce(o),
         "generate" => generate(o),
+        "serve" => serve(o),
         "forecast" => forecast(o),
         "info" => info(o),
         "help" | "--help" | "-h" => {
@@ -305,6 +356,136 @@ fn generate(o: Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Key used by `serve --anonymize` (a fixed demo key, like `generate`'s
+/// fixed seed defaults — real deployments would load one).
+const SERVE_ANON_KEY: [u8; 32] = [0x5Au8; 32];
+
+fn serve(o: Options) -> Result<(), String> {
+    use obscor_pcap::PacketFilter;
+    let scenario = build_scenario(&o);
+    let window_packets = o.window_packets.unwrap_or(scenario.n_v);
+    let mut cfg = IngestConfig::new(o.workers, window_packets);
+    cfg.queue_depth = o.queue_depth;
+    stream::enable_ingest_metrics();
+    let before = obscor_obs::snapshot();
+    let spec = &scenario.caida_windows[o.window];
+    eprintln!(
+        "serving {} windows x {} packets from instant {} ({} workers, queue depth {}{})",
+        o.serve_windows,
+        window_packets,
+        spec.label,
+        o.workers,
+        o.queue_depth,
+        if o.anonymize { ", anonymized" } else { "" }
+    );
+    let octet = scenario.population.config.darkspace_octet;
+    let (source, filter) =
+        obscor_telescope::window_traffic_source(&scenario, spec, octet);
+    let mut svc = if o.anonymize {
+        IngestService::with_anonymizer(
+            cfg,
+            obscor_anonymize::MemoCryptoPan::new(&SERVE_ANON_KEY),
+        )
+    } else {
+        IngestService::new(cfg)
+    };
+    // --check retains each open window's packets and rebuilds the batch
+    // oracle at close; the streamed matrix must be byte-equal.
+    let mut oracle: Vec<(u32, u32)> = Vec::new();
+    let mut checked = 0usize;
+    let target = (o.serve_windows * window_packets) as u64;
+    let mut fed = 0u64;
+    let mut emit = |snap: &obscor_telescope::WindowSnapshot,
+                    oracle: &mut Vec<(u32, u32)>|
+     -> Result<(), String> {
+        if o.check {
+            let taken: Vec<_> = oracle.drain(..snap.packets as usize).collect();
+            let batch = batch_oracle_matrix(&taken, o.anonymize);
+            if batch != snap.matrix {
+                return Err(format!("window {} diverged from the batch build", snap.index));
+            }
+            checked += 1;
+        }
+        println!(
+            "snapshot window={} packets={} nnz={} sources={} leaves={} merges={} partial={}",
+            snap.index,
+            snap.packets,
+            snap.matrix.nnz(),
+            snap.matrix.n_rows(),
+            snap.leaves,
+            snap.merges,
+            snap.partial
+        );
+        Ok(())
+    };
+    for p in source {
+        if !filter.accept(&p) {
+            continue;
+        }
+        svc.push(p.src.0, p.dst.0);
+        if o.check {
+            oracle.push((p.src.0, p.dst.0));
+        }
+        fed += 1;
+        while let Some(snap) = svc.try_snapshot() {
+            emit(&snap, &mut oracle)?;
+        }
+        if fed >= target {
+            break;
+        }
+    }
+    let (rest, drain) = svc.finish();
+    for snap in rest {
+        emit(&snap, &mut oracle)?;
+    }
+    println!(
+        "drain received={} compacted={} in_flight={} windows={} blocked={} partial={}",
+        drain.received,
+        drain.compacted,
+        drain.in_flight,
+        drain.windows_closed,
+        drain.blocked,
+        drain.partial_flushed
+    );
+    if !drain.is_exact() {
+        return Err(format!("drain accounting is not exact: {drain:?}"));
+    }
+    if o.check {
+        eprintln!("check: {checked}/{} windows byte-equal to the batch build", o.serve_windows);
+    }
+    if let Some(path) = &o.metrics {
+        let delta = obscor_obs::snapshot().delta_since(&before);
+        let json = delta.to_json();
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} metrics ({} bytes) to {path}",
+            delta.metric_names().len(),
+            json.len()
+        );
+    }
+    Ok(())
+}
+
+/// The batch path's matrix for one serve window: the same accumulator
+/// construction `telescope::matrix::build_matrix_with` uses, applied to the
+/// retained packet list.
+fn batch_oracle_matrix(pairs: &[(u32, u32)], anonymize: bool) -> obscor_hypersparse::Csr<u64> {
+    use obscor_hypersparse::HierarchicalAccumulator;
+    let leaf = (pairs.len() / obscor_telescope::matrix::PAPER_LEAF_COUNT).max(1024);
+    let mut acc = HierarchicalAccumulator::with_leaf_capacity(leaf);
+    if anonymize {
+        let pan = obscor_anonymize::MemoCryptoPan::new(&SERVE_ANON_KEY);
+        for &(s, d) in pairs {
+            acc.push_edge(pan.anonymize(s), pan.anonymize(d));
+        }
+    } else {
+        for &(s, d) in pairs {
+            acc.push_edge(s, d);
+        }
+    }
+    acc.finalize()
+}
+
 fn forecast(o: Options) -> Result<(), String> {
     use obscor_core::forecast::forecast_all;
     use obscor_core::temporal::temporal_curves;
@@ -405,6 +586,40 @@ mod tests {
     #[test]
     fn unknown_flags_rejected() {
         assert!(parse(&args("--frobnicate")).is_err());
+    }
+
+    #[test]
+    fn serve_flag_defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.queue_depth, 4);
+        assert_eq!(o.serve_windows, 3);
+        assert!(o.window_packets.is_none());
+        assert!(!o.anonymize);
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let o = parse(&args(
+            "--workers 8 --window-packets 2^12 --queue-depth 2 --windows 5 --anonymize",
+        ))
+        .unwrap();
+        assert_eq!(o.workers, 8);
+        assert_eq!(o.window_packets, Some(1 << 12));
+        assert_eq!(o.queue_depth, 2);
+        assert_eq!(o.serve_windows, 5);
+        assert!(o.anonymize);
+        // --window-packets shares parse_nv, so plain integers work too.
+        assert_eq!(parse(&args("--window-packets 1500")).unwrap().window_packets, Some(1500));
+    }
+
+    #[test]
+    fn serve_flags_reject_zero_and_garbage() {
+        assert!(parse(&args("--workers 0")).is_err());
+        assert!(parse(&args("--workers x")).is_err());
+        assert!(parse(&args("--queue-depth 0")).is_err());
+        assert!(parse(&args("--windows 0")).is_err());
+        assert!(parse(&args("--window-packets 0")).is_err());
     }
 
     #[test]

@@ -90,8 +90,53 @@ impl<V: Value> HierarchicalAccumulator<V> {
         obscor_obs::histogram("hypersparse.leaf_compact.triples")
             .observe(self.buffer.len() as u64);
         let leaf = std::mem::replace(&mut self.buffer, Coo::with_capacity(self.leaf_capacity));
-        let mut carry = leaf.into_csr();
+        let carry = leaf.into_csr();
         self.stats.leaves += 1;
+        self.carry_in(carry);
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(msg) = self.check_invariants() {
+                // audit:allow(panic-path) — strict-invariants mode aborts on broken invariants by contract
+                panic!("accumulator invalid after leaf flush: {msg}");
+            }
+        }
+    }
+
+    /// Insert a pre-compacted CSR leaf directly into the binary carry chain.
+    ///
+    /// This is the streaming-ingest entry point (`telescope::stream`): worker
+    /// threads compact their own leaves through the radix kernel, and the
+    /// window collector folds them — in deterministic sequence order — into
+    /// one accumulator without round-tripping back through triples. Any
+    /// buffered partial leaf is flushed first so it keeps its place ahead of
+    /// the incoming leaf in the merge order. Empty leaves are ignored.
+    ///
+    /// Counting convention: the leaf's stored entries are added to
+    /// `stats.pushed` (the original pre-dedup triple count is gone after
+    /// compaction), and the leaf itself increments `stats.leaves`, so the
+    /// binary-counter law `merges == leaves - popcount(leaves)` keeps
+    /// holding.
+    pub fn push_csr_leaf(&mut self, leaf: Csr<V>) {
+        if leaf.is_empty() {
+            return;
+        }
+        self.flush_leaf();
+        self.stats.pushed += leaf.nnz() as u64;
+        self.stats.leaves += 1;
+        self.carry_in(leaf);
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(msg) = self.check_invariants() {
+                // audit:allow(panic-path) — strict-invariants mode aborts on broken invariants by contract
+                panic!("accumulator invalid after csr leaf push: {msg}");
+            }
+        }
+    }
+
+    /// Carry one compacted leaf up the level chain, merging binary-counter
+    /// style: level `k` holds the sum of `2^k` leaves, a collision merges
+    /// and propagates upward.
+    fn carry_in(&mut self, mut carry: Csr<V>) {
         let mut k = 0usize;
         loop {
             if k == self.levels.len() {
@@ -109,13 +154,6 @@ impl<V: Value> HierarchicalAccumulator<V> {
                     obscor_obs::counter("hypersparse.accumulator.carry_merges_total").inc();
                     k += 1;
                 }
-            }
-        }
-        #[cfg(feature = "strict-invariants")]
-        {
-            if let Err(msg) = self.check_invariants() {
-                // audit:allow(panic-path) — strict-invariants mode aborts on broken invariants by contract
-                panic!("accumulator invalid after leaf flush: {msg}");
             }
         }
     }
@@ -307,6 +345,54 @@ mod tests {
     #[should_panic(expected = "leaf capacity")]
     fn zero_leaf_capacity_panics() {
         let _ = HierarchicalAccumulator::<u64>::with_leaf_capacity(0);
+    }
+
+    #[test]
+    fn csr_leaves_equal_triple_pushes() {
+        // Pushing pre-compacted CSR leaves reproduces the matrix built from
+        // the underlying triples, for every partition of the input.
+        let t = triples(4_000);
+        let flat = accumulate_flat(t.clone());
+        for chunk in [1usize, 37, 256, 4_000] {
+            let mut acc = HierarchicalAccumulator::with_leaf_capacity(64);
+            for part in t.chunks(chunk) {
+                acc.push_csr_leaf(Coo::from_triples(part.iter().copied()).into_csr());
+            }
+            assert_eq!(acc.finalize(), flat, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn csr_leaves_interleave_with_triples() {
+        // A buffered partial leaf is flushed ahead of an incoming CSR leaf,
+        // so mixing the two entry points still conserves every triple.
+        let t = triples(1_000);
+        let mut acc = HierarchicalAccumulator::with_leaf_capacity(128);
+        acc.extend(t[..300].iter().copied());
+        acc.push_csr_leaf(Coo::from_triples(t[300..700].iter().copied()).into_csr());
+        acc.extend(t[700..].iter().copied());
+        assert_eq!(acc.finalize(), accumulate_flat(t));
+    }
+
+    #[test]
+    fn csr_leaf_stats_obey_binary_counter_law() {
+        let t = triples(2_048);
+        let mut acc = HierarchicalAccumulator::<u64>::with_leaf_capacity(64);
+        for part in t.chunks(128) {
+            acc.push_csr_leaf(Coo::from_triples(part.iter().copied()).into_csr());
+        }
+        let s = acc.stats();
+        assert_eq!(s.leaves, 16);
+        assert_eq!(s.merges, s.leaves - u64::from(s.leaves.count_ones()));
+        assert!(acc.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn empty_csr_leaf_is_ignored() {
+        let mut acc = HierarchicalAccumulator::<u64>::new();
+        acc.push_csr_leaf(Csr::empty());
+        assert_eq!(acc.stats().leaves, 0);
+        assert!(acc.finalize().is_empty());
     }
 
     #[test]

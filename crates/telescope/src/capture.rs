@@ -74,6 +74,32 @@ pub fn capture_window_at(
     w
 }
 
+/// The seeded endless packet stream and darkspace validity filter behind
+/// [`capture_window_at`] — the single source of truth for how a sampling
+/// instant's traffic is generated. Public so the streaming ingest service
+/// (`telescope::stream`, `cli serve`) can drain the *same* deterministic
+/// source the batch capture path reads, which is what makes the
+/// streamed-vs-batch differential tests byte-exact.
+pub fn window_traffic_source<'a>(
+    scenario: &'a Scenario,
+    spec: &CaidaWindowSpec,
+    octet: u8,
+) -> (PacketStream<'a, StdRng>, crate::darkspace::DarkspaceFilter) {
+    let ds = Darkspace::slash8(octet, scenario.traffic.n_allocated);
+    let start_micros = (spec.coord * SECS_PER_MONTH * 1e6) as u64;
+    let rng =
+        StdRng::seed_from_u64(scenario.seed ^ spec.coord.to_bits() ^ ((octet as u64) << 48));
+    let stream = PacketStream::at_instant_toward(
+        &scenario.population,
+        spec.coord,
+        scenario.traffic,
+        octet,
+        start_micros,
+        rng,
+    );
+    (stream, ds.validity_filter())
+}
+
 /// The capture itself, with no metric recording.
 ///
 /// This is the body the parallel driver runs on rayon workers: the
@@ -87,20 +113,8 @@ fn capture_window_quiet(
     octet: u8,
 ) -> TelescopeWindow {
     let _span = obscor_obs::span("telescope.capture_window");
-    let ds = Darkspace::slash8(octet, scenario.traffic.n_allocated);
-    let start_micros = (spec.coord * SECS_PER_MONTH * 1e6) as u64;
-    let rng =
-        StdRng::seed_from_u64(scenario.seed ^ spec.coord.to_bits() ^ ((octet as u64) << 48));
-    let stream = PacketStream::at_instant_toward(
-        &scenario.population,
-        spec.coord,
-        scenario.traffic,
-        octet,
-        start_micros,
-        rng,
-    );
-    let mut windower =
-        ConstantPacketWindower::new(stream, ds.validity_filter(), scenario.n_v);
+    let (stream, filter) = window_traffic_source(scenario, spec, octet);
+    let mut windower = ConstantPacketWindower::new(stream, filter, scenario.n_v);
     let window = windower
         .next()
         // audit:allow(panic-path) — the synthetic traffic stream is infinite by construction, so the windower can never run dry; a None here is a programming error

@@ -17,12 +17,17 @@ pub mod darkspace;
 pub mod faults;
 pub mod inventory;
 pub mod matrix;
+pub mod stream;
 
 pub use archive::{
     archive_window, restore_matrix, DegradedRestore, LeafFault, LeafSource, QuarantinedLeaf,
     RecoveringRestore, RestoreReport, RetryPolicy, WindowArchive,
 };
 pub use faults::{Fault, FaultKind, FaultPlan, FaultyArchive, ALL_FAULT_KINDS};
-pub use capture::{capture_all_windows, capture_window, capture_window_at, TelescopeWindow};
+pub use capture::{
+    capture_all_windows, capture_window, capture_window_at, window_traffic_source,
+    TelescopeWindow,
+};
 pub use darkspace::Darkspace;
 pub use inventory::{inventory, InventoryRow};
+pub use stream::{DrainReport, IngestConfig, IngestService, WindowSnapshot};

@@ -1,4 +1,4 @@
-//! Integration: the ingest fast-path metrics are *opt-in*.
+//! Integration: the ingest fast-path and streaming metrics are *opt-in*.
 //!
 //! The default 80-name schema is pinned byte-for-byte by
 //! `tests/metrics_schema.rs`; this binary (a separate process, so the
@@ -6,18 +6,21 @@
 //! opt-in contract:
 //!
 //! 1. with the flags off, the fast paths emit **nothing** under
-//!    `hypersparse.radix.*` / `anonymize.cache.*`, and
-//! 2. once [`obscor::hypersparse::radix::enable_metrics`] and
-//!    [`obscor::anonymize::memo::enable_cache_metrics`] are called, the
-//!    exact documented name set appears — and nothing else.
+//!    `hypersparse.radix.*` / `anonymize.cache.*` /
+//!    `telescope.ingest.*` / `ingest.backpressure.*`, and
+//! 2. once [`obscor::hypersparse::radix::enable_metrics`],
+//!    [`obscor::anonymize::memo::enable_cache_metrics`], and
+//!    [`obscor::telescope::stream::enable_ingest_metrics`] are called,
+//!    the exact documented name set appears — and nothing else.
 
 use obscor::anonymize::memo::{self, MemoCryptoPan};
 use obscor::hypersparse::{radix, Coo};
+use obscor::telescope::{stream, IngestConfig, IngestService};
 
 /// Every opt-in name, sorted — the schema-pin strategy applied to the
 /// fast-path metrics (a new name must be added here and to DESIGN.md §12
 /// deliberately).
-const OPTIN_NAMES: [&str; 11] = [
+const OPTIN_NAMES: [&str; 16] = [
     "anonymize.cache.batch_dup_hits_total",
     "anonymize.cache.prefix_hits_total",
     "anonymize.cache.suffix_aes_total",
@@ -27,14 +30,21 @@ const OPTIN_NAMES: [&str; 11] = [
     "hypersparse.radix.digit_passes_total",
     "hypersparse.radix.keys_total",
     "hypersparse.radix.skipped_digits_total",
+    "ingest.backpressure.blocked",
     "span.hypersparse.radix.digit_passes.calls_total",
     "span.hypersparse.radix.digit_passes.ns",
+    "telescope.ingest.leaves_total",
+    "telescope.ingest.merges_total",
+    "telescope.ingest.packets_total",
+    "telescope.ingest.windows_closed_total",
 ];
 
 fn is_optin(name: &str) -> bool {
     name.starts_with("hypersparse.radix.")
         || name.starts_with("anonymize.cache.")
         || name.starts_with("span.hypersparse.radix.")
+        || name.starts_with("telescope.ingest.")
+        || name.starts_with("ingest.backpressure.")
 }
 
 /// Drive every fast path far enough to touch all opt-in metric sites:
@@ -56,6 +66,29 @@ fn exercise_fast_paths() {
     assert_eq!(batch[0], batch[1]);
 }
 
+/// Drive the streaming ingest service far enough to touch every
+/// `telescope.ingest.*` site and — via a depth-1 queue, per-packet shard
+/// batches, and a deliberately slow worker — the backpressure counter.
+fn exercise_streaming_ingest() {
+    let mut cfg = IngestConfig::new(1, 32);
+    cfg.queue_depth = 1;
+    cfg.shard_batch = 1;
+    cfg.leaf_capacity = 8; // 64 packets / 8 → multiple leaves → merges ≥ 1
+    cfg.worker_delay_micros = 1500;
+    let mut svc = IngestService::new(cfg);
+    for i in 0..64u32 {
+        svc.push(i % 16, i % 5);
+    }
+    let (snaps, drain) = svc.finish();
+    assert!(drain.is_exact());
+    assert_eq!(snaps.len(), 2);
+    assert!(
+        drain.blocked > 0,
+        "slow depth-1 ingest must hit backpressure so its counter is exercised"
+    );
+    assert!(snaps.iter().any(|s| s.merges > 0), "need a carry merge to exercise merges_total");
+}
+
 /// One test for both phases: the flags are process-global, so the
 /// off-phase must observably complete before anything enables them.
 #[test]
@@ -63,6 +96,7 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
     // Phase 1: flags off — the fast paths run silent.
     let before = obscor_obs::snapshot();
     exercise_fast_paths();
+    exercise_streaming_ingest();
     let silent = obscor_obs::snapshot().delta_since(&before);
     let leaked: Vec<String> =
         silent.metric_names().into_iter().filter(|n| is_optin(n)).collect();
@@ -71,8 +105,10 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
     // Phase 2: flags on — the exact documented set appears.
     radix::enable_metrics();
     memo::enable_cache_metrics();
+    stream::enable_ingest_metrics();
     let before = obscor_obs::snapshot();
     exercise_fast_paths();
+    exercise_streaming_ingest();
     let enabled = obscor_obs::snapshot().delta_since(&before);
     let got: Vec<String> =
         enabled.metric_names().into_iter().filter(|n| is_optin(n)).collect();
@@ -89,4 +125,10 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
         enabled.histograms["span.hypersparse.radix.digit_passes.ns"].count,
         enabled.counters["span.hypersparse.radix.digit_passes.calls_total"]
     );
+    // Streaming ingest: exact totals for the 64-packet run above.
+    assert_eq!(enabled.counters["telescope.ingest.windows_closed_total"], 2);
+    assert_eq!(enabled.counters["telescope.ingest.packets_total"], 64);
+    assert!(enabled.counters["telescope.ingest.leaves_total"] >= 4);
+    assert!(enabled.counters["telescope.ingest.merges_total"] >= 1);
+    assert!(enabled.counters["ingest.backpressure.blocked"] >= 1);
 }

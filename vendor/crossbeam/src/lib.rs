@@ -2,19 +2,28 @@
 //!
 //! Only the [`channel`] module is provided — bounded/unbounded channels with
 //! the blocking-send backpressure semantics the workspace's
-//! `StreamingBuilder` relies on — implemented over [`std::sync::mpsc`].
-//! (Real crossbeam channels are MPMC; every use in this workspace is MPSC,
-//! which std's channels provide directly.)
+//! `StreamingBuilder` and `telescope::stream` ingest service rely on —
+//! implemented over [`std::sync::mpsc`]. (Real crossbeam channels are MPMC;
+//! every use in this workspace is MPSC, which std's channels provide
+//! directly.)
 
 #![forbid(unsafe_code)]
 
 /// Multi-producer channels with bounded-capacity backpressure.
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[derive(Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        // Like real crossbeam: Debug does not require `T: Debug`.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
 
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -22,10 +31,82 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel is either full
+    /// (backpressure — the caller may block on [`Sender::send`] instead) or
+    /// disconnected. Carries the message back in both cases.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded buffer is at capacity; sending now would block.
+        Full(T),
+        /// The receiving side has disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        // Like real crossbeam: Debug does not require `T: Debug`.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`] when no message is ready.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The buffer is currently empty (senders may still be live).
+        Empty,
+        /// Every sender has disconnected and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender has disconnected and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Either flavour of std sender behind one crossbeam-shaped facade.
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        // Manual impl: like real crossbeam, cloning a sender must not
+        // require `T: Clone` (the derive would add that bound).
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+            }
+        }
+    }
+
     /// The sending half of a channel.
-    #[derive(Clone)]
     pub struct Sender<T> {
-        inner: mpsc::SyncSender<T>,
+        inner: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
     }
 
     impl<T> Sender<T> {
@@ -34,7 +115,28 @@ pub mod channel {
         /// # Errors
         /// Returns the message back if the receiving side has disconnected.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            match &self.inner {
+                Tx::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
+        }
+
+        /// Send `msg` without blocking.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] if the bounded buffer is at capacity
+        /// (never returned by unbounded channels), or
+        /// [`TrySendError::Disconnected`] if the receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                Tx::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
+                Tx::Unbounded(tx) => tx
+                    .send(msg)
+                    .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+            }
         }
     }
 
@@ -57,6 +159,32 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, mpsc::RecvError> {
             self.inner.recv()
         }
+
+        /// Receive one message if one is already buffered, without blocking.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] when nothing is ready yet,
+        /// [`TryRecvError::Disconnected`] once all senders are gone and the
+        /// buffer is drained.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Receive one message, blocking at most `timeout`.
+        ///
+        /// # Errors
+        /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+        /// [`RecvTimeoutError::Disconnected`] once all senders are gone and
+        /// the buffer is drained.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     impl<'a, T> IntoIterator for &'a Receiver<T> {
@@ -78,13 +206,19 @@ pub mod channel {
     /// Create a channel holding at most `cap` in-flight messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (Sender { inner: Tx::Bounded(tx) }, Receiver { inner: rx })
+    }
+
+    /// Create a channel with no capacity bound: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: Tx::Unbounded(tx) }, Receiver { inner: rx })
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::bounded;
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
 
     #[test]
     fn round_trip_and_disconnect() {
@@ -103,5 +237,35 @@ mod tests {
         let mut got: Vec<u32> = rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_then_succeeds_after_drain() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(2).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn unbounded_never_fills() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..10_000 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.iter().take(10_000).count(), 10_000);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u32>();
+        assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 9);
     }
 }
