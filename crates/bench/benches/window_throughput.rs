@@ -6,9 +6,10 @@
 //! compaction vs the radix kernel, uncached CryptoPAN vs the memoized
 //! prefix table, string key sets vs numeric key sets) and writes the
 //! comparison — plus sustained `telescope::stream` throughput rows at
-//! several worker counts — as `BENCH_ingest.json` (schema
-//! `obscor.bench.ingest.v2`, path override `OBSCOR_BENCH_INGEST_OUT`) —
-//! the before/after record DESIGN.md §12 and CI's bench-smoke step
+//! several worker counts and the out-of-core fold's cost with its
+//! per-level merge timings — as `BENCH_ingest.json` (schema
+//! `obscor.bench.ingest.v3`, path override `OBSCOR_BENCH_INGEST_OUT`) —
+//! the before/after record DESIGN.md §12/§16 and CI's bench-smoke step
 //! point at.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -46,6 +47,13 @@ struct StreamingRow {
     window_packets: usize,
     median_ns: u64,
     packets_per_sec: f64,
+}
+
+/// Accumulated merge timing of one carry level of the out-of-core fold.
+struct SpillLevelRow {
+    level: usize,
+    calls: u64,
+    total_ns: u64,
 }
 
 /// Median of `reps` timed runs of `f` (wall-clock, via the obs stopwatch).
@@ -152,6 +160,43 @@ fn ingest_report(n_v: usize, seed: u64) {
         })
         .collect();
 
+    // 6. Out-of-core fold (DESIGN.md §16): the same window built through
+    //    the spill scheduler under a zero budget (every carry evicted to
+    //    a real temp directory — the fully out-of-core worst case)
+    //    against the plain in-memory build, with the per-level merge
+    //    timings the spill spans record while enabled.
+    obscor_hypersparse::spill::enable_spill_metrics();
+    let ooc_baseline_ns = median_ns(INGEST_REPS, || matrix::build_matrix(&w));
+    let mut spill_stats = obscor_hypersparse::SpillStats::default();
+    let before = obscor_obs::snapshot();
+    let ooc_spilled_ns = median_ns(INGEST_REPS, || {
+        let (m, report) =
+            matrix::build_matrix_spilled(&w, Some(0), None).expect("temp spill dir");
+        assert!(report.is_exact(), "bench spill fold must be exact");
+        spill_stats = report.stats;
+        m
+    });
+    let spill_delta = obscor_obs::snapshot().delta_since(&before);
+    let mut spill_levels: Vec<SpillLevelRow> = spill_delta
+        .counters
+        .iter()
+        .filter_map(|(name, &calls)| {
+            let level = name
+                .strip_prefix("span.hypersparse.spill.merge.level")?
+                .strip_suffix(".calls_total")?;
+            let ns = spill_delta
+                .histograms
+                .get(&format!("span.hypersparse.spill.merge.level{level}.ns"))?;
+            Some(SpillLevelRow { level: level.parse().ok()?, calls, total_ns: ns.sum })
+        })
+        .collect();
+    spill_levels.sort_by_key(|r| r.level);
+    let out_of_core = Comparison {
+        name: "window_fold_in_memory_vs_spilled",
+        baseline_ns: ooc_baseline_ns,
+        fast_ns: ooc_spilled_ns,
+    };
+
     eprintln!("\n=== WINDOW INGEST FAST PATH (N_V = {n_v}) ===");
     eprintln!("memo_table_build {table_build_ns} ns");
     for c in &comparisons {
@@ -169,10 +214,23 @@ fn ingest_report(n_v: usize, seed: u64) {
             r.workers, r.queue_depth, r.median_ns, r.packets_per_sec
         );
     }
+    eprintln!(
+        "{:<38} baseline {:>12} ns  fast {:>12} ns  speedup {:>7.2}x",
+        out_of_core.name,
+        out_of_core.baseline_ns,
+        out_of_core.fast_ns,
+        out_of_core.speedup()
+    );
+    for r in &spill_levels {
+        eprintln!(
+            "spill merge level{}                      calls {:>12}      {:>12} ns total",
+            r.level, r.calls, r.total_ns
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"obscor.bench.ingest.v2\",\n");
+    json.push_str("  \"schema\": \"obscor.bench.ingest.v3\",\n");
     json.push_str(&format!("  \"n_v\": {n_v},\n"));
     json.push_str(&format!("  \"reps\": {INGEST_REPS},\n"));
     json.push_str(&format!("  \"memo_table_build_ns\": {table_build_ns},\n"));
@@ -200,7 +258,30 @@ fn ingest_report(n_v: usize, seed: u64) {
             if i + 1 < streaming.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"out_of_core\": {\n");
+    json.push_str("    \"budget\": 0,\n");
+    json.push_str(&format!(
+        "    \"in_memory_ns\": {}, \"spilled_ns\": {}, \"relative_cost\": {:.3},\n",
+        out_of_core.baseline_ns,
+        out_of_core.fast_ns,
+        out_of_core.fast_ns as f64 / out_of_core.baseline_ns.max(1) as f64
+    ));
+    json.push_str(&format!(
+        "    \"evictions\": {}, \"reloads\": {}, \"peak_live_bytes\": {},\n",
+        spill_stats.evictions, spill_stats.reloads, spill_stats.peak_live_bytes
+    ));
+    json.push_str("    \"merge_levels\": [\n");
+    for (i, r) in spill_levels.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"level\": {}, \"calls\": {}, \"total_ns\": {}}}{}\n",
+            r.level,
+            r.calls,
+            r.total_ns,
+            if i + 1 < spill_levels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     let out = std::env::var("OBSCOR_BENCH_INGEST_OUT")
         .unwrap_or_else(|_| "BENCH_ingest.json".to_string());
     std::fs::write(&out, &json).expect("write ingest fast-path report");

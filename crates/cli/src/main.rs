@@ -17,7 +17,7 @@
 //!   persistence baseline.
 //! * `info` prints the scenario calibration summary.
 
-use obscor_core::{pipeline, AnalysisConfig, ArchiveConfig};
+use obscor_core::{pipeline, AnalysisConfig, ArchiveConfig, SpillSettings};
 use obscor_netmodel::Scenario;
 use obscor_pcap::PcapWriter;
 use obscor_telescope::{capture_window, stream, FaultPlan, IngestConfig, IngestService};
@@ -42,10 +42,12 @@ const USAGE: &str = "usage:
   obscor reproduce [--nv N] [--seed S] [--fast] [--tsv] [--check] [--only ARTIFACT]
                    [--metrics FILE] [--fast-path-metrics]
                    [--fault-plan SEED:RATE] [--strict-archive]
+                   [--memory-budget BYTES] [--spill-dir PATH]
   obscor generate  [--nv N] [--seed S] [--window 0..4] [--filter EXPR] --out FILE
   obscor serve     [--nv N] [--seed S] [--window 0..4] [--workers W]
                    [--window-packets P] [--queue-depth D] [--windows K]
                    [--anonymize] [--check] [--metrics FILE]
+                   [--memory-budget BYTES] [--spill-dir PATH]
   obscor forecast  [--nv N] [--seed S] [--cutoff K]
   obscor info      [--nv N] [--seed S]
 
@@ -69,6 +71,13 @@ injects seeded faults (truncation, bit flips, missing leaves, flaky reads) at
 the given per-leaf rate; the restore retries transient faults, quarantines
 corrupt leaves, and reports per-window packet coverage.
 --strict-archive fails the run (exit 1) if any window restores degraded.
+--memory-budget BYTES (accepts 2^N) builds each window matrix out-of-core:
+carry-level CSR parts spill to disk whenever tracked live bytes exceed the
+budget, and the merge scheduler reloads them on demand — the matrices are
+bit-identical to the in-memory build. Applies to both reproduce and serve;
+per-window spill accounting (evictions, reloads, peak live bytes) is printed
+and the opt-in hypersparse.spill.* metrics are enabled.
+--spill-dir PATH puts the spill files under PATH (default: system temp dir).
 
 ARTIFACT: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 classes subnets scaling";
 
@@ -92,6 +101,8 @@ struct Options {
     queue_depth: usize,
     serve_windows: usize,
     anonymize: bool,
+    memory_budget: Option<u64>,
+    spill_dir: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -115,6 +126,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         queue_depth: 4,
         serve_windows: 3,
         anonymize: false,
+        memory_budget: None,
+        spill_dir: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -171,6 +184,12 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--anonymize" => o.anonymize = true,
+            "--memory-budget" => {
+                let v = value("--memory-budget")?;
+                let b = parse_nv(&v).map_err(|_| "bad --memory-budget")?;
+                o.memory_budget = Some(b as u64);
+            }
+            "--spill-dir" => o.spill_dir = Some(value("--spill-dir")?),
             "--cutoff" => {
                 o.cutoff = value("--cutoff")?.parse().map_err(|_| "bad --cutoff")?;
                 if !(4..15).contains(&o.cutoff) {
@@ -247,6 +266,22 @@ fn reproduce(o: Options) -> Result<(), String> {
         }
         config = config.with_archive(archive);
     }
+    if let Some(budget) = o.memory_budget {
+        if config.archive.is_some() {
+            return Err("--memory-budget cannot be combined with the archive path \
+                        (--fault-plan/--strict-archive)"
+                .into());
+        }
+        obscor_hypersparse::spill::enable_spill_metrics();
+        eprintln!(
+            "out-of-core build: memory budget {budget} bytes, spill dir {}",
+            o.spill_dir.as_deref().unwrap_or("<temp>")
+        );
+        config = config.with_spill(SpillSettings {
+            memory_budget: budget,
+            spill_dir: o.spill_dir.as_deref().map(std::path::PathBuf::from),
+        });
+    }
     eprintln!(
         "population: {} sources; capturing 5 windows x {} packets + 15 honeyfarm months...",
         scenario.population.len(),
@@ -269,6 +304,30 @@ fn reproduce(o: Options) -> Result<(), String> {
         );
         for q in &r.quarantined {
             eprintln!("  quarantined leaf {} ({}): {}", q.index, q.class, q.reason);
+        }
+    }
+    for r in &analysis.spill {
+        eprintln!(
+            "spill: coverage {:.6} ({}/{} packets), {} leaves, {} merges, \
+             {} evictions, {} reloads, peak {} live bytes, {} quarantined",
+            r.coverage(),
+            r.packets_restored,
+            r.packets_expected,
+            r.stats.leaves,
+            r.stats.merges(),
+            r.stats.evictions,
+            r.stats.reloads,
+            r.stats.peak_live_bytes,
+            r.quarantined.len()
+        );
+        for q in &r.quarantined {
+            eprintln!(
+                "  quarantined part: level {} leaves [{}, {}): {}",
+                q.level,
+                q.first_leaf,
+                q.first_leaf + q.n_leaves,
+                q.error
+            );
         }
     }
     if o.strict_archive && analysis.restore.iter().any(|r| !r.is_complete()) {
@@ -366,7 +425,12 @@ fn serve(o: Options) -> Result<(), String> {
     let window_packets = o.window_packets.unwrap_or(scenario.n_v);
     let mut cfg = IngestConfig::new(o.workers, window_packets);
     cfg.queue_depth = o.queue_depth;
+    cfg.memory_budget = o.memory_budget;
+    cfg.spill_dir = o.spill_dir.as_deref().map(std::path::PathBuf::from);
     stream::enable_ingest_metrics();
+    if o.memory_budget.is_some() {
+        obscor_hypersparse::spill::enable_spill_metrics();
+    }
     let before = obscor_obs::snapshot();
     let spec = &scenario.caida_windows[o.window];
     eprintln!(
@@ -406,15 +470,23 @@ fn serve(o: Options) -> Result<(), String> {
             }
             checked += 1;
         }
+        let spill = match &snap.spill {
+            None => String::new(),
+            Some(r) => format!(
+                " evictions={} reloads={} peak_live_bytes={}",
+                r.stats.evictions, r.stats.reloads, r.stats.peak_live_bytes
+            ),
+        };
         println!(
-            "snapshot window={} packets={} nnz={} sources={} leaves={} merges={} partial={}",
+            "snapshot window={} packets={} nnz={} sources={} leaves={} merges={} partial={}{}",
             snap.index,
             snap.packets,
             snap.matrix.nnz(),
             snap.matrix.n_rows(),
             snap.leaves,
             snap.merges,
-            snap.partial
+            snap.partial,
+            spill
         );
         Ok(())
     };
@@ -653,6 +725,20 @@ mod tests {
         assert!(parse(&args("--strict-archive")).unwrap().strict_archive);
         let both = parse(&args("--fault-plan 1:0.1 --strict-archive")).unwrap();
         assert!(both.strict_archive && both.fault_plan.is_some());
+    }
+
+    #[test]
+    fn memory_budget_flag_parses() {
+        assert!(parse(&[]).unwrap().memory_budget.is_none());
+        assert!(parse(&[]).unwrap().spill_dir.is_none());
+        let o = parse(&args("--memory-budget 2^26 --spill-dir /tmp/spill")).unwrap();
+        assert_eq!(o.memory_budget, Some(1 << 26));
+        assert_eq!(o.spill_dir.as_deref(), Some("/tmp/spill"));
+        // A zero budget is legal: it forces eviction on every carry.
+        assert_eq!(parse(&args("--memory-budget 0")).unwrap().memory_budget, Some(0));
+        assert!(parse(&args("--memory-budget")).is_err());
+        assert!(parse(&args("--memory-budget lots")).is_err());
+        assert!(parse(&args("--spill-dir")).is_err());
     }
 
     #[test]

@@ -40,6 +40,27 @@ impl ArchiveConfig {
     }
 }
 
+/// Configuration of the out-of-core matrix build: window matrices are
+/// accumulated through the bounded-memory spill/merge scheduler
+/// ([`obscor_hypersparse::SpillAccumulator`]), evicting carry-level CSR
+/// parts to disk whenever tracked live bytes exceed the budget. The
+/// produced matrices are bit-identical to the direct build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpillSettings {
+    /// Tracked-live-byte budget for each window's hierarchical fold.
+    pub memory_budget: u64,
+    /// Directory spill files are created under; the system temp dir when
+    /// `None`.
+    pub spill_dir: Option<std::path::PathBuf>,
+}
+
+impl SpillSettings {
+    /// Budgeted out-of-core build spilling to the system temp dir.
+    pub fn with_budget(memory_budget: u64) -> Self {
+        Self { memory_budget, spill_dir: None }
+    }
+}
+
 /// Knobs of the correlation analysis. The defaults reproduce the paper's
 /// procedure.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +82,11 @@ pub struct AnalysisConfig {
     /// the analysis records a [`obscor_telescope::RestoreReport`] per
     /// window. `None` (the default) builds matrices directly.
     pub archive: Option<ArchiveConfig>,
+    /// When set (and `archive` is `None`), window matrices are built
+    /// through the out-of-core spill path under the given memory budget
+    /// and the analysis records a [`obscor_hypersparse::SpillReport`]
+    /// per window. `None` (the default) builds matrices fully in memory.
+    pub spill: Option<SpillSettings>,
 }
 
 impl Default for AnalysisConfig {
@@ -72,6 +98,7 @@ impl Default for AnalysisConfig {
             mc_alphas: default_mc_alpha_grid(),
             mc_betas: default_mc_beta_grid(),
             archive: None,
+            spill: None,
         }
     }
 }
@@ -87,6 +114,7 @@ impl AnalysisConfig {
             mc_alphas: (1..=16).map(|i| i as f64 * 0.25).collect(),
             mc_betas: (0..20).map(|i| 0.05 * 1.5f64.powi(i)).collect(),
             archive: None,
+            spill: None,
         }
     }
 
@@ -94,6 +122,13 @@ impl AnalysisConfig {
     /// restore path.
     pub fn with_archive(mut self, archive: ArchiveConfig) -> Self {
         self.archive = Some(archive);
+        self
+    }
+
+    /// The same configuration, with matrices built out-of-core under
+    /// `spill`'s memory budget.
+    pub fn with_spill(mut self, spill: SpillSettings) -> Self {
+        self.spill = Some(spill);
         self
     }
 }
@@ -130,5 +165,15 @@ mod tests {
         let plan = FaultPlan::new(3, 0.5).unwrap();
         let faulted = ArchiveConfig::with_fault_plan(plan.clone());
         assert_eq!(faulted.fault_plan, Some(plan));
+    }
+
+    #[test]
+    fn spill_path_is_off_by_default() {
+        assert!(AnalysisConfig::default().spill.is_none());
+        assert!(AnalysisConfig::fast().spill.is_none());
+        let with = AnalysisConfig::fast().with_spill(SpillSettings::with_budget(1 << 20));
+        let spill = with.spill.unwrap();
+        assert_eq!(spill.memory_budget, 1 << 20);
+        assert!(spill.spill_dir.is_none());
     }
 }

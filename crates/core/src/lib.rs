@@ -47,6 +47,6 @@ pub mod subnets;
 pub mod temporal;
 pub mod validate;
 
-pub use config::{AnalysisConfig, ArchiveConfig};
+pub use config::{AnalysisConfig, ArchiveConfig, SpillSettings};
 pub use degree::WindowDegrees;
 pub use pipeline::{run, PaperAnalysis};

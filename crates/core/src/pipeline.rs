@@ -13,6 +13,7 @@ use obscor_anonymize::sharing::Holder;
 use obscor_assoc::{KeySet, NumKeySet};
 use obscor_honeyfarm::observe_all_months;
 use obscor_hypersparse::reduce::NetworkQuantities;
+use obscor_hypersparse::SpillReport;
 use obscor_netmodel::Scenario;
 use obscor_obs::MetricsSnapshot;
 use obscor_telescope::{
@@ -88,6 +89,12 @@ pub struct PaperAnalysis {
     /// report's coverage fraction bounds how much of the window those
     /// statistics saw.
     pub restore: Vec<RestoreReport>,
+    /// Out-of-core accounting: one [`SpillReport`] per window when the
+    /// matrices were built under a memory budget
+    /// (`AnalysisConfig::spill`); empty on the in-memory paths. The
+    /// matrices are bit-identical to the direct build, so the reports
+    /// carry only eviction/reload traffic and peak-footprint numbers.
+    pub spill: Vec<SpillReport>,
     /// Per-run observability: every counter, gauge, and span timing the
     /// pipeline recorded (the change in the global registry over this
     /// run). Serializes with [`MetricsSnapshot::to_json`]; written out by
@@ -127,11 +134,43 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
     };
     obscor_obs::counter("stage.capture.windows_total").add(windows.len() as u64);
     let caida_inventory = inventory(&windows);
+    let mut spill_reports: Vec<SpillReport> = Vec::new();
     let (matrices, restore): (Vec<_>, Vec<RestoreReport>) = match &config.archive {
-        None => {
-            let _s = obscor_obs::span("stage.matrices");
-            (windows.par_iter().map(matrix::build_matrix).collect(), Vec::new())
-        }
+        None => match &config.spill {
+            None => {
+                let _s = obscor_obs::span("stage.matrices");
+                (windows.par_iter().map(matrix::build_matrix).collect(), Vec::new())
+            }
+            Some(sp) => {
+                // Out-of-core build: each window folds under the
+                // configured live-byte budget, evicting carry parts to
+                // disk. Serial across windows — the budget is per fold,
+                // and running folds concurrently would multiply the
+                // process footprint the budget exists to bound.
+                let _s = obscor_obs::span("stage.matrices_spilled");
+                let mut built = Vec::with_capacity(windows.len());
+                for w in &windows {
+                    match matrix::build_matrix_spilled(
+                        w,
+                        Some(sp.memory_budget),
+                        sp.spill_dir.as_deref(),
+                    ) {
+                        Ok((m, report)) => {
+                            spill_reports.push(report);
+                            built.push(m);
+                        }
+                        // An unusable spill directory degrades to the
+                        // in-memory build (bit-identical, just bigger).
+                        Err(_) => built.push(matrix::build_matrix(w)),
+                    }
+                }
+                obscor_obs::counter("stage.matrices.spill_windows_total")
+                    .add(spill_reports.len() as u64);
+                obscor_obs::counter("stage.matrices.spill_evictions_total")
+                    .add(spill_reports.iter().map(|r| r.stats.evictions).sum());
+                (built, Vec::new())
+            }
+        },
         Some(ac) => {
             // The paper's production shape: each window is serialized
             // into leaf matrices (optionally injured by the configured
@@ -375,6 +414,7 @@ pub fn run(scenario: &Scenario, config: &AnalysisConfig) -> PaperAnalysis {
         subnet_top,
         scaling,
         restore,
+        spill: spill_reports,
         metrics,
     }
 }
@@ -540,6 +580,25 @@ mod tests {
     fn direct_path_records_no_restore_reports() {
         let (_, a) = analysis();
         assert!(a.restore.is_empty());
+        assert!(a.spill.is_empty());
+    }
+
+    #[test]
+    fn spill_path_matches_the_direct_path_bit_for_bit() {
+        use crate::config::SpillSettings;
+        let s = Scenario::paper_scaled(1 << 13, 11);
+        let direct = run(&s, &AnalysisConfig::fast());
+        // Budget 0: nothing may stay resident, every carry evicts.
+        let spilled = run(&s, &AnalysisConfig::fast().with_spill(SpillSettings::with_budget(0)));
+        assert_eq!(spilled.spill.len(), 5);
+        for r in &spilled.spill {
+            assert!(r.is_exact(), "clean spill must restore exactly: {r:?}");
+            assert!(r.stats.evictions > 0, "budget 0 must evict: {r:?}");
+            r.check_invariants().unwrap();
+        }
+        assert_eq!(direct.quantities, spilled.quantities);
+        assert_eq!(direct.curves, spilled.curves);
+        assert_eq!(direct.peaks, spilled.peaks);
     }
 
     #[test]

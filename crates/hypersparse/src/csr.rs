@@ -175,6 +175,21 @@ impl<V: Value> Csr<V> {
         coo.into_csr()
     }
 
+    /// Tracked heap footprint in bytes: the length-based size of the four
+    /// storage arrays. Capacity slack is deliberately excluded so the
+    /// number is a pure function of the matrix contents — the out-of-core
+    /// spill scheduler ([`crate::spill`]) uses it for deterministic
+    /// live-byte accounting and eviction decisions.
+    pub fn heap_bytes(&self) -> u64 {
+        let idx = std::mem::size_of::<Index>();
+        let ptr = std::mem::size_of::<usize>();
+        let val = std::mem::size_of::<V>();
+        (self.row_keys.len() * idx
+            + self.row_ptr.len() * ptr
+            + self.col_keys.len() * idx
+            + self.vals.len() * val) as u64
+    }
+
     /// Internal consistency check used by tests and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
         if self.row_ptr.len() != self.row_keys.len() + 1 {

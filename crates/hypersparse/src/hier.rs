@@ -204,17 +204,36 @@ impl<V: Value> HierarchicalAccumulator<V> {
     /// Surfaces the lifetime [`AccumulatorStats`] into the global metrics
     /// registry (`hypersparse.accumulator.{pushed,leaves,merges}_total`) so
     /// per-run snapshots carry the carry-chain behaviour.
-    pub fn finalize(mut self) -> Csr<V> {
+    pub fn finalize(self) -> Csr<V> {
+        self.finalize_with_stats().0
+    }
+
+    /// [`finalize`](Self::finalize), also returning the lifetime stats
+    /// *including* the finalize tree reduction's merges.
+    ///
+    /// The binary-counter law `merges == leaves - popcount(leaves)` holds
+    /// only mid-stream: finalize folds the remaining `popcount(leaves)`
+    /// carry levels through the pairwise [`crate::ops::merge_all`] tree,
+    /// which performs `popcount(leaves) - 1` further merges — any pairwise
+    /// tree over `L` parts performs exactly `L - 1` merges in total, so
+    /// the post-finalize closed form is `merges == leaves - 1` (for
+    /// `leaves >= 1`). The published
+    /// `hypersparse.accumulator.merges_total` counter keeps its original
+    /// carry-only meaning (the tree's merges are counted separately by
+    /// `hypersparse.merge_all.pair_merges_total`).
+    pub fn finalize_with_stats(mut self) -> (Csr<V>, AccumulatorStats) {
         let _span = obscor_obs::span("hypersparse.accumulator.finalize");
         self.flush_leaf();
-        let stats = self.stats;
+        let mut stats = self.stats;
         obscor_obs::counter("hypersparse.accumulator.pushed_total").add(stats.pushed);
         obscor_obs::counter("hypersparse.accumulator.leaves_total").add(stats.leaves);
         obscor_obs::counter("hypersparse.accumulator.merges_total").add(stats.merges);
         // Fold the remaining per-level carries with the same parallel merge
         // tree used for window re-assembly (ewise_add is associative and
         // commutative, so this equals the serial left-fold).
-        crate::ops::merge_all(self.levels.into_iter().flatten().collect())
+        let parts: Vec<Csr<V>> = self.levels.into_iter().flatten().collect();
+        stats.merges += (parts.len() as u64).saturating_sub(1);
+        (crate::ops::merge_all(parts), stats)
     }
 }
 
@@ -298,6 +317,35 @@ mod tests {
                     s.leaves - u64::from(s.leaves.count_ones()),
                     "carry count (c={c}, n={n})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn finalize_tree_restores_the_leaves_minus_one_closed_form() {
+        // The carry law above stops short of the finalize tree. After
+        // finalize, ANY pairwise merge tree over L leaves has performed
+        // exactly L - 1 merges: (leaves - popcount) carries plus
+        // (popcount - 1) tree merges. Pin the full closed form so the
+        // pairwise merge_all reduction can never silently drop merges.
+        for c in [1usize, 2, 3, 7, 16] {
+            for n in 0..200usize {
+                let mut acc = HierarchicalAccumulator::with_leaf_capacity(c);
+                acc.extend(triples(n));
+                let mid = acc.stats();
+                let (m, s) = acc.finalize_with_stats();
+                // finalize flushes the partial leaf, so leaves = ceil(n/c).
+                assert_eq!(s.leaves, n.div_ceil(c) as u64, "leaves (c={c}, n={n})");
+                assert_eq!(s.pushed, n as u64);
+                assert_eq!(
+                    s.merges,
+                    s.leaves.saturating_sub(1),
+                    "post-finalize closed form (c={c}, n={n})"
+                );
+                // Decomposition: carries obey the mid-stream law; the tree
+                // contributes the remaining popcount - 1.
+                assert!(s.merges >= mid.merges, "finalize never forgets carries");
+                assert_eq!(m, accumulate_flat(triples(n)), "matrix unchanged (c={c}, n={n})");
             }
         }
     }

@@ -54,6 +54,7 @@ pub mod radix;
 pub mod reduce;
 pub mod serialize;
 pub mod spgemm;
+pub mod spill;
 pub mod stream;
 pub mod value;
 
@@ -61,6 +62,10 @@ pub use coo::Coo;
 pub use csr::Csr;
 pub use dcsc::Dcsc;
 pub use hier::HierarchicalAccumulator;
+pub use spill::{
+    DirMedium, MemMedium, SpillAccumulator, SpillConfig, SpillFault, SpillMedium, SpillReport,
+    SpillStats, SpillStore,
+};
 pub use stream::StreamingBuilder;
 pub use value::Value;
 

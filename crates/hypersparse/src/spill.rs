@@ -1,0 +1,1321 @@
+//! Out-of-core hierarchical accumulation under a memory budget.
+//!
+//! The in-memory [`crate::hier::HierarchicalAccumulator`] keeps every carry
+//! level resident, so a window is bounded by RAM. This module removes that
+//! bound: [`SpillAccumulator`] is the same binary-counter carry chain, but
+//! each carry-level CSR part can be *evicted* to a [`SpillStore`] (encoded
+//! with the CRC-protected codec-v2 frames from [`crate::serialize`]) and
+//! *reloaded* when the carry chain or the final tree reduction needs it
+//! again. A memory budget caps the tracked live bytes; when placing or
+//! reloading a part would exceed it, the coldest (least recently touched)
+//! resident level is spilled first.
+//!
+//! Degradation, not corruption: a spill frame that fails to decode after
+//! bounded retry (same transient/permanent [`FaultClass`] taxonomy as the
+//! archive restore path) is **quarantined** — its contiguous leaf interval
+//! and packet count are recorded in the [`SpillReport`] and the build
+//! continues with the surviving parts. The result is either bit-identical
+//! to the in-memory build (clean media) or explicitly coverage-qualified;
+//! it is never silently wrong.
+//!
+//! # Accounting model
+//!
+//! "Live bytes" counts the length-based heap footprint
+//! ([`Csr::heap_bytes`]) of every resident carry part **plus** the part
+//! currently in flight through the carry chain, and a merge pre-charges
+//! its output before releasing its inputs — so the tracked peak honestly
+//! covers the two inputs and the output of every pairwise merge. The
+//! partial-leaf COO buffer (bounded by `leaf_capacity`) and transient
+//! codec buffers are outside the budget; DESIGN.md §16 documents the
+//! boundary.
+//!
+//! # Determinism
+//!
+//! `ewise_add` is associative and commutative and CSR is a canonical form,
+//! so eviction/reload schedules cannot change the final matrix: the spilled
+//! build is bit-identical to the in-memory hierarchical build and to
+//! [`crate::hier::accumulate_flat`] for any budget, including budgets that
+//! force an eviction on every carry. `tests/ooc_differential.rs` proves
+//! this over a grid and under random budget schedules.
+//!
+//! # Metrics (opt-in)
+//!
+//! Gated behind [`enable_spill_metrics`] so the pinned default metrics
+//! schema never changes: `hypersparse.spill.{bytes_written,bytes_read,
+//! evictions,reloads}_total` and the per-level merge spans
+//! `span.hypersparse.spill.merge.level{k}.{ns,calls_total}`, all pinned by
+//! `tests/metrics_optin.rs`.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::hier::DEFAULT_LEAF_CAPACITY;
+use crate::ops::ewise_add;
+use crate::serialize;
+use crate::value::Value;
+use crate::Index;
+use obscor_obs::FaultClass;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Opt in to `hypersparse.spill.*` metrics emission for this process.
+///
+/// Off by default so the pinned default metrics schema never changes; the
+/// CLI enables it whenever `--memory-budget` is given.
+pub fn enable_spill_metrics() {
+    METRICS_ENABLED.store(true, Ordering::Relaxed); // ordering: set-once enable flag; callers tolerate a stale false
+}
+
+/// Whether [`enable_spill_metrics`] has been called.
+pub fn spill_metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed) // ordering: enable-flag read; staleness only delays metric emission
+}
+
+/// A fault raised by a [`SpillMedium`] or by decoding a spill frame,
+/// classified by the workspace fault taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillFault {
+    /// A read failed in a way a retry may fix (short read, interrupted
+    /// syscall, injected transient fault).
+    TransientRead,
+    /// The slot does not exist in the medium (permanent).
+    Missing,
+    /// An OS-level I/O failure (permanent).
+    Io(String),
+    /// The frame was fetched but failed CRC/structural decoding
+    /// (permanent).
+    Corrupt(String),
+}
+
+impl SpillFault {
+    /// Classify for retry/quarantine policy: only transient reads are
+    /// worth retrying.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            SpillFault::TransientRead => FaultClass::Transient,
+            _ => FaultClass::Permanent,
+        }
+    }
+}
+
+impl std::fmt::Display for SpillFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillFault::TransientRead => write!(f, "transient read failure"),
+            SpillFault::Missing => write!(f, "spill slot missing"),
+            SpillFault::Io(e) => write!(f, "spill i/o error: {e}"),
+            SpillFault::Corrupt(e) => write!(f, "spill frame corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpillFault {}
+
+/// Byte-level storage behind a [`SpillStore`]: a flat map from slot id to
+/// encoded frame. Implementations must be usable from multiple threads
+/// (the streaming collector owns one per service).
+pub trait SpillMedium: Send + Sync {
+    /// Human-readable label for reports and errors.
+    fn label(&self) -> String;
+    /// Persist `bytes` under `slot`, overwriting any previous content.
+    fn store(&self, slot: u64, bytes: &[u8]) -> Result<(), SpillFault>;
+    /// Read back the bytes stored under `slot`.
+    fn fetch(&self, slot: u64) -> Result<Vec<u8>, SpillFault>;
+    /// Best-effort space reclaim once a slot is no longer needed.
+    fn discard(&self, _slot: u64) {}
+}
+
+/// In-memory [`SpillMedium`] for tests and differential harnesses: same
+/// code path as the disk medium, no filesystem.
+#[derive(Debug, Default)]
+pub struct MemMedium {
+    slots: Mutex<BTreeMap<u64, Vec<u8>>>,
+}
+
+impl MemMedium {
+    /// An empty in-memory medium.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, Vec<u8>>> {
+        self.slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Number of slots currently stored.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no slots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Internal consistency: every stored frame is non-empty (the codec
+    /// never emits zero-length encodings).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (slot, bytes) in self.lock().iter() {
+            if bytes.is_empty() {
+                return Err(format!("slot {slot} holds an empty frame"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SpillMedium for MemMedium {
+    fn label(&self) -> String {
+        "mem".into()
+    }
+
+    fn store(&self, slot: u64, bytes: &[u8]) -> Result<(), SpillFault> {
+        self.lock().insert(slot, bytes.to_vec());
+        Ok(())
+    }
+
+    fn fetch(&self, slot: u64) -> Result<Vec<u8>, SpillFault> {
+        self.lock().get(&slot).cloned().ok_or(SpillFault::Missing)
+    }
+
+    fn discard(&self, slot: u64) {
+        self.lock().remove(&slot);
+    }
+}
+
+/// Disk-backed [`SpillMedium`]: one codec-v2 file per slot inside a
+/// uniquely named directory that is removed (best effort) on drop.
+#[derive(Debug)]
+pub struct DirMedium {
+    dir: PathBuf,
+}
+
+impl DirMedium {
+    /// Create a fresh uniquely named spill directory under `base`
+    /// (`obscor-spill-<pid>-<n>`), creating `base` itself if needed. The
+    /// directory and its frames are deleted when the medium is dropped.
+    pub fn create_in(base: &Path) -> Result<Self, SpillFault> {
+        std::fs::create_dir_all(base).map_err(|e| SpillFault::Io(e.to_string()))?;
+        let pid = std::process::id();
+        // A create_dir race (two media picking the same name) surfaces as
+        // AlreadyExists; retry with the next suffix — no global counter.
+        for attempt in 0..4096u32 {
+            let dir = base.join(format!("obscor-spill-{pid}-{attempt}"));
+            match std::fs::create_dir(&dir) {
+                Ok(()) => return Ok(Self { dir }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(SpillFault::Io(e.to_string())),
+            }
+        }
+        Err(SpillFault::Io("no unique spill directory name available".into()))
+    }
+
+    /// The directory frames are written into.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    fn slot_path(&self, slot: u64) -> PathBuf {
+        self.dir.join(format!("part-{slot:08x}.obsc"))
+    }
+
+    /// Internal consistency: the spill directory still exists.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if !self.dir.is_dir() {
+            return Err(format!("spill directory {} is gone", self.dir.display()));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DirMedium {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl SpillMedium for DirMedium {
+    fn label(&self) -> String {
+        self.dir.display().to_string()
+    }
+
+    fn store(&self, slot: u64, bytes: &[u8]) -> Result<(), SpillFault> {
+        std::fs::write(self.slot_path(slot), bytes).map_err(io_fault)
+    }
+
+    fn fetch(&self, slot: u64) -> Result<Vec<u8>, SpillFault> {
+        std::fs::read(self.slot_path(slot)).map_err(io_fault)
+    }
+
+    fn discard(&self, slot: u64) {
+        let _ = std::fs::remove_file(self.slot_path(slot));
+    }
+}
+
+/// Map an OS error onto the fault taxonomy: interrupted reads are
+/// transient, a missing file is [`SpillFault::Missing`], everything else
+/// is a permanent I/O fault.
+fn io_fault(e: std::io::Error) -> SpillFault {
+    match e.kind() {
+        std::io::ErrorKind::Interrupted => SpillFault::TransientRead,
+        std::io::ErrorKind::NotFound => SpillFault::Missing,
+        _ => SpillFault::Io(e.to_string()),
+    }
+}
+
+/// Handle to one spilled CSR part.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpillHandle {
+    slot: u64,
+    encoded_len: u64,
+}
+
+impl SpillHandle {
+    /// The medium slot this part lives in.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Encoded frame size in bytes.
+    pub fn encoded_len(&self) -> u64 {
+        self.encoded_len
+    }
+}
+
+/// CRC-framed CSR offload store over a [`SpillMedium`], with bounded retry
+/// for transient faults. Permanent faults (bad magic, CRC mismatch,
+/// missing slot) are returned to the caller for quarantine.
+pub struct SpillStore {
+    medium: Arc<dyn SpillMedium>,
+    next_slot: AtomicU64,
+    max_attempts: u32,
+}
+
+impl std::fmt::Debug for SpillStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillStore")
+            .field("medium", &self.medium.label())
+            .field("max_attempts", &self.max_attempts)
+            .finish()
+    }
+}
+
+impl SpillStore {
+    /// A store with the default retry budget (4 attempts, matching the
+    /// archive restore policy).
+    pub fn new(medium: Arc<dyn SpillMedium>) -> Self {
+        Self::with_retry(medium, 4)
+    }
+
+    /// A store retrying transient faults up to `max_attempts` times.
+    pub fn with_retry(medium: Arc<dyn SpillMedium>, max_attempts: u32) -> Self {
+        Self { medium, next_slot: AtomicU64::new(0), max_attempts: max_attempts.max(1) }
+    }
+
+    /// Label of the underlying medium.
+    pub fn label(&self) -> String {
+        self.medium.label()
+    }
+
+    /// Encode `a` as a codec-v2 frame and persist it, returning the slot
+    /// handle.
+    pub fn store_csr<V: Value>(&self, a: &Csr<V>) -> Result<SpillHandle, SpillFault> {
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed); // ordering: slot ids only need uniqueness, not ordering
+        let bytes = serialize::encode(a);
+        let mut last = SpillFault::TransientRead;
+        for _ in 0..self.max_attempts {
+            match self.medium.store(slot, &bytes) {
+                Ok(()) => {
+                    if spill_metrics_enabled() {
+                        obscor_obs::counter("hypersparse.spill.bytes_written_total")
+                            .add(bytes.len() as u64);
+                    }
+                    return Ok(SpillHandle { slot, encoded_len: bytes.len() as u64 });
+                }
+                Err(f) if f.class() == FaultClass::Transient => last = f,
+                Err(f) => return Err(f),
+            }
+        }
+        Err(last)
+    }
+
+    /// Fetch and decode the part behind `handle`, retrying transient
+    /// faults (including truncated frames) up to the retry budget.
+    pub fn fetch_csr<V: Value>(&self, handle: &SpillHandle) -> Result<Csr<V>, SpillFault> {
+        let mut last = SpillFault::TransientRead;
+        for _ in 0..self.max_attempts {
+            let bytes = match self.medium.fetch(handle.slot) {
+                Ok(b) => b,
+                Err(f) if f.class() == FaultClass::Transient => {
+                    last = f;
+                    continue;
+                }
+                Err(f) => return Err(f),
+            };
+            match serialize::decode::<V>(&bytes) {
+                Ok(csr) => {
+                    if spill_metrics_enabled() {
+                        obscor_obs::counter("hypersparse.spill.bytes_read_total")
+                            .add(bytes.len() as u64);
+                    }
+                    return Ok(csr);
+                }
+                Err(e) if e.class() == FaultClass::Transient => {
+                    // A truncated frame may be a short read; retry.
+                    last = SpillFault::TransientRead;
+                }
+                Err(e) => return Err(SpillFault::Corrupt(e.to_string())),
+            }
+        }
+        Err(last)
+    }
+
+    /// Best-effort space reclaim for a no-longer-needed slot.
+    pub fn discard(&self, handle: &SpillHandle) {
+        self.medium.discard(handle.slot);
+    }
+
+    /// Internal consistency: the retry budget is positive (the
+    /// constructor clamps it, so a zero here means memory corruption).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("retry budget is zero".into());
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a [`SpillAccumulator`].
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// Triples per leaf before compaction (same meaning as the in-memory
+    /// accumulator's leaf capacity).
+    pub leaf_capacity: usize,
+    /// Tracked-live-byte budget; `None` means unbounded (parts still spill
+    /// only if [`SpillAccumulator::set_budget`] later imposes one).
+    pub memory_budget: Option<u64>,
+    /// Bounded-retry budget for transient spill faults.
+    pub max_attempts: u32,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        Self { leaf_capacity: DEFAULT_LEAF_CAPACITY, memory_budget: None, max_attempts: 4 }
+    }
+}
+
+/// Lifetime counters of a [`SpillAccumulator`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Triples pushed in total.
+    pub pushed: u64,
+    /// Leaves compacted (or accepted pre-compacted).
+    pub leaves: u64,
+    /// Pairwise merges performed by the binary-counter carry chain.
+    pub carry_merges: u64,
+    /// Pairwise merges performed by the finalize tree reduction.
+    pub tree_merges: u64,
+    /// Resident parts written out to the spill store.
+    pub evictions: u64,
+    /// Spilled parts read back for a merge.
+    pub reloads: u64,
+    /// Times the tracked live bytes exceeded the budget with nothing left
+    /// to evict (infeasibly small budget); the build continues and stays
+    /// bit-identical, but the budget promise is void for that window.
+    pub budget_overruns: u64,
+    /// High-water mark of the tracked live bytes.
+    pub peak_live_bytes: u64,
+}
+
+impl SpillStats {
+    /// Total pairwise merges. Closed form with no quarantined parts:
+    /// `leaves - popcount(leaves)` carry merges mid-stream, and after
+    /// finalize the tree reduction brings the total to `leaves - 1` —
+    /// *any* pairwise merge tree over `L` parts performs exactly `L - 1`
+    /// merges (each merge destroys one part), which replaces the pure
+    /// binary-counter identity once the finalize tree runs.
+    pub fn merges(&self) -> u64 {
+        self.carry_merges + self.tree_merges
+    }
+}
+
+/// One part dropped from the build because its spill frame could not be
+/// recovered. Parts are labelled with a contiguous leaf *span* (the merge
+/// tree only ever joins adjacent runs): the span covers every leaf the
+/// part folded, plus any hole a previous quarantine punched between them
+/// — re-reporting a hole is idempotent, so the union of all quarantined
+/// spans is exactly the set of lost leaves and a differential harness can
+/// reconstruct the loss from the report alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedPart {
+    /// Carry level (`log2` of the covered leaf count) at quarantine time.
+    pub level: usize,
+    /// First leaf index (in push order) the part covered.
+    pub first_leaf: u64,
+    /// Number of consecutive leaves the part covered.
+    pub n_leaves: u64,
+    /// Pushed triples the part covered.
+    pub packets: u64,
+    /// The classified fault that exhausted retry.
+    pub error: String,
+}
+
+/// Coverage-qualified outcome of a spilled build, mirroring the archive
+/// restore's `RestoreReport`: exact packet accounting, the quarantined
+/// parts, and the lifetime [`SpillStats`].
+#[derive(Clone, Debug)]
+pub struct SpillReport {
+    /// Triples pushed into the accumulator over its lifetime.
+    pub packets_expected: u64,
+    /// Triples covered by parts that made it into the final matrix.
+    pub packets_restored: u64,
+    /// Parts lost to unrecoverable spill faults (empty on clean media).
+    pub quarantined: Vec<QuarantinedPart>,
+    /// Lifetime counters.
+    pub stats: SpillStats,
+}
+
+impl SpillReport {
+    /// Fraction of pushed triples represented in the final matrix, in
+    /// `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.packets_expected == 0 {
+            1.0
+        } else {
+            self.packets_restored as f64 / self.packets_expected as f64
+        }
+    }
+
+    /// Whether the build lost nothing (the bit-identity case).
+    pub fn is_exact(&self) -> bool {
+        self.quarantined.is_empty() && self.packets_restored == self.packets_expected
+    }
+
+    /// Integer-exact internal consistency: restored plus quarantined
+    /// packets account for every pushed triple, and stats agree.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let lost: u64 = self.quarantined.iter().map(|q| q.packets).sum();
+        if self.packets_restored + lost != self.packets_expected {
+            return Err(format!(
+                "packet accounting broken: {} restored + {} lost != {} expected",
+                self.packets_restored, lost, self.packets_expected
+            ));
+        }
+        if self.stats.pushed != self.packets_expected {
+            return Err("stats.pushed disagrees with packets_expected".into());
+        }
+        for q in &self.quarantined {
+            if q.n_leaves == 0 {
+                return Err("quarantined part covers zero leaves".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A carry part: its leaf interval, packet count, and residency state.
+struct Part<V: Value> {
+    first_leaf: u64,
+    n_leaves: u64,
+    packets: u64,
+    state: PartState<V>,
+}
+
+enum PartState<V: Value> {
+    /// In memory, charged against the budget; `touch` is the LRU clock.
+    Resident { csr: Csr<V>, bytes: u64, touch: u64 },
+    /// Offloaded; `est_bytes` is the heap size it had when evicted.
+    Spilled { handle: SpillHandle, est_bytes: u64 },
+}
+
+impl<V: Value> Part<V> {
+    fn size_est(&self) -> u64 {
+        match &self.state {
+            PartState::Resident { bytes, .. } => *bytes,
+            PartState::Spilled { est_bytes, .. } => *est_bytes,
+        }
+    }
+}
+
+/// A loaded part ready to merge.
+struct Loaded<V: Value> {
+    csr: Csr<V>,
+    bytes: u64,
+    first_leaf: u64,
+    n_leaves: u64,
+    packets: u64,
+}
+
+/// `floor(log2(n))` for `n >= 1` (`0` for `n == 0`), used to label merge
+/// spans and quarantined parts by carry level.
+fn floor_log2(n: u64) -> usize {
+    usize::try_from(u64::BITS - 1 - n.max(1).leading_zeros()).unwrap_or(63)
+}
+
+/// Time one pairwise merge under its per-level span (opt-in).
+fn timed_merge<V: Value>(level: usize, a: &Csr<V>, b: &Csr<V>) -> Csr<V> {
+    let _span = if spill_metrics_enabled() {
+        Some(obscor_obs::span(&format!("hypersparse.spill.merge.level{level}")))
+    } else {
+        None
+    };
+    ewise_add(a, b)
+}
+
+/// The out-of-core hierarchical accumulator: same carry chain and final
+/// tree reduction as [`crate::hier::HierarchicalAccumulator`], with
+/// budget-aware eviction/reload of carry parts through a [`SpillStore`].
+/// See the module docs for the accounting and determinism contracts.
+pub struct SpillAccumulator<V: Value> {
+    leaf_capacity: usize,
+    budget: Option<u64>,
+    buffer: Coo<V>,
+    levels: Vec<Option<Part<V>>>,
+    store: SpillStore,
+    clock: u64,
+    live_bytes: u64,
+    stats: SpillStats,
+    quarantined: Vec<QuarantinedPart>,
+}
+
+impl<V: Value> std::fmt::Debug for SpillAccumulator<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillAccumulator")
+            .field("leaf_capacity", &self.leaf_capacity)
+            .field("budget", &self.budget)
+            .field("live_bytes", &self.live_bytes)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<V: Value> SpillAccumulator<V> {
+    /// Create an accumulator spilling through `medium`.
+    ///
+    /// # Panics
+    /// Panics if `config.leaf_capacity == 0`.
+    pub fn new(config: SpillConfig, medium: Arc<dyn SpillMedium>) -> Self {
+        assert!(config.leaf_capacity > 0, "leaf capacity must be positive");
+        Self {
+            leaf_capacity: config.leaf_capacity,
+            budget: config.memory_budget,
+            buffer: Coo::with_capacity(config.leaf_capacity),
+            levels: Vec::new(),
+            store: SpillStore::with_retry(medium, config.max_attempts),
+            clock: 0,
+            live_bytes: 0,
+            stats: SpillStats::default(),
+            quarantined: Vec::new(),
+        }
+    }
+
+    /// Append one triple, carrying if the leaf fills.
+    #[inline]
+    pub fn push(&mut self, row: Index, col: Index, val: V) {
+        self.buffer.push(row, col, val);
+        self.stats.pushed += 1;
+        if self.buffer.len() >= self.leaf_capacity {
+            self.flush_leaf();
+        }
+    }
+
+    /// Append one unit-valued triple (a single packet).
+    #[inline]
+    pub fn push_edge(&mut self, row: Index, col: Index) {
+        self.push(row, col, V::one());
+    }
+
+    /// Insert a pre-compacted CSR leaf (the streaming-ingest entry point;
+    /// same counting convention as the in-memory accumulator). Empty
+    /// leaves are ignored.
+    pub fn push_csr_leaf(&mut self, leaf: Csr<V>) {
+        if leaf.is_empty() {
+            return;
+        }
+        self.flush_leaf();
+        let packets = leaf.nnz() as u64;
+        self.stats.pushed += packets;
+        let first_leaf = self.stats.leaves;
+        self.stats.leaves += 1;
+        self.carry_in(leaf, first_leaf, packets);
+    }
+
+    /// Compact the current partial leaf and carry it up the level chain.
+    pub fn flush_leaf(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let packets = self.buffer.len() as u64;
+        let leaf = std::mem::replace(&mut self.buffer, Coo::with_capacity(self.leaf_capacity));
+        let csr = leaf.into_csr();
+        let first_leaf = self.stats.leaves;
+        self.stats.leaves += 1;
+        self.carry_in(csr, first_leaf, packets);
+    }
+
+    /// Replace the memory budget mid-stream (the random-budget-schedule
+    /// property tests drive this) and enforce it immediately.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+        self.enforce_budget();
+    }
+
+    /// The current memory budget.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> SpillStats {
+        self.stats
+    }
+
+    /// Tracked live bytes right now.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Triples currently buffered in the partial leaf.
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Internal consistency: partial leaf below capacity, every resident
+    /// part valid, carry merges bounded by the binary-counter law, and
+    /// live bytes equal to the sum over resident parts.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.buffer.len() >= self.leaf_capacity {
+            return Err("partial leaf at or above capacity (missed flush)".into());
+        }
+        let mut resident = 0u64;
+        for (k, slot) in self.levels.iter().enumerate() {
+            if let Some(part) = slot {
+                if part.n_leaves == 0 {
+                    return Err(format!("level {k}: part covers zero leaves"));
+                }
+                if let PartState::Resident { csr, bytes, .. } = &part.state {
+                    csr.check_invariants().map_err(|e| format!("level {k}: {e}"))?;
+                    if *bytes != csr.heap_bytes() {
+                        return Err(format!("level {k}: stale byte accounting"));
+                    }
+                    resident += bytes;
+                }
+            }
+        }
+        if resident != self.live_bytes {
+            return Err(format!(
+                "live bytes {} disagree with resident sum {resident}",
+                self.live_bytes
+            ));
+        }
+        if self.stats.carry_merges >= self.stats.leaves.max(1) {
+            return Err("more carry merges than a binary carry chain allows".into());
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn charge(&mut self, bytes: u64) {
+        self.live_bytes += bytes;
+        if self.live_bytes > self.stats.peak_live_bytes {
+            self.stats.peak_live_bytes = self.live_bytes;
+        }
+    }
+
+    fn release(&mut self, bytes: u64) {
+        self.live_bytes = self.live_bytes.saturating_sub(bytes);
+    }
+
+    /// Make room for `bytes` *before* charging them: evict coldest-first
+    /// until the addition fits the budget, then charge. Counting the
+    /// overrun here (rather than after the fact) keeps the tracked peak
+    /// within the budget whenever the budget is feasible at all.
+    fn reserve(&mut self, bytes: u64) {
+        if let Some(budget) = self.budget {
+            while self.live_bytes.saturating_add(bytes) > budget {
+                match self.coldest_resident() {
+                    Some(k) if self.evict_level(k) => {}
+                    _ => {
+                        self.stats.budget_overruns += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        self.charge(bytes);
+    }
+
+    /// Index of the least-recently-touched resident level, if any.
+    fn coldest_resident(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (k, slot) in self.levels.iter().enumerate() {
+            if let Some(Part { state: PartState::Resident { touch, .. }, .. }) = slot {
+                if best.is_none_or(|(t, _)| *touch < t) {
+                    best = Some((*touch, k));
+                }
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+
+    /// Spill the resident part at level `k`. Returns `false` (leaving the
+    /// part resident) if the store cannot persist it.
+    fn evict_level(&mut self, k: usize) -> bool {
+        let Some(part) = self.levels[k].take() else { return false };
+        let Part { first_leaf, n_leaves, packets, state } = part;
+        match state {
+            PartState::Resident { csr, bytes, touch } => match self.store.store_csr(&csr) {
+                Ok(handle) => {
+                    self.stats.evictions += 1;
+                    if spill_metrics_enabled() {
+                        obscor_obs::counter("hypersparse.spill.evictions_total").inc();
+                    }
+                    self.release(bytes);
+                    self.levels[k] = Some(Part {
+                        first_leaf,
+                        n_leaves,
+                        packets,
+                        state: PartState::Spilled { handle, est_bytes: bytes },
+                    });
+                    true
+                }
+                Err(_) => {
+                    // The medium refused the write; keep the part resident
+                    // rather than lose data — the budget is best-effort
+                    // when the spill device itself fails.
+                    self.levels[k] = Some(Part {
+                        first_leaf,
+                        n_leaves,
+                        packets,
+                        state: PartState::Resident { csr, bytes, touch },
+                    });
+                    false
+                }
+            },
+            spilled => {
+                self.levels[k] = Some(Part { first_leaf, n_leaves, packets, state: spilled });
+                false
+            }
+        }
+    }
+
+    /// Evict coldest-first until the tracked live bytes fit the budget;
+    /// count an overrun if nothing evictable remains.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.budget else { return };
+        while self.live_bytes > budget {
+            match self.coldest_resident() {
+                Some(k) if self.evict_level(k) => {}
+                _ => {
+                    self.stats.budget_overruns += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Bring a part into memory (charging its bytes) or quarantine it.
+    fn load_part(&mut self, part: Part<V>) -> Result<Loaded<V>, QuarantinedPart> {
+        let Part { first_leaf, n_leaves, packets, state } = part;
+        match state {
+            PartState::Resident { csr, bytes, .. } => {
+                Ok(Loaded { csr, bytes, first_leaf, n_leaves, packets })
+            }
+            PartState::Spilled { handle, .. } => match self.store.fetch_csr::<V>(&handle) {
+                Ok(csr) => {
+                    self.stats.reloads += 1;
+                    if spill_metrics_enabled() {
+                        obscor_obs::counter("hypersparse.spill.reloads_total").inc();
+                    }
+                    self.store.discard(&handle);
+                    let bytes = csr.heap_bytes();
+                    self.reserve(bytes);
+                    Ok(Loaded { csr, bytes, first_leaf, n_leaves, packets })
+                }
+                Err(fault) => {
+                    self.store.discard(&handle);
+                    Err(QuarantinedPart {
+                        level: floor_log2(n_leaves),
+                        first_leaf,
+                        n_leaves,
+                        packets,
+                        error: fault.to_string(),
+                    })
+                }
+            },
+        }
+    }
+
+    /// Carry one compacted leaf up the level chain (binary counter),
+    /// evicting/reloading around the budget as it goes.
+    fn carry_in(&mut self, leaf: Csr<V>, first_leaf: u64, packets: u64) {
+        let mut carry = leaf;
+        let mut carry_bytes = carry.heap_bytes();
+        let mut meta = (first_leaf, 1u64, packets);
+        self.reserve(carry_bytes);
+        let mut k = 0usize;
+        loop {
+            if k == self.levels.len() {
+                self.levels.push(None);
+            }
+            match self.levels[k].take() {
+                None => {
+                    let touch = self.tick();
+                    self.levels[k] = Some(Part {
+                        first_leaf: meta.0,
+                        n_leaves: meta.1,
+                        packets: meta.2,
+                        state: PartState::Resident { csr: carry, bytes: carry_bytes, touch },
+                    });
+                    self.enforce_budget();
+                    return;
+                }
+                Some(existing) => match self.load_part(existing) {
+                    Ok(loaded) => {
+                        let merged = timed_merge(k, &loaded.csr, &carry);
+                        let merged_bytes = merged.heap_bytes();
+                        // Reserve the output before the inputs release so
+                        // the tracked peak covers the merge working set
+                        // (the inputs are out of the level table, so the
+                        // reservation can only evict colder levels).
+                        self.reserve(merged_bytes);
+                        self.release(loaded.bytes + carry_bytes);
+                        carry = merged;
+                        carry_bytes = merged_bytes;
+                        // The existing part covers leaves before the
+                        // carry's. The merged part is labelled with the
+                        // full span up to the carry's end: a quarantine
+                        // may have punched a hole between the two, and a
+                        // span keeps later quarantine reports a superset
+                        // of the true loss (holes are already reported
+                        // by their own quarantine entries).
+                        meta = (
+                            loaded.first_leaf,
+                            (meta.0 + meta.1) - loaded.first_leaf,
+                            loaded.packets + meta.2,
+                        );
+                        self.stats.carry_merges += 1;
+                        k += 1;
+                    }
+                    Err(q) => {
+                        // The stored sibling is unrecoverable: quarantine
+                        // it and let the carry take the slot — degraded
+                        // coverage, never a wrong matrix.
+                        self.quarantined.push(q);
+                        let touch = self.tick();
+                        self.levels[k] = Some(Part {
+                            first_leaf: meta.0,
+                            n_leaves: meta.1,
+                            packets: meta.2,
+                            state: PartState::Resident { csr: carry, bytes: carry_bytes, touch },
+                        });
+                        self.enforce_budget();
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Finish: flush the partial leaf, reduce every surviving part to one
+    /// matrix, and report coverage. When every part fits in the budget at
+    /// once the reduction is the rayon pairwise tree
+    /// ([`crate::ops::merge_all`]); otherwise an adjacent-pair tree runs
+    /// sequentially, loading pairs and re-spilling intermediates so the
+    /// tracked live bytes stay budgeted. Both shapes perform exactly
+    /// `parts - 1` merges and yield the identical matrix.
+    pub fn finalize(mut self) -> (Csr<V>, SpillReport) {
+        self.flush_leaf();
+        let mut work: Vec<Part<V>> = self.levels.drain(..).flatten().collect();
+        // Adjacent parts in leaf order cover contiguous spans; merging
+        // neighbours keeps every intermediate's span contiguous, so
+        // quarantine reports stay span-exact even for intermediates.
+        work.sort_by_key(|p| p.first_leaf);
+        let total_est: u64 = work.iter().map(Part::size_est).sum();
+        let fits = match self.budget {
+            None => true,
+            // merge_all's transient working set is bounded by twice the
+            // input total (outputs of a round never exceed its inputs).
+            Some(b) => total_est.saturating_mul(2) <= b,
+        };
+        let matrix = if fits {
+            self.reduce_in_memory(work)
+        } else {
+            self.reduce_budgeted(work)
+        };
+        let lost: u64 = self.quarantined.iter().map(|q| q.packets).sum();
+        let report = SpillReport {
+            packets_expected: self.stats.pushed,
+            packets_restored: self.stats.pushed.saturating_sub(lost),
+            quarantined: std::mem::take(&mut self.quarantined),
+            stats: self.stats,
+        };
+        (matrix, report)
+    }
+
+    /// Everything fits: load all parts and hand them to the rayon tree.
+    fn reduce_in_memory(&mut self, work: Vec<Part<V>>) -> Csr<V> {
+        let mut parts: Vec<Csr<V>> = Vec::with_capacity(work.len());
+        let mut loaded_bytes = 0u64;
+        for part in work {
+            match self.load_part(part) {
+                Ok(loaded) => {
+                    loaded_bytes += loaded.bytes;
+                    parts.push(loaded.csr);
+                }
+                Err(q) => self.quarantined.push(q),
+            }
+        }
+        self.stats.tree_merges += (parts.len() as u64).saturating_sub(1);
+        let matrix = crate::ops::merge_all(parts);
+        self.release(loaded_bytes);
+        self.reserve(matrix.heap_bytes());
+        matrix
+    }
+
+    /// Budget-aware sequential pairwise tree: rounds of adjacent-pair
+    /// merges, spilling each round's outputs whenever the tracked live
+    /// bytes exceed the budget.
+    fn reduce_budgeted(&mut self, mut work: Vec<Part<V>>) -> Csr<V> {
+        // Park every input on the medium first: within a round the live
+        // set is then exactly one pair plus its output, so the peak stays
+        // at the merge working set instead of a whole round's residue.
+        work = work.into_iter().map(|p| self.spill_part(p)).collect();
+        while work.len() > 1 {
+            let mut next: Vec<Part<V>> = Vec::with_capacity(work.len() / 2 + 1);
+            let mut pending: Option<Part<V>> = None;
+            for part in work {
+                let Some(a) = pending.take() else {
+                    pending = Some(part);
+                    continue;
+                };
+                let a = match self.load_part(a) {
+                    Ok(l) => l,
+                    Err(q) => {
+                        self.quarantined.push(q);
+                        pending = Some(part);
+                        continue;
+                    }
+                };
+                let b = match self.load_part(part) {
+                    Ok(l) => l,
+                    Err(q) => {
+                        self.quarantined.push(q);
+                        // `a` survives: re-wrap it, park it, keep pairing.
+                        let a = self.repack(a);
+                        pending = Some(self.spill_part(a));
+                        continue;
+                    }
+                };
+                let level = floor_log2(a.n_leaves.max(b.n_leaves));
+                let merged = timed_merge(level, &a.csr, &b.csr);
+                let merged_bytes = merged.heap_bytes();
+                self.reserve(merged_bytes);
+                self.release(a.bytes + b.bytes);
+                self.stats.tree_merges += 1;
+                let touch = self.tick();
+                let out = Part {
+                    first_leaf: a.first_leaf,
+                    // Span, not sum: quarantined holes between the pair
+                    // are already reported by their own entries.
+                    n_leaves: (b.first_leaf + b.n_leaves) - a.first_leaf,
+                    packets: a.packets + b.packets,
+                    state: PartState::Resident { csr: merged, bytes: merged_bytes, touch },
+                };
+                // The output is not needed again until the next round:
+                // park it so the next pair starts from an empty live set.
+                next.push(self.spill_part(out));
+            }
+            // An odd tail rejoins the reduction next round, untouched.
+            next.extend(pending.take());
+            work = next;
+        }
+        match work.pop() {
+            Some(last) => match self.load_part(last) {
+                Ok(loaded) => loaded.csr,
+                Err(q) => {
+                    self.quarantined.push(q);
+                    Csr::empty()
+                }
+            },
+            None => Csr::empty(),
+        }
+    }
+
+    /// Re-wrap a loaded part as a resident [`Part`].
+    fn repack(&mut self, loaded: Loaded<V>) -> Part<V> {
+        let touch = self.tick();
+        Part {
+            first_leaf: loaded.first_leaf,
+            n_leaves: loaded.n_leaves,
+            packets: loaded.packets,
+            state: PartState::Resident { csr: loaded.csr, bytes: loaded.bytes, touch },
+        }
+    }
+
+    /// Spill a resident part immediately (finalize path); on store failure
+    /// the part stays resident and the budget is best-effort.
+    fn spill_part(&mut self, part: Part<V>) -> Part<V> {
+        let Part { first_leaf, n_leaves, packets, state } = part;
+        match state {
+            PartState::Resident { csr, bytes, touch } => match self.store.store_csr(&csr) {
+                Ok(handle) => {
+                    self.stats.evictions += 1;
+                    if spill_metrics_enabled() {
+                        obscor_obs::counter("hypersparse.spill.evictions_total").inc();
+                    }
+                    self.release(bytes);
+                    Part {
+                        first_leaf,
+                        n_leaves,
+                        packets,
+                        state: PartState::Spilled { handle, est_bytes: bytes },
+                    }
+                }
+                Err(_) => Part {
+                    first_leaf,
+                    n_leaves,
+                    packets,
+                    state: PartState::Resident { csr, bytes, touch },
+                },
+            },
+            spilled => Part { first_leaf, n_leaves, packets, state: spilled },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hier::accumulate_flat;
+
+    fn triples(n: usize, seed: u64) -> Vec<(Index, Index, u64)> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (((state >> 33) % 512) as Index, ((state >> 10) % 512) as Index, 1u64)
+            })
+            .collect()
+    }
+
+    fn spilled(
+        t: &[(Index, Index, u64)],
+        leaf_capacity: usize,
+        budget: Option<u64>,
+    ) -> (Csr<u64>, SpillReport) {
+        let cfg = SpillConfig { leaf_capacity, memory_budget: budget, max_attempts: 4 };
+        let mut acc = SpillAccumulator::new(cfg, Arc::new(MemMedium::new()));
+        for &(r, c, v) in t {
+            acc.push(r, c, v);
+        }
+        acc.check_invariants().unwrap();
+        acc.finalize()
+    }
+
+    #[test]
+    fn unbounded_budget_matches_flat() {
+        let t = triples(10_000, 42);
+        let (m, report) = spilled(&t, 256, None);
+        assert_eq!(m, accumulate_flat(t));
+        assert!(report.is_exact());
+        assert_eq!(report.stats.evictions, 0);
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_budget_forces_eviction_on_every_carry_and_stays_identical() {
+        let t = triples(10_000, 7);
+        let (m, report) = spilled(&t, 128, Some(0));
+        assert_eq!(m, accumulate_flat(t));
+        assert!(report.is_exact());
+        assert!(report.stats.evictions > 0, "{:?}", report.stats);
+        assert!(report.stats.reloads > 0, "{:?}", report.stats);
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_closed_form_holds_after_finalize() {
+        // Any pairwise tree over L parts does exactly L - 1 merges; the
+        // carry chain contributes leaves - popcount(leaves) of them
+        // mid-stream and the finalize tree the remaining popcount - 1.
+        for (n, cap) in [(0usize, 8usize), (7, 1), (64, 4), (100, 8), (999, 16)] {
+            for budget in [None, Some(0u64), Some(1 << 16)] {
+                let t = triples(n, 3);
+                let cfg =
+                    SpillConfig { leaf_capacity: cap, memory_budget: budget, max_attempts: 4 };
+                let mut acc = SpillAccumulator::new(cfg, Arc::new(MemMedium::new()));
+                for &(r, c, v) in &t {
+                    acc.push(r, c, v);
+                }
+                let mid = acc.stats();
+                assert_eq!(
+                    mid.carry_merges,
+                    mid.leaves - u64::from(mid.leaves.count_ones()),
+                    "carry law (n={n}, cap={cap}, budget={budget:?})"
+                );
+                let (_, report) = acc.finalize();
+                assert_eq!(
+                    report.stats.merges(),
+                    report.stats.leaves.saturating_sub(1),
+                    "tree closed form (n={n}, cap={cap}, budget={budget:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mid_stream_budget_changes_preserve_identity() {
+        let t = triples(5_000, 11);
+        let cfg = SpillConfig { leaf_capacity: 64, memory_budget: None, max_attempts: 4 };
+        let mut acc = SpillAccumulator::new(cfg, Arc::new(MemMedium::new()));
+        for (i, &(r, c, v)) in t.iter().enumerate() {
+            acc.push(r, c, v);
+            match i {
+                1_000 => acc.set_budget(Some(0)),
+                2_500 => acc.set_budget(Some(1 << 14)),
+                4_000 => acc.set_budget(None),
+                _ => {}
+            }
+        }
+        let (m, report) = acc.finalize();
+        assert_eq!(m, accumulate_flat(t));
+        assert!(report.is_exact());
+        assert!(report.stats.evictions > 0);
+    }
+
+    #[test]
+    fn feasible_budget_bounds_tracked_peak() {
+        let t = triples(20_000, 19);
+        let budget = 1 << 20; // 1 MiB: ample for 512-key leaves, forces order
+        let (m, report) = spilled(&t, 512, Some(budget));
+        assert_eq!(m, accumulate_flat(t));
+        assert_eq!(report.stats.budget_overruns, 0, "{:?}", report.stats);
+        assert!(report.stats.peak_live_bytes <= budget, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn csr_leaf_entry_point_matches_triples() {
+        let t = triples(4_000, 23);
+        let flat = accumulate_flat(t.clone());
+        for chunk in [37usize, 256, 4_000] {
+            let cfg = SpillConfig { leaf_capacity: 64, memory_budget: Some(0), max_attempts: 4 };
+            let mut acc = SpillAccumulator::new(cfg, Arc::new(MemMedium::new()));
+            for part in t.chunks(chunk) {
+                acc.push_csr_leaf(Coo::from_triples(part.iter().copied()).into_csr());
+            }
+            let (m, report) = acc.finalize();
+            assert_eq!(m, flat, "chunk = {chunk}");
+            assert!(report.is_exact());
+        }
+    }
+
+    #[test]
+    fn dir_medium_round_trips_and_cleans_up() {
+        let medium = DirMedium::create_in(&std::env::temp_dir()).unwrap();
+        let dir = medium.path().to_path_buf();
+        assert!(dir.is_dir());
+        let t = triples(3_000, 5);
+        let cfg = SpillConfig { leaf_capacity: 128, memory_budget: Some(0), max_attempts: 4 };
+        let mut acc = SpillAccumulator::new(cfg, Arc::new(medium));
+        for &(r, c, v) in &t {
+            acc.push(r, c, v);
+        }
+        let (m, report) = acc.finalize();
+        assert_eq!(m, accumulate_flat(t));
+        assert!(report.stats.evictions > 0);
+        // finalize consumed the accumulator (and with it the store's Arc
+        // on the medium), so the directory is already gone.
+        assert!(!dir.exists(), "spill dir should be removed on drop");
+    }
+
+    #[test]
+    fn two_dir_media_never_collide() {
+        let base = std::env::temp_dir();
+        let a = DirMedium::create_in(&base).unwrap();
+        let b = DirMedium::create_in(&base).unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn store_round_trips_through_codec_v2() {
+        let store = SpillStore::new(Arc::new(MemMedium::new()));
+        let a: Csr<u64> = Coo::from_triples(triples(1_000, 2)).into_csr();
+        let h = store.store_csr(&a).unwrap();
+        assert_eq!(h.encoded_len(), 28 + 16 * a.nnz() as u64);
+        assert_eq!(store.fetch_csr::<u64>(&h).unwrap(), a);
+    }
+
+    #[test]
+    fn corrupt_frame_is_a_permanent_fault() {
+        let medium = Arc::new(MemMedium::new());
+        let store = SpillStore::new(Arc::clone(&medium) as Arc<dyn SpillMedium>);
+        let a: Csr<u64> = Coo::from_triples(triples(100, 2)).into_csr();
+        let h = store.store_csr(&a).unwrap();
+        // Flip a payload bit behind the store's back.
+        let mut bytes = medium.fetch(h.slot()).unwrap();
+        bytes[30] ^= 1;
+        medium.store(h.slot(), &bytes).unwrap();
+        let err = store.fetch_csr::<u64>(&h).unwrap_err();
+        assert_eq!(err.class(), FaultClass::Permanent);
+        assert!(matches!(err, SpillFault::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn missing_slot_is_missing() {
+        let store = SpillStore::new(Arc::new(MemMedium::new()));
+        let h = SpillHandle { slot: 99, encoded_len: 0 };
+        assert_eq!(store.fetch_csr::<u64>(&h).unwrap_err(), SpillFault::Missing);
+    }
+
+    #[test]
+    fn constructors_satisfy_invariants() {
+        let mem = MemMedium::new();
+        mem.check_invariants().unwrap();
+        mem.store(0, b"x").unwrap();
+        mem.check_invariants().unwrap();
+        let dir = DirMedium::create_in(&std::env::temp_dir()).unwrap();
+        dir.check_invariants().unwrap();
+        SpillStore::new(Arc::new(MemMedium::new())).check_invariants().unwrap();
+        // with_retry clamps a zero budget up to one attempt.
+        let clamped = SpillStore::with_retry(Arc::new(MemMedium::new()), 0);
+        clamped.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn floor_log2_matches_ilog2() {
+        assert_eq!(floor_log2(0), 0);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(1 << 13), 13);
+        assert_eq!(floor_log2(u64::MAX), 63);
+    }
+
+    #[test]
+    fn empty_accumulator_finalizes_empty() {
+        let cfg = SpillConfig::default();
+        let acc = SpillAccumulator::<u64>::new(cfg, Arc::new(MemMedium::new()));
+        let (m, report) = acc.finalize();
+        assert!(m.is_empty());
+        assert!(report.is_exact());
+        assert_eq!(report.packets_expected, 0);
+        assert!((report.coverage() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf capacity")]
+    fn zero_leaf_capacity_panics() {
+        let cfg = SpillConfig { leaf_capacity: 0, ..SpillConfig::default() };
+        let _ = SpillAccumulator::<u64>::new(cfg, Arc::new(MemMedium::new()));
+    }
+}

@@ -24,8 +24,11 @@
 //! is byte-identical across runs.
 
 use crate::archive::{LeafFault, LeafSource, WindowArchive};
+use obscor_hypersparse::spill::{SpillFault, SpillMedium};
 use std::borrow::Cow;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// The concrete fault assigned to one leaf.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -292,6 +295,88 @@ impl LeafSource for FaultyArchive<'_> {
     }
 }
 
+/// A [`SpillMedium`] seen through a [`FaultPlan`]: the slot id plays the
+/// leaf-index role, so `plan.fault_for(slot, frame_len)` decides — purely
+/// and reproducibly — how each spill-frame read misbehaves. Writes pass
+/// through untouched; corruption is applied on every fetch, which keeps
+/// the injection deterministic even though slots are allocated lazily as
+/// the accumulator evicts.
+///
+/// Transient budgets are charged lazily per slot (first faulted read
+/// seeds the budget, each failure consumes one), mirroring
+/// [`FaultyArchive`]'s deterministic recovery schedule.
+#[derive(Debug)]
+pub struct FaultyMedium<M: SpillMedium> {
+    inner: M,
+    plan: FaultPlan,
+    /// Remaining transient failures per slot, seeded on first read.
+    flaky: Mutex<BTreeMap<u64, u32>>,
+}
+
+impl<M: SpillMedium> FaultyMedium<M> {
+    /// Wrap `inner` so reads misbehave per `plan`.
+    pub fn new(inner: M, plan: FaultPlan) -> Self {
+        Self { inner, plan, flaky: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Internal consistency: the plan's rate is a probability.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.plan.rate) {
+            return Err(format!("fault rate {} outside [0, 1]", self.plan.rate));
+        }
+        Ok(())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, u32>> {
+        self.flaky.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<M: SpillMedium> SpillMedium for FaultyMedium<M> {
+    fn label(&self) -> String {
+        format!("faulty({})", self.inner.label())
+    }
+
+    fn store(&self, slot: u64, bytes: &[u8]) -> Result<(), SpillFault> {
+        self.inner.store(slot, bytes)
+    }
+
+    fn fetch(&self, slot: u64) -> Result<Vec<u8>, SpillFault> {
+        let bytes = self.inner.fetch(slot)?;
+        let index = usize::try_from(slot).unwrap_or(usize::MAX);
+        match self.plan.fault_for(index, bytes.len()) {
+            None => Ok(bytes),
+            Some(Fault::Truncate { keep }) => {
+                let mut b = bytes;
+                b.truncate(keep.min(b.len()));
+                Ok(b)
+            }
+            Some(Fault::BitFlip { offset, mask }) => {
+                let mut b = bytes;
+                if let Some(byte) = b.get_mut(offset) {
+                    *byte ^= mask;
+                }
+                Ok(b)
+            }
+            Some(Fault::Drop) => Err(SpillFault::Missing),
+            Some(Fault::TransientRead { failures }) => {
+                let mut budgets = self.lock();
+                let remaining = budgets.entry(slot).or_insert(failures);
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    Err(SpillFault::TransientRead)
+                } else {
+                    Ok(bytes)
+                }
+            }
+        }
+    }
+
+    fn discard(&self, slot: u64) {
+        self.inner.discard(slot);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,5 +448,49 @@ mod tests {
         let a = archive();
         let faulty = FaultPlan::new(1, 0.0).unwrap().apply(&a);
         assert_eq!(faulty.read_leaf(10_000), Err(LeafFault::Missing));
+    }
+
+    #[test]
+    fn clean_faulty_medium_passes_bytes_through() {
+        use obscor_hypersparse::MemMedium;
+        let m = FaultyMedium::new(MemMedium::new(), FaultPlan::new(1, 0.0).unwrap());
+        m.check_invariants().unwrap();
+        assert_eq!(m.label(), "faulty(mem)");
+        m.store(3, &[1, 2, 3]).unwrap();
+        assert_eq!(m.fetch(3).unwrap(), vec![1, 2, 3]);
+        m.discard(3);
+        assert_eq!(m.fetch(3), Err(SpillFault::Missing));
+    }
+
+    #[test]
+    fn faulty_medium_matches_the_plan_per_slot() {
+        use obscor_hypersparse::MemMedium;
+        let plan = FaultPlan::new(7, 1.0).unwrap();
+        let m = FaultyMedium::new(MemMedium::new(), plan.clone());
+        let payload: Vec<u8> = (0..64).collect();
+        for slot in 0u64..16 {
+            m.store(slot, &payload).unwrap();
+            let idx = usize::try_from(slot).unwrap();
+            match plan.fault_for(idx, payload.len()) {
+                None => assert_eq!(m.fetch(slot).unwrap(), payload),
+                Some(Fault::Truncate { keep }) => {
+                    assert_eq!(m.fetch(slot).unwrap(), payload[..keep.min(payload.len())]);
+                }
+                Some(Fault::BitFlip { offset, mask }) => {
+                    let mut want = payload.clone();
+                    if let Some(b) = want.get_mut(offset) {
+                        *b ^= mask;
+                    }
+                    assert_eq!(m.fetch(slot).unwrap(), want);
+                }
+                Some(Fault::Drop) => assert_eq!(m.fetch(slot), Err(SpillFault::Missing)),
+                Some(Fault::TransientRead { failures }) => {
+                    for _ in 0..failures {
+                        assert_eq!(m.fetch(slot), Err(SpillFault::TransientRead));
+                    }
+                    assert_eq!(m.fetch(slot).unwrap(), payload, "recovers after budget");
+                }
+            }
+        }
     }
 }

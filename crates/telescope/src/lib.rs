@@ -23,11 +23,15 @@ pub use archive::{
     archive_window, restore_matrix, DegradedRestore, LeafFault, LeafSource, QuarantinedLeaf,
     RecoveringRestore, RestoreReport, RetryPolicy, WindowArchive,
 };
-pub use faults::{Fault, FaultKind, FaultPlan, FaultyArchive, ALL_FAULT_KINDS};
+pub use faults::{Fault, FaultKind, FaultPlan, FaultyArchive, FaultyMedium, ALL_FAULT_KINDS};
 pub use capture::{
     capture_all_windows, capture_window, capture_window_at, window_traffic_source,
     TelescopeWindow,
 };
 pub use darkspace::Darkspace;
 pub use inventory::{inventory, InventoryRow};
+pub use matrix::{
+    build_anonymized_matrix, build_anonymized_matrix_memo, build_matrix, build_matrix_spilled,
+    build_matrix_spilled_with, build_matrix_with, PAPER_LEAF_COUNT,
+};
 pub use stream::{DrainReport, IngestConfig, IngestService, WindowSnapshot};

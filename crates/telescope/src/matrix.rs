@@ -7,7 +7,11 @@
 
 use crate::capture::TelescopeWindow;
 use obscor_anonymize::{CryptoPan, MemoCryptoPan};
-use obscor_hypersparse::{Csr, HierarchicalAccumulator};
+use obscor_hypersparse::{
+    Csr, DirMedium, HierarchicalAccumulator, SpillAccumulator, SpillConfig, SpillFault, SpillReport,
+};
+use std::path::Path;
+use std::sync::Arc;
 
 /// The paper's leaf count: a window is the hierarchical sum of `2^13`
 /// leaf matrices.
@@ -44,6 +48,41 @@ pub fn build_matrix_with(w: &TelescopeWindow, map: impl Fn(u32) -> u32) -> Csr<u
     }
     obscor_obs::counter("telescope.build_matrix.edges_total").add(acc.len_pushed());
     acc.finalize()
+}
+
+/// Build the window's traffic matrix out-of-core: carry-level CSR parts
+/// spill to `spill_dir` (the system temp dir when `None`) whenever tracked
+/// live bytes exceed `budget`. Bit-identical to [`build_matrix`]; the
+/// returned [`SpillReport`] records eviction/reload traffic and any
+/// quarantined (unrecoverable) spill frames.
+pub fn build_matrix_spilled(
+    w: &TelescopeWindow,
+    budget: Option<u64>,
+    spill_dir: Option<&Path>,
+) -> Result<(Csr<u64>, SpillReport), SpillFault> {
+    build_matrix_spilled_with(w, |ip| ip, budget, spill_dir)
+}
+
+/// Out-of-core variant of [`build_matrix_with`]: same leaf sizing, same
+/// index transform, but accumulated through a [`SpillAccumulator`] bound to
+/// a fresh [`DirMedium`] so carry parts can live on disk.
+pub fn build_matrix_spilled_with(
+    w: &TelescopeWindow,
+    map: impl Fn(u32) -> u32,
+    budget: Option<u64>,
+    spill_dir: Option<&Path>,
+) -> Result<(Csr<u64>, SpillReport), SpillFault> {
+    let _span = obscor_obs::span("telescope.build_matrix_spilled");
+    let leaf = (w.window.packets.len() / PAPER_LEAF_COUNT).max(1024);
+    obscor_obs::gauge("telescope.build_matrix.leaf_capacity").set_max(leaf as u64);
+    let base = spill_dir.map(Path::to_path_buf).unwrap_or_else(std::env::temp_dir);
+    let medium = DirMedium::create_in(&base)?;
+    let config = SpillConfig { leaf_capacity: leaf, memory_budget: budget, ..SpillConfig::default() };
+    let mut acc = SpillAccumulator::new(config, Arc::new(medium));
+    for p in &w.window.packets {
+        acc.push_edge(map(p.src.0), map(p.dst.0));
+    }
+    Ok(acc.finalize())
 }
 
 #[cfg(test)]
@@ -107,6 +146,21 @@ mod tests {
         let uncached = build_anonymized_matrix(&w, &CryptoPan::new(&key));
         let memoized = build_anonymized_matrix_memo(&w, &MemoCryptoPan::new(&key));
         assert_eq!(uncached, memoized);
+    }
+
+    #[test]
+    fn spilled_matrix_is_bit_identical_under_any_budget() {
+        let w = window();
+        let oracle = build_matrix(&w);
+        for budget in [None, Some(0), Some(1 << 20)] {
+            let (m, report) = build_matrix_spilled(&w, budget, None).unwrap();
+            assert_eq!(m, oracle, "budget {budget:?}");
+            assert!(report.is_exact(), "budget {budget:?}: {report:?}");
+        }
+        // A zero budget cannot hold anything resident: every carry evicts.
+        let (_, tight) = build_matrix_spilled(&w, Some(0), None).unwrap();
+        assert!(tight.stats.evictions > 0);
+        assert!(tight.stats.reloads > 0);
     }
 
     #[test]

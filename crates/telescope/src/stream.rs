@@ -68,8 +68,11 @@
 use crate::matrix::PAPER_LEAF_COUNT;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use obscor_anonymize::MemoCryptoPan;
-use obscor_hypersparse::{Coo, Csr, HierarchicalAccumulator};
+use obscor_hypersparse::{
+    Coo, Csr, DirMedium, HierarchicalAccumulator, SpillAccumulator, SpillConfig, SpillReport,
+};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -108,6 +111,15 @@ pub struct IngestConfig {
     /// production; the backpressure tests and benches use it to force a
     /// deliberately slow consumer.
     pub worker_delay_micros: u64,
+    /// Tracked-live-byte budget for the collector's window fold. `None`
+    /// (the default) keeps the fold fully in memory; `Some(bytes)` routes
+    /// it through the out-of-core [`SpillAccumulator`], evicting carry
+    /// parts to disk whenever the budget is exceeded. The emitted matrix
+    /// is bit-identical either way.
+    pub memory_budget: Option<u64>,
+    /// Directory spill files are created under when `memory_budget` is
+    /// set; the system temp dir when `None`.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl IngestConfig {
@@ -127,6 +139,8 @@ impl IngestConfig {
             shard_batch: 1024,
             leaf_capacity: (window_packets / PAPER_LEAF_COUNT).max(1024),
             worker_delay_micros: 0,
+            memory_budget: None,
+            spill_dir: None,
         }
     }
 
@@ -157,6 +171,10 @@ pub struct WindowSnapshot {
     /// Whether this window was cut short by a drain ([`IngestService::finish`]
     /// before the boundary) rather than closing at `window_packets`.
     pub partial: bool,
+    /// Spill/merge accounting when the window was folded out-of-core
+    /// ([`IngestConfig::memory_budget`] set); `None` for the in-memory
+    /// fold.
+    pub spill: Option<SpillReport>,
 }
 
 /// Exact end-of-stream accounting returned by [`IngestService::finish`].
@@ -306,10 +324,14 @@ impl IngestService {
         }
         drop(leaf_tx); // collector's input closes when the last worker exits
         let n_workers = cfg.workers;
-        let leaf_capacity = cfg.leaf_capacity;
+        let fold = FoldConfig {
+            leaf_capacity: cfg.leaf_capacity,
+            memory_budget: cfg.memory_budget,
+            spill_dir: cfg.spill_dir.clone(),
+        };
         let shared_c = Arc::clone(&shared);
         let collector = std::thread::spawn(move || {
-            collector_loop(n_workers, leaf_capacity, &leaf_rx, &snap_tx, &shared_c)
+            collector_loop(n_workers, &fold, &leaf_rx, &snap_tx, &shared_c)
         });
         Self {
             cfg,
@@ -536,6 +558,14 @@ fn emit_leaf(
     out.send(msg).expect("ingest collector terminated early");
 }
 
+/// How the collector folds a closed window's leaves into its matrix.
+#[derive(Clone, Debug)]
+struct FoldConfig {
+    leaf_capacity: usize,
+    memory_budget: Option<u64>,
+    spill_dir: Option<PathBuf>,
+}
+
 /// Per-window collector state while the window is still open.
 #[derive(Default)]
 struct OpenWindow {
@@ -552,7 +582,7 @@ struct OpenWindow {
 /// acknowledged, emit snapshots.
 fn collector_loop(
     workers: usize,
-    leaf_capacity: usize,
+    fold: &FoldConfig,
     rx: &Receiver<ToCollector>,
     out: &Sender<WindowSnapshot>,
     shared: &Shared,
@@ -591,7 +621,7 @@ fn collector_loop(
                         // an empty window; emit nothing.
                         continue;
                     }
-                    let snap = close_window(window, state, leaf_capacity);
+                    let snap = close_window(window, state, fold);
                     closed += 1;
                     // A dropped snapshot receiver just means the service
                     // handle is gone; keep draining so workers can exit.
@@ -607,32 +637,65 @@ fn collector_loop(
 
 /// Merge a closed window's leaves — in `(worker, seq)` order — and build
 /// its snapshot.
-fn close_window(index: u64, mut state: OpenWindow, leaf_capacity: usize) -> WindowSnapshot {
+fn close_window(index: u64, mut state: OpenWindow, fold: &FoldConfig) -> WindowSnapshot {
     // The determinism fix: leaves arrive in worker-completion order, which
     // varies run to run; the merge must not. Sort by the sequence key
     // before folding.
     state.leaves.sort_unstable_by_key(|&(worker, seq, _)| (worker, seq));
-    let mut acc = HierarchicalAccumulator::<u64>::with_leaf_capacity(leaf_capacity);
     let n_leaves = state.leaves.len() as u64;
-    for (_, _, csr) in state.leaves {
-        acc.push_csr_leaf(csr);
-    }
-    let stats = acc.stats();
-    let matrix = acc.finalize();
+    let (matrix, merges, spill) = fold_window(state.leaves, fold);
     if ingest_metrics_enabled() {
         obscor_obs::counter("telescope.ingest.windows_closed_total").inc();
         obscor_obs::counter("telescope.ingest.packets_total").add(state.packets);
         obscor_obs::counter("telescope.ingest.leaves_total").add(n_leaves);
-        obscor_obs::counter("telescope.ingest.merges_total").add(stats.merges);
+        obscor_obs::counter("telescope.ingest.merges_total").add(merges);
     }
     WindowSnapshot {
         index,
         matrix,
         packets: state.packets,
         leaves: n_leaves,
-        merges: stats.merges,
+        merges,
         partial: state.partial,
+        spill,
     }
+}
+
+/// Fold already-sorted leaves through either the in-memory hierarchical
+/// accumulator or, when a budget is configured, the out-of-core
+/// [`SpillAccumulator`]. Returns the matrix, the pre-finalize carry-merge
+/// count (identical between the two paths — both fold the same binary
+/// counter), and the spill report when the out-of-core path ran.
+fn fold_window(
+    leaves: Vec<(usize, u64, Csr<u64>)>,
+    fold: &FoldConfig,
+) -> (Csr<u64>, u64, Option<SpillReport>) {
+    if let Some(budget) = fold.memory_budget {
+        // A spill directory that cannot be created degrades to the
+        // in-memory fold rather than dropping the window: the matrix is
+        // bit-identical either way, only the footprint differs.
+        let base =
+            fold.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+        if let Ok(medium) = DirMedium::create_in(&base) {
+            let config = SpillConfig {
+                leaf_capacity: fold.leaf_capacity,
+                memory_budget: Some(budget),
+                ..SpillConfig::default()
+            };
+            let mut acc = SpillAccumulator::new(config, Arc::new(medium));
+            for (_, _, csr) in leaves {
+                acc.push_csr_leaf(csr);
+            }
+            let (matrix, report) = acc.finalize();
+            return (matrix, report.stats.carry_merges, Some(report));
+        }
+    }
+    let mut acc = HierarchicalAccumulator::<u64>::with_leaf_capacity(fold.leaf_capacity);
+    for (_, _, csr) in leaves {
+        acc.push_csr_leaf(csr);
+    }
+    let stats = acc.stats();
+    (acc.finalize(), stats.merges, None)
 }
 
 #[cfg(test)]
@@ -718,6 +781,37 @@ mod tests {
         assert!(snaps.iter().all(|s| !s.partial));
         assert!(!drain.partial_flushed);
         assert!(drain.is_exact(), "{drain:?}");
+    }
+
+    #[test]
+    fn spilled_windows_match_the_in_memory_fold() {
+        let p = pairs(6_000, 77);
+        let mut cfg = IngestConfig::new(3, 2_000);
+        cfg.leaf_capacity = 256;
+        cfg.shard_batch = 128;
+        // Zero budget: every carry part must be evicted to disk.
+        cfg.memory_budget = Some(0);
+        let mut svc = IngestService::new(cfg);
+        svc.push_pairs(&p);
+        let (snaps, drain) = svc.finish();
+        assert!(drain.is_exact(), "{drain:?}");
+        assert_eq!(snaps.len(), 3);
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.matrix, flat(&p[i * 2_000..(i + 1) * 2_000]), "window {i}");
+            let report = s.spill.as_ref().expect("budgeted fold must report spill stats");
+            assert!(report.is_exact(), "window {i}: {report:?}");
+            assert!(report.stats.evictions > 0, "window {i} never spilled");
+        }
+    }
+
+    #[test]
+    fn unbudgeted_snapshots_carry_no_spill_report() {
+        let p = pairs(1_000, 3);
+        let mut svc = IngestService::new(IngestConfig::new(2, 1_000));
+        svc.push_pairs(&p);
+        let (snaps, drain) = svc.finish();
+        assert!(drain.is_exact(), "{drain:?}");
+        assert!(snaps.iter().all(|s| s.spill.is_none()));
     }
 
     #[test]

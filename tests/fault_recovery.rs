@@ -14,12 +14,16 @@
 //!    deterministic in the fault-plan seed.
 
 use obscor_core::{pipeline, AnalysisConfig, ArchiveConfig};
-use obscor_hypersparse::{ops, reduce, Coo, Csr};
+use obscor_hypersparse::hier::accumulate_flat;
+use obscor_hypersparse::spill::{MemMedium, SpillAccumulator, SpillConfig};
+use obscor_hypersparse::{ops, reduce, Coo, Csr, SpillReport};
 use obscor_netmodel::Scenario;
 use obscor_telescope::{
-    archive_window, capture_window, matrix, Fault, FaultKind, FaultPlan, RecoveringRestore,
-    TelescopeWindow, WindowArchive,
+    archive_window, capture_window, matrix, Fault, FaultKind, FaultPlan, FaultyMedium,
+    RecoveringRestore, TelescopeWindow, WindowArchive,
 };
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::Arc;
 
 fn window(nv: usize, seed: u64) -> TelescopeWindow {
     let s = Scenario::paper_scaled(nv, seed);
@@ -195,6 +199,122 @@ fn pipeline_archive_path_without_faults_reproduces_every_artifact() {
     assert_eq!(direct.peaks, archived.peaks);
     assert_eq!(direct.curves, archived.curves);
     assert_eq!(direct.fits, archived.fits);
+}
+
+// ---------------------------------------------------------------------
+// Spill-layer faults: the same plan machinery pointed at the out-of-core
+// build's reading layer (DESIGN.md §16). A corrupt spill frame must
+// degrade coverage — quarantining the exact leaf interval the part
+// covered — and never change a single surviving bit.
+// ---------------------------------------------------------------------
+
+/// Deterministic heavy-tailed stream for the spill-fault tests.
+fn spill_pairs(n: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let src: u32 = rng.random_range(0u32..500) * 7 + 1;
+            let dst: u32 = rng.random_range(0u32..80) + (44 << 24);
+            (src, dst)
+        })
+        .collect()
+}
+
+/// The budgeted build with `plan` injected between the spill store and
+/// its in-memory medium. A zero budget evicts every carry, so every part
+/// crosses the faulted reading layer at least once.
+fn spilled_with_plan(pairs: &[(u32, u32)], leaf: usize, plan: FaultPlan) -> (Csr<u64>, SpillReport) {
+    let medium = FaultyMedium::new(MemMedium::new(), plan);
+    let config =
+        SpillConfig { leaf_capacity: leaf, memory_budget: Some(0), ..SpillConfig::default() };
+    let mut acc = SpillAccumulator::new(config, Arc::new(medium));
+    for &(s, d) in pairs {
+        acc.push_edge(s, d);
+    }
+    acc.finalize()
+}
+
+/// Ground truth for a degraded spill build: the flat one-shot build over
+/// exactly the leaves *outside* every quarantined `[first_leaf,
+/// first_leaf + n_leaves)` interval.
+fn flat_of_surviving(pairs: &[(u32, u32)], leaf: usize, report: &SpillReport) -> Csr<u64> {
+    let n_leaves = pairs.len().div_ceil(leaf);
+    let mut lost = vec![false; n_leaves];
+    for q in &report.quarantined {
+        for i in q.first_leaf..q.first_leaf + q.n_leaves {
+            lost[usize::try_from(i).unwrap()] = true;
+        }
+    }
+    accumulate_flat(
+        pairs
+            .chunks(leaf)
+            .enumerate()
+            .filter(|(i, _)| !lost[*i])
+            .flat_map(|(_, c)| c.iter().map(|&(s, d)| (s, d, 1u64))),
+    )
+}
+
+#[test]
+fn clean_plan_on_the_spill_layer_changes_nothing() {
+    let p = spill_pairs(4_000, 11);
+    let oracle = accumulate_flat(p.iter().map(|&(s, d)| (s, d, 1u64)));
+    let (m, report) = spilled_with_plan(&p, 100, FaultPlan::new(1, 0.0).unwrap());
+    assert_eq!(m, oracle);
+    assert!(report.is_exact(), "{report:?}");
+    assert!(report.stats.reloads > 0, "zero budget must route parts through the medium");
+    report.check_invariants().unwrap();
+}
+
+#[test]
+fn faulted_spill_build_equals_flat_build_over_surviving_leaves() {
+    let p = spill_pairs(4_000, 11);
+    for (seed, rate) in [(1u64, 0.2), (7, 0.5), (99, 0.8)] {
+        let (m, report) = spilled_with_plan(&p, 100, FaultPlan::new(seed, rate).unwrap());
+        report.check_invariants().unwrap();
+        assert!(
+            !report.quarantined.is_empty(),
+            "plan {seed}:{rate} never fired on {} evictions",
+            report.stats.evictions
+        );
+        let expected = flat_of_surviving(&p, 100, &report);
+        assert_eq!(
+            m, expected,
+            "plan {seed}:{rate}: degraded build must equal the surviving-leaf build"
+        );
+        // Accounting is integer-exact against the leaf partition.
+        let lost: u64 = report.quarantined.iter().map(|q| q.packets).sum();
+        assert_eq!(report.packets_restored, report.packets_expected - lost);
+        assert_eq!(report.packets_restored, reduce::valid_packets(&m));
+        assert!(report.coverage() < 1.0, "plan {seed}:{rate}");
+    }
+}
+
+#[test]
+fn transient_only_spill_plans_recover_exactly() {
+    let p = spill_pairs(3_000, 23);
+    let oracle = accumulate_flat(p.iter().map(|&(s, d)| (s, d, 1u64)));
+    for seed in [1u64, 2, 3] {
+        let plan = FaultPlan::with_kinds(seed, 1.0, &[FaultKind::TransientRead]).unwrap();
+        let (m, report) = spilled_with_plan(&p, 64, plan);
+        assert_eq!(m, oracle, "seed {seed}: transient faults must be retried away");
+        assert!(report.is_exact(), "seed {seed}: {report:?}");
+        assert!(report.stats.reloads > 0);
+    }
+}
+
+#[test]
+fn spill_fault_handling_is_deterministic_in_the_plan_seed() {
+    let p = spill_pairs(4_000, 11);
+    let plan = FaultPlan::new(21, 0.6).unwrap();
+    // Fresh FaultyMedium each run: transient budgets reset with it.
+    let (m1, r1) = spilled_with_plan(&p, 100, plan.clone());
+    let (m2, r2) = spilled_with_plan(&p, 100, plan);
+    assert_eq!(m1, m2);
+    assert_eq!(r1.quarantined, r2.quarantined);
+    assert_eq!(r1.stats, r2.stats);
+    // A different seed genuinely steers which parts are lost.
+    let (_, r3) = spilled_with_plan(&p, 100, FaultPlan::new(22, 0.6).unwrap());
+    assert_ne!(r1.quarantined, r3.quarantined, "seed must steer the plan");
 }
 
 #[test]

@@ -6,21 +6,25 @@
 //! opt-in contract:
 //!
 //! 1. with the flags off, the fast paths emit **nothing** under
-//!    `hypersparse.radix.*` / `anonymize.cache.*` /
-//!    `telescope.ingest.*` / `ingest.backpressure.*`, and
+//!    `hypersparse.radix.*` / `hypersparse.spill.*` /
+//!    `anonymize.cache.*` / `telescope.ingest.*` /
+//!    `ingest.backpressure.*`, and
 //! 2. once [`obscor::hypersparse::radix::enable_metrics`],
+//!    [`obscor::hypersparse::spill::enable_spill_metrics`],
 //!    [`obscor::anonymize::memo::enable_cache_metrics`], and
 //!    [`obscor::telescope::stream::enable_ingest_metrics`] are called,
 //!    the exact documented name set appears — and nothing else.
 
 use obscor::anonymize::memo::{self, MemoCryptoPan};
+use obscor::hypersparse::spill::{self, MemMedium, SpillAccumulator, SpillConfig};
 use obscor::hypersparse::{radix, Coo};
 use obscor::telescope::{stream, IngestConfig, IngestService};
+use std::sync::Arc;
 
 /// Every opt-in name, sorted — the schema-pin strategy applied to the
 /// fast-path metrics (a new name must be added here and to DESIGN.md §12
 /// deliberately).
-const OPTIN_NAMES: [&str; 16] = [
+const OPTIN_NAMES: [&str; 26] = [
     "anonymize.cache.batch_dup_hits_total",
     "anonymize.cache.prefix_hits_total",
     "anonymize.cache.suffix_aes_total",
@@ -30,9 +34,19 @@ const OPTIN_NAMES: [&str; 16] = [
     "hypersparse.radix.digit_passes_total",
     "hypersparse.radix.keys_total",
     "hypersparse.radix.skipped_digits_total",
+    "hypersparse.spill.bytes_read_total",
+    "hypersparse.spill.bytes_written_total",
+    "hypersparse.spill.evictions_total",
+    "hypersparse.spill.reloads_total",
     "ingest.backpressure.blocked",
     "span.hypersparse.radix.digit_passes.calls_total",
     "span.hypersparse.radix.digit_passes.ns",
+    "span.hypersparse.spill.merge.level0.calls_total",
+    "span.hypersparse.spill.merge.level0.ns",
+    "span.hypersparse.spill.merge.level1.calls_total",
+    "span.hypersparse.spill.merge.level1.ns",
+    "span.hypersparse.spill.merge.level2.calls_total",
+    "span.hypersparse.spill.merge.level2.ns",
     "telescope.ingest.leaves_total",
     "telescope.ingest.merges_total",
     "telescope.ingest.packets_total",
@@ -41,8 +55,10 @@ const OPTIN_NAMES: [&str; 16] = [
 
 fn is_optin(name: &str) -> bool {
     name.starts_with("hypersparse.radix.")
+        || name.starts_with("hypersparse.spill.")
         || name.starts_with("anonymize.cache.")
         || name.starts_with("span.hypersparse.radix.")
+        || name.starts_with("span.hypersparse.spill.")
         || name.starts_with("telescope.ingest.")
         || name.starts_with("ingest.backpressure.")
 }
@@ -64,6 +80,28 @@ fn exercise_fast_paths() {
     let mut batch = vec![0x0A00_0001, 0x0A00_0001, 0x0A00_0002, 0xC0A8_0001];
     memo.anonymize_slice(&mut batch);
     assert_eq!(batch[0], batch[1]);
+}
+
+/// Drive the out-of-core fold through every `hypersparse.spill.*` site
+/// with a *deterministic* name footprint: exactly 8 leaves under a zero
+/// budget evict/reload every carry and merge at carry levels 0, 1, and 2
+/// only (the finalize step sees a single part, so no tree merge adds a
+/// level name).
+fn exercise_spilled_fold() {
+    let config =
+        SpillConfig { leaf_capacity: 4, memory_budget: Some(0), ..SpillConfig::default() };
+    let mut acc = SpillAccumulator::<u64>::new(config, Arc::new(MemMedium::new()));
+    for i in 0..32u32 {
+        acc.push_edge(i % 8, i % 3);
+    }
+    let (m, report) = acc.finalize();
+    assert!(m.nnz() > 0);
+    assert!(report.is_exact());
+    assert_eq!(report.stats.leaves, 8);
+    assert_eq!(report.stats.carry_merges, 7, "8 leaves = 4+2+1 carry merges");
+    assert_eq!(report.stats.tree_merges, 0, "one surviving part needs no tree");
+    assert!(report.stats.evictions >= 8);
+    assert!(report.stats.reloads >= 7);
 }
 
 /// Drive the streaming ingest service far enough to touch every
@@ -96,6 +134,7 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
     // Phase 1: flags off — the fast paths run silent.
     let before = obscor_obs::snapshot();
     exercise_fast_paths();
+    exercise_spilled_fold();
     exercise_streaming_ingest();
     let silent = obscor_obs::snapshot().delta_since(&before);
     let leaked: Vec<String> =
@@ -104,10 +143,12 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
 
     // Phase 2: flags on — the exact documented set appears.
     radix::enable_metrics();
+    spill::enable_spill_metrics();
     memo::enable_cache_metrics();
     stream::enable_ingest_metrics();
     let before = obscor_obs::snapshot();
     exercise_fast_paths();
+    exercise_spilled_fold();
     exercise_streaming_ingest();
     let enabled = obscor_obs::snapshot().delta_since(&before);
     let got: Vec<String> =
@@ -125,6 +166,21 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
         enabled.histograms["span.hypersparse.radix.digit_passes.ns"].count,
         enabled.counters["span.hypersparse.radix.digit_passes.calls_total"]
     );
+    // The spilled fold: every byte written was read back (nothing is
+    // left stranded on the medium), and the per-level merge timings
+    // match the 4 + 2 + 1 carry-merge shape of an 8-leaf fold exactly.
+    assert!(enabled.counters["hypersparse.spill.evictions_total"] >= 8);
+    assert!(enabled.counters["hypersparse.spill.reloads_total"] >= 7);
+    assert!(enabled.counters["hypersparse.spill.bytes_written_total"] >= 1);
+    assert_eq!(
+        enabled.counters["hypersparse.spill.bytes_read_total"],
+        enabled.counters["hypersparse.spill.bytes_written_total"]
+    );
+    for (level, calls) in [(0u32, 4u64), (1, 2), (2, 1)] {
+        let name = format!("span.hypersparse.spill.merge.level{level}");
+        assert_eq!(enabled.counters[&format!("{name}.calls_total")], calls, "{name}");
+        assert_eq!(enabled.histograms[&format!("{name}.ns")].count, calls, "{name}");
+    }
     // Streaming ingest: exact totals for the 64-packet run above.
     assert_eq!(enabled.counters["telescope.ingest.windows_closed_total"], 2);
     assert_eq!(enabled.counters["telescope.ingest.packets_total"], 64);
