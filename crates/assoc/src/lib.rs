@@ -31,11 +31,13 @@
 //! ```
 
 pub mod array;
+pub mod bitset;
 pub mod convert;
 pub mod io;
 pub mod keys;
 
 pub use array::Assoc;
+pub use bitset::{BitSet, MonthMatrix};
 pub use keys::{KeySet, NumKeySet};
 
 /// Associative array with `f64` values (the D4M numeric convention).

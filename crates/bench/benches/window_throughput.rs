@@ -8,20 +8,26 @@
 //! comparison — plus sustained `telescope::stream` throughput rows at
 //! several worker counts and the out-of-core fold's cost with its
 //! per-level merge timings — as `BENCH_ingest.json` (schema
-//! `obscor.bench.ingest.v3`, path override `OBSCOR_BENCH_INGEST_OUT`) —
-//! the before/after record DESIGN.md §12/§16 and CI's bench-smoke step
-//! point at.
+//! `obscor.bench.ingest.v4`, path override `OBSCOR_BENCH_INGEST_OUT`) —
+//! the before/after record DESIGN.md §12/§15/§16/§17 and CI's
+//! bench-smoke step point at.
+//!
+//! v4 adds the compressed-bitmap rows (`overlap_fraction_numeric_vs_
+//! bitmap` at fixture scale, `overlap_count_numeric_vs_bitmap_dense` and
+//! `temporal_sweep_pairwise_vs_month_matrix` at paper density) and a
+//! top-level `host_cpus` field so the streaming worker-scaling rows can
+//! be read against the parallelism the box actually had (DESIGN.md §15).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use obscor_anonymize::{CryptoPan, MemoCryptoPan};
-use obscor_assoc::NumKeySet;
+use obscor_assoc::{BitSet, MonthMatrix, NumKeySet};
 use obscor_bench::fixture;
 use obscor_hypersparse::{Coo, Index};
 use obscor_netmodel::{PacketStream, TrafficConfig};
 use obscor_pcap::{AcceptAll, ConstantPacketWindower, PcapReader, PcapWriter};
 use obscor_telescope::{capture_window, matrix, IngestConfig, IngestService};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 const INGEST_KEY: [u8; 32] = [0x5Au8; 32];
@@ -130,8 +136,85 @@ fn ingest_report(n_v: usize, seed: u64) {
         fast_ns: median_ns(INGEST_REPS, || num_keys.overlap_fraction(&num_month)),
     };
 
-    let comparisons =
-        [compaction, cryptopan_scalar, cryptopan_batched, matrix_build, overlap];
+    // 4b. Compressed bitmap substrate at fixture scale: the same window
+    //     sources against the same coeval month, sorted-vec merge walk vs
+    //     roaring-container popcounts. Fixture sets at N_V = 2^16 are
+    //     sparse (array containers), so this row shows the small-set
+    //     behaviour honestly; the paper-density rows below show the
+    //     regime the substrate is built for.
+    let bit_keys = BitSet::from_num_key_set(&num_keys);
+    let bit_month = BitSet::from_num_key_set(&num_month);
+    assert_eq!(
+        bit_keys.overlap_fraction(&bit_month),
+        num_keys.overlap_fraction(&num_month),
+        "bitmap overlap must be bit-identical to the numeric path"
+    );
+    let overlap_bitmap = Comparison {
+        name: "overlap_fraction_numeric_vs_bitmap",
+        baseline_ns: median_ns(INGEST_REPS, || num_keys.overlap_fraction(&num_month)),
+        fast_ns: median_ns(INGEST_REPS, || bit_keys.overlap_fraction(&bit_month)),
+    };
+
+    // 4c. Paper-density set ops: ~2^21 draws from a 2^24 address space
+    //     give ~8K keys per 2^16 chunk — the bitmap-container regime of
+    //     the paper's full observatory months — where the merge walk
+    //     touches every key but the word-parallel path popcounts 64 at a
+    //     time. The temporal row sweeps all months in one merge-join of
+    //     the probe's chunks (the `MonthMatrix` one-sweep algorithm)
+    //     against the month-at-a-time pairwise walks it replaced.
+    let mut dense_rng = StdRng::seed_from_u64(seed ^ 0x0b17);
+    let mut dense_set = || {
+        NumKeySet::from_iter(
+            (0..1u32 << 21).map(|_| dense_rng.random_range(0u32..1 << 24)),
+        )
+    };
+    let dense_a = dense_set();
+    let dense_b = dense_set();
+    let dense_months: Vec<NumKeySet> = (0..15).map(|_| dense_set()).collect();
+    let dense_bit_a = BitSet::from_num_key_set(&dense_a);
+    let dense_bit_b = BitSet::from_num_key_set(&dense_b);
+    let dense_matrix = MonthMatrix::from_months(&dense_months);
+    assert_eq!(
+        dense_bit_a.overlap_count(&dense_bit_b),
+        dense_a.overlap_count(&dense_b),
+        "dense bitmap overlap must be bit-identical to the numeric path"
+    );
+    let sweep_counts = dense_matrix.overlap_counts(&dense_bit_a);
+    for (m, month) in dense_months.iter().enumerate() {
+        assert_eq!(
+            sweep_counts[m],
+            dense_a.overlap_count(month),
+            "one-sweep month counts must be bit-identical to pairwise"
+        );
+    }
+    let overlap_dense = Comparison {
+        name: "overlap_count_numeric_vs_bitmap_dense",
+        baseline_ns: median_ns(INGEST_REPS, || dense_a.overlap_count(&dense_b)),
+        fast_ns: median_ns(INGEST_REPS, || dense_bit_a.overlap_count(&dense_bit_b)),
+    };
+    let temporal_sweep = Comparison {
+        name: "temporal_sweep_pairwise_vs_month_matrix",
+        baseline_ns: median_ns(INGEST_REPS, || {
+            dense_months
+                .iter()
+                .map(|month| dense_a.overlap_count(month))
+                .sum::<usize>()
+        }),
+        fast_ns: median_ns(INGEST_REPS, || {
+            dense_matrix.overlap_counts(&dense_bit_a).iter().sum::<usize>()
+        }),
+    };
+
+    let comparisons = [
+        compaction,
+        cryptopan_scalar,
+        cryptopan_batched,
+        matrix_build,
+        overlap,
+        overlap_bitmap,
+        overlap_dense,
+        temporal_sweep,
+    ];
 
     // 5. Sustained streaming throughput: the same captured window pushed
     //    through the `telescope::stream` service at several worker
@@ -197,7 +280,8 @@ fn ingest_report(n_v: usize, seed: u64) {
         fast_ns: ooc_spilled_ns,
     };
 
-    eprintln!("\n=== WINDOW INGEST FAST PATH (N_V = {n_v}) ===");
+    let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    eprintln!("\n=== WINDOW INGEST FAST PATH (N_V = {n_v}, host_cpus = {host_cpus}) ===");
     eprintln!("memo_table_build {table_build_ns} ns");
     for c in &comparisons {
         eprintln!(
@@ -230,9 +314,10 @@ fn ingest_report(n_v: usize, seed: u64) {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"obscor.bench.ingest.v3\",\n");
+    json.push_str("  \"schema\": \"obscor.bench.ingest.v4\",\n");
     json.push_str(&format!("  \"n_v\": {n_v},\n"));
     json.push_str(&format!("  \"reps\": {INGEST_REPS},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str(&format!("  \"memo_table_build_ns\": {table_build_ns},\n"));
     json.push_str("  \"comparisons\": [\n");
     for (i, c) in comparisons.iter().enumerate() {

@@ -7,7 +7,7 @@
 //! empirical law `log2(d)/log2(sqrt(N_V))`.
 
 use crate::degree::WindowDegrees;
-use obscor_assoc::{KeySet, NumKeySet};
+use obscor_assoc::{BitSet, KeySet, NumKeySet};
 use obscor_stats::binning::bin_representative;
 
 /// One point of the Fig 4 curve.
@@ -50,10 +50,12 @@ impl PeakCorrelation {
 ///
 /// Dispatching wrapper: when every coeval key parses as a dotted-quad IP
 /// (the [`obscor_assoc::convert::ip_key`] convention), the overlap runs on
-/// the numeric fast path ([`peak_correlation_ip`]); otherwise it falls
-/// back to the string-keyed oracle ([`peak_correlation_str`]). Both paths
-/// are bit-identical on parseable keys. Callers holding the coeval set for
-/// many windows should convert once and call the `_ip` variant directly.
+/// the compressed-bitmap fast path ([`peak_correlation_bits`]); otherwise
+/// it falls back to the string-keyed oracle ([`peak_correlation_str`]).
+/// The sorted-vector path ([`peak_correlation_ip`]) is retained as the
+/// numeric differential oracle; all three are bit-identical on parseable
+/// keys. Callers holding the coeval set for many windows should convert
+/// once and call the `_bits` variant directly.
 pub fn peak_correlation(
     window: &WindowDegrees,
     coeval_sources: &KeySet,
@@ -61,9 +63,40 @@ pub fn peak_correlation(
     min_bin_sources: usize,
 ) -> PeakCorrelation {
     match NumKeySet::from_key_set(coeval_sources) {
-        Some(coeval) => peak_correlation_ip(window, &coeval, bright_log2, min_bin_sources),
+        Some(coeval) => peak_correlation_bits(
+            window,
+            &BitSet::from_num_key_set(&coeval),
+            bright_log2,
+            min_bin_sources,
+        ),
         None => peak_correlation_str(window, coeval_sources, bright_log2, min_bin_sources),
     }
+}
+
+/// Compressed-bitmap fast path of [`peak_correlation`]: per-bin overlaps
+/// are popcount-only [`BitSet::overlap_count`]s — word-parallel `AND` on
+/// dense chunks, never materializing an intersection. The fraction
+/// divides the same two integers as the sorted-vector path, so results
+/// are bit-identical to [`peak_correlation_ip`].
+pub fn peak_correlation_bits(
+    window: &WindowDegrees,
+    coeval_sources: &BitSet,
+    bright_log2: f64,
+    min_bin_sources: usize,
+) -> PeakCorrelation {
+    let _span = obscor_obs::span("core.peak_correlation");
+    obscor_obs::counter("core.peak_correlation.windows_total").inc();
+    let points = window
+        .bin_bit_sets(min_bin_sources)
+        .into_iter()
+        .map(|(bin, keys)| {
+            let d = bin_representative(bin);
+            let fraction = keys.overlap_fraction(coeval_sources).unwrap_or(0.0);
+            let empirical_law = ((d as f64).log2() / bright_log2).clamp(0.0, 1.0);
+            PeakPoint { bin, d, n_sources: keys.len(), fraction, empirical_law }
+        })
+        .collect();
+    PeakCorrelation { window_label: window.label.clone(), month: window.month, points }
 }
 
 /// Numeric fast path of [`peak_correlation`]: per-bin overlaps as `u32`
@@ -173,11 +206,14 @@ mod tests {
         let w = window_with_bins();
         let gn = keys_of(&[1, 2, 3, 11, 12, 13, 14, 99]);
         let via_str = peak_correlation_str(&w, &gn, 8.0, 1);
-        let via_num =
-            peak_correlation_ip(&w, &NumKeySet::from_key_set(&gn).unwrap(), 8.0, 1);
+        let num = NumKeySet::from_key_set(&gn).unwrap();
+        let via_num = peak_correlation_ip(&w, &num, 8.0, 1);
         assert_eq!(via_str, via_num);
-        // The public entry point dispatches to the numeric path here.
-        assert_eq!(peak_correlation(&w, &gn, 8.0, 1), via_num);
+        let via_bits =
+            peak_correlation_bits(&w, &BitSet::from_num_key_set(&num), 8.0, 1);
+        assert_eq!(via_num, via_bits);
+        // The public entry point dispatches to the bitmap path here.
+        assert_eq!(peak_correlation(&w, &gn, 8.0, 1), via_bits);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! the 15-month span — overlap as a function of the month lag `t − t0`.
 
 use crate::degree::WindowDegrees;
-use obscor_assoc::{KeySet, NumKeySet};
+use obscor_assoc::{KeySet, MonthMatrix, NumKeySet};
 use obscor_stats::binning::bin_representative;
 
 /// One temporal correlation curve (one window × one degree bin).
@@ -46,10 +46,13 @@ impl TemporalCurve {
 /// months (`monthly_sources[m]` is month `m`'s row-key set).
 ///
 /// Dispatching wrapper: when every monthly key parses as a dotted-quad IP
-/// the 15-month × per-bin overlap grid runs on the numeric fast path
-/// ([`temporal_curves_ip`]); otherwise it falls back to the string-keyed
-/// oracle ([`temporal_curves_str`]). Callers running many windows against
-/// the same months should convert once and call the `_ip` variant.
+/// the 15-month × per-bin overlap grid runs one-sweep over a compressed
+/// month×source membership matrix ([`temporal_curves_bits`]); otherwise it
+/// falls back to the string-keyed oracle ([`temporal_curves_str`]). The
+/// pairwise sorted-vector path ([`temporal_curves_ip`]) is retained as the
+/// numeric differential oracle. Callers running many windows against the
+/// same months should build one [`MonthMatrix`] and call the `_bits`
+/// variant directly — that is what the pipeline does.
 pub fn temporal_curves(
     window: &WindowDegrees,
     monthly_sources: &[KeySet],
@@ -58,9 +61,57 @@ pub fn temporal_curves(
     let numeric: Option<Vec<NumKeySet>> =
         monthly_sources.iter().map(NumKeySet::from_key_set).collect();
     match numeric {
-        Some(months) => temporal_curves_ip(window, &months, min_bin_sources),
+        Some(months) => {
+            temporal_curves_bits(window, &MonthMatrix::from_months(&months), min_bin_sources)
+        }
         None => temporal_curves_str(window, monthly_sources, min_bin_sources),
     }
+}
+
+/// Compressed-bitmap fast path of [`temporal_curves`]: instead of one
+/// pairwise intersection per month (each re-walking the bin's keys), a
+/// single [`MonthMatrix::overlap_counts`] sweep visits every bin chunk
+/// once and scores it against all months sharing that chunk, with
+/// word-parallel popcounts on dense container pairs. Each count is the
+/// exact integer the pairwise path produces and each fraction divides the
+/// same two integers, so curves are bit-identical to
+/// [`temporal_curves_ip`].
+pub fn temporal_curves_bits(
+    window: &WindowDegrees,
+    months_matrix: &MonthMatrix,
+    min_bin_sources: usize,
+) -> Vec<TemporalCurve> {
+    let _span = obscor_obs::span("core.temporal_curves");
+    let n_months = months_matrix.n_months();
+    let curves: Vec<TemporalCurve> = window
+        .bin_bit_sets(min_bin_sources)
+        .into_iter()
+        .map(|(bin, keys)| {
+            let months: Vec<usize> = (0..n_months).collect();
+            let lags: Vec<f64> =
+                months.iter().map(|&m| (m as f64 + 0.5) - window.coord).collect();
+            let n_sources = keys.len();
+            let counts = months_matrix.overlap_counts(&keys);
+            // Bins are non-empty by construction; the guard keeps the
+            // empty-probe convention aligned with `overlap_fraction`.
+            let fractions: Vec<f64> = counts
+                .into_iter()
+                .map(|c| if n_sources == 0 { 0.0 } else { c as f64 / n_sources as f64 })
+                .collect();
+            TemporalCurve {
+                window_label: window.label.clone(),
+                coord: window.coord,
+                bin,
+                d: bin_representative(bin),
+                n_sources,
+                months,
+                lags,
+                fractions,
+            }
+        })
+        .collect();
+    obscor_obs::counter("core.temporal_curves.curves_total").add(curves.len() as u64);
+    curves
 }
 
 /// Numeric fast path of [`temporal_curves`]: every per-bin × per-month
@@ -201,8 +252,12 @@ mod tests {
             gn.iter().map(|ks| NumKeySet::from_key_set(ks).unwrap()).collect();
         let via_num = temporal_curves_ip(&w, &gn_num, 1);
         assert_eq!(via_str, via_num);
-        // The public entry point dispatches to the numeric path here.
-        assert_eq!(temporal_curves(&w, &gn, 1), via_num);
+        let mm = MonthMatrix::from_months(&gn_num);
+        mm.check_invariants().unwrap();
+        let via_bits = temporal_curves_bits(&w, &mm, 1);
+        assert_eq!(via_num, via_bits);
+        // The public entry point dispatches to the one-sweep path here.
+        assert_eq!(temporal_curves(&w, &gn, 1), via_bits);
     }
 
     #[test]

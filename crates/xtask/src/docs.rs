@@ -177,6 +177,18 @@ pub const RULE_DOCS: &[RuleDoc] = &[
                in drop; offer an explicit fallible `close()` for callers who \
                care. Suppress with `// audit:allow(panic-in-drop) — reason`.",
     },
+    RuleDoc {
+        name: "word-bit-manip",
+        short: "ad-hoc u64 word/bit set logic outside `assoc::bitset`",
+        long: "The compressed bitmap substrate owns the word-parallel membership \
+               layout: word = key >> 6, bit = key & 63, masked popcounts. Flags \
+               lane splits (`>> 6` with `& 63`/`& 0x3f` on one line) and masked \
+               popcounts (`count_ones` beside a binary `&`) anywhere outside \
+               `assoc/src/bitset/` — a hand-rolled copy drifts from the \
+               containers' promotion/demotion semantics and overlap counts. Fix: \
+               build a `BitSet` (or `Container`) and use its set operations. \
+               Suppress with `// audit:allow(word-bit-manip) — reason`.",
+    },
 ];
 
 /// Look up one rule's documentation by name.
@@ -212,10 +224,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let mut names: Vec<&str> = RULE_DOCS.iter().map(|d| d.name).collect();
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 16);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 15, "duplicate rule names in registry");
+        assert_eq!(names.len(), 16, "duplicate rule names in registry");
         for d in RULE_DOCS {
             assert!(!d.short.is_empty() && !d.long.is_empty(), "{} has empty docs", d.name);
         }

@@ -237,6 +237,9 @@ pub fn audit(root: &Path) -> io::Result<AuditReport> {
         if crate_name == "hypersparse" {
             diagnostics.extend(rules::rule_key_pack(file));
         }
+        // The u64 word/bit membership layout (word = k >> 6, bit = k & 63)
+        // is owned by assoc::bitset; the rule exempts that module itself.
+        diagnostics.extend(rules::rule_word_bit_manip(file));
         diagnostics.extend(rules::rule_map_iter_order(file, &symbol_index));
         diagnostics.extend(rules::rule_nonassoc_reduce(file));
         diagnostics.extend(rules::rule_atomic_ordering(file));

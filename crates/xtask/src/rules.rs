@@ -24,6 +24,7 @@
 //! | `blocking-in-par`    | all library code                       | blocking operations (`.lock()`, `.read()`/`.write()`, `.recv()`, `.join()`) inside rayon parallel extents, directly or through the call graph |
 //! | `lock-order`         | whole workspace                        | cycles in the named-lock acquisition graph (deadlock candidates) |
 //! | `panic-in-drop`      | all library code                       | panic-path sites reachable from `Drop::drop` bodies |
+//! | `word-bit-manip`     | all library code except `assoc/src/bitset/` | ad-hoc u64 word/bit set logic (lane splits `>> 6` + `& 63`, masked popcounts) outside the compressed bitmap substrate |
 
 use std::collections::HashSet;
 
@@ -71,7 +72,8 @@ pub const INVARIANT_CRATES: &[&str] = &["hypersparse", "assoc"];
 
 /// Static names the `shared-static-mut` rule accepts outside `obs`: the
 /// declared metric-enable flags (set once at startup, read Relaxed).
-pub const ALLOWED_GLOBAL_STATICS: &[&str] = &["METRICS_ENABLED", "CACHE_METRICS_ENABLED"];
+pub const ALLOWED_GLOBAL_STATICS: &[&str] =
+    &["METRICS_ENABLED", "CACHE_METRICS_ENABLED", "BITSET_METRICS_ENABLED"];
 
 /// Function names blessed as deterministic tree-reduction helpers; float
 /// reductions inside them are exempt from `nonassoc-reduce`.
@@ -483,6 +485,83 @@ pub fn rule_key_pack(file: &SourceFile) -> Vec<Diagnostic> {
                     "ad-hoc `as u64` + `<< 32` key packing; route key \
                      construction through `keypack::pack_key` / \
                      `unpack_key`, or annotate with audit:allow({RULE})"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Numeric value of an `Int` token's text (suffix glued, `_` separators,
+/// `0x`/`0o`/`0b` prefixes). `None` when the digits do not parse.
+fn int_literal_value(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (h, 16)
+    } else if let Some(o) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (o, 8)
+    } else if let Some(b) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (b, 2)
+    } else {
+        (t.as_str(), 10)
+    };
+    let end = digits.find(|c: char| !c.is_digit(radix)).unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Rule `word-bit-manip`: no ad-hoc 64-bit word/bit set manipulation
+/// outside `assoc/src/bitset/`. The compressed bitmap substrate owns the
+/// word-parallel membership layout (word = key >> 6, bit = key & 63,
+/// masked popcounts); a hand-rolled copy elsewhere forks that layout and
+/// silently drifts from the containers' promotion/demotion semantics. A
+/// line trips when it either splits a key into the u64 lane pair — a
+/// `>> 6` / `<< 6` shift together with a `& 63` (or `& 0x3f`) mask — or
+/// popcounts a masked word (`count_ones` on the same line as a binary
+/// `&`). The caller (`audit`) applies this to every library crate; the
+/// rule itself exempts the bitset module.
+pub fn rule_word_bit_manip(file: &SourceFile) -> Vec<Diagnostic> {
+    const RULE: &str = "word-bit-manip";
+    if file.rel.contains("assoc/src/bitset/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (line, run) in line_runs(file) {
+        if line_exempt(file, RULE, line) {
+            continue;
+        }
+        let int_after = |j: usize, want: u64| {
+            j + 1 < run.end
+                && file.toks[j + 1].kind == TokKind::Int
+                && int_literal_value(file.tok_text(j + 1)) == Some(want)
+        };
+        let lane_shift =
+            run.clone().any(|j| matches!(file.tok_text(j), ">>" | "<<") && int_after(j, 6));
+        let lane_mask = run.clone().any(|j| file.tok_text(j) == "&" && int_after(j, 63));
+        let popcount = run
+            .clone()
+            .any(|j| file.toks[j].kind == TokKind::Ident && file.tok_text(j) == "count_ones");
+        // A `&` is a binary AND (not a reference) when an operand ends
+        // directly before it: an identifier, a literal, or a `)`/`]`.
+        let binary_and = run.clone().any(|j| {
+            file.tok_text(j) == "&"
+                && j > run.start
+                && matches!(
+                    file.toks[j - 1].kind,
+                    TokKind::Ident | TokKind::Int | TokKind::Close
+                )
+        });
+        if (lane_shift && lane_mask) || (popcount && binary_and) {
+            out.push(diag(
+                RULE,
+                file,
+                line,
+                format!(
+                    "ad-hoc u64 word/bit set manipulation; route membership \
+                     and overlap logic through the `assoc::bitset` \
+                     containers, or annotate with audit:allow({RULE})"
                 ),
             ));
         }
@@ -1718,6 +1797,51 @@ mod tests {
         let d = rule_key_pack(&f);
         assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1]);
         assert!(d[0].message.contains("keypack::pack_key"));
+    }
+
+    #[test]
+    fn word_bit_manip_flags_lane_splits_and_masked_popcounts() {
+        let src = "words[(key >> 6) as usize] |= 1u64 << (key & 63);\n\
+                   let hex = table[(k >> 6) as usize] & 0x3F;\n\
+                   let pop = (a & b).count_ones();\n\
+                   let shift_alone = key >> 6;\n\
+                   let mask_alone = key & 63;\n\
+                   let plain_pop = leaves.count_ones();\n\
+                   let ref_pop = count(&x, w.count_ones());\n\
+                   // audit:allow(word-bit-manip) — fixture\n\
+                   let allowed = (a & b).count_ones();\n\
+                   #[cfg(test)]\nmod tests { fn t() { let _ = (a & b).count_ones(); } }\n";
+        let f = prep(src);
+        let d = rule_word_bit_manip(&f);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(d[0].message.contains("assoc::bitset"));
+    }
+
+    #[test]
+    fn word_bit_manip_exempts_the_bitset_module() {
+        let f = SourceFile::from_source(
+            PathBuf::from("container.rs"),
+            "crates/assoc/src/bitset/container.rs".into(),
+            "let w = (a & b).count_ones();\nlet i = (key >> 6) & 63;\n".to_string(),
+        );
+        assert!(rule_word_bit_manip(&f).is_empty());
+    }
+
+    #[test]
+    fn int_literal_values_parse_across_radices() {
+        for (text, want) in [
+            ("63", Some(63)),
+            ("63u64", Some(63)),
+            ("0x3f", Some(63)),
+            ("0x3F", Some(63)),
+            ("0b11_1111", Some(63)),
+            ("0o77usize", Some(63)),
+            ("6", Some(6)),
+            ("64", Some(64)),
+            ("0x", None),
+        ] {
+            assert_eq!(int_literal_value(text), want, "{text}");
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn bad_fixture_trips_every_rule() {
         "blocking-in-par",
         "lock-order",
         "panic-in-drop",
+        "word-bit-manip",
     ] {
         assert!(rules.contains(rule), "rule {rule} not tripped: {:?}", report.diagnostics);
     }
@@ -87,6 +88,16 @@ fn bad_fixture_diagnostics_point_at_seeded_lines() {
     assert!(
         !report.diagnostics.iter().any(|d| d.file.contains("hypersparse/src/packing.rs") && d.line > 6),
         "key-pack allow marker or test exemption failed: {:?}",
+        report.diagnostics
+    );
+    // Hand-rolled u64 lane split and masked popcount trip word-bit-manip;
+    // the half-signature, allow-marked, and test sites below stay silent.
+    assert!(has("word-bit-manip", "wordops/src/lib.rs", 5), "lane split line");
+    assert!(has("word-bit-manip", "wordops/src/lib.rs", 9), "masked popcount line");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.file.contains("wordops/src/lib.rs")
+            && !(d.rule == "word-bit-manip" && matches!(d.line, 5 | 9))),
+        "word-bit-manip negatives fired: {:?}",
         report.diagnostics
     );
     // pcap joined the panic-free set with the fault-recovery layer:

@@ -1,0 +1,38 @@
+//! Seeds `word-bit-manip`: hand-rolled u64 word/bit set logic outside
+//! the assoc bitset module.
+
+pub fn set_bit(words: &mut [u64], key: u16) {
+    words[usize::from(key >> 6)] |= 1u64 << (key & 63);
+}
+
+pub fn overlap(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+}
+
+// Negatives: each half of a signature alone, a popcount with no mask, an
+// allow-marked site, and test code all stay silent.
+pub fn word_index(key: u16) -> usize {
+    usize::from(key >> 6)
+}
+
+pub fn low_bits(key: u16) -> u16 {
+    key & 63
+}
+
+pub fn census(leaves: u64) -> u32 {
+    leaves.count_ones()
+}
+
+pub fn allowed(a: u64, b: u64) -> u32 {
+    // audit:allow(word-bit-manip) — fixture: sanctioned one-off probe
+    (a & b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let (a, b) = (3u64, 1u64);
+        assert_eq!((a & b).count_ones(), 1);
+    }
+}

@@ -7,15 +7,17 @@
 //!
 //! 1. with the flags off, the fast paths emit **nothing** under
 //!    `hypersparse.radix.*` / `hypersparse.spill.*` /
-//!    `anonymize.cache.*` / `telescope.ingest.*` /
+//!    `anonymize.cache.*` / `assoc.bitset.*` / `telescope.ingest.*` /
 //!    `ingest.backpressure.*`, and
 //! 2. once [`obscor::hypersparse::radix::enable_metrics`],
 //!    [`obscor::hypersparse::spill::enable_spill_metrics`],
-//!    [`obscor::anonymize::memo::enable_cache_metrics`], and
+//!    [`obscor::anonymize::memo::enable_cache_metrics`],
+//!    [`obscor::assoc::bitset::enable_bitset_metrics`], and
 //!    [`obscor::telescope::stream::enable_ingest_metrics`] are called,
 //!    the exact documented name set appears — and nothing else.
 
 use obscor::anonymize::memo::{self, MemoCryptoPan};
+use obscor::assoc::{bitset, BitSet};
 use obscor::hypersparse::spill::{self, MemMedium, SpillAccumulator, SpillConfig};
 use obscor::hypersparse::{radix, Coo};
 use obscor::telescope::{stream, IngestConfig, IngestService};
@@ -24,11 +26,17 @@ use std::sync::Arc;
 /// Every opt-in name, sorted — the schema-pin strategy applied to the
 /// fast-path metrics (a new name must be added here and to DESIGN.md §12
 /// deliberately).
-const OPTIN_NAMES: [&str; 26] = [
+const OPTIN_NAMES: [&str; 32] = [
     "anonymize.cache.batch_dup_hits_total",
     "anonymize.cache.prefix_hits_total",
     "anonymize.cache.suffix_aes_total",
     "anonymize.cache.table_builds_total",
+    "assoc.bitset.containers_array_total",
+    "assoc.bitset.containers_bitmap_total",
+    "assoc.bitset.containers_runs_total",
+    "assoc.bitset.demotions_total",
+    "assoc.bitset.promotions_total",
+    "assoc.bitset.words_scanned_total",
     "hypersparse.radix.compactions_total",
     "hypersparse.radix.crossover",
     "hypersparse.radix.digit_passes_total",
@@ -57,6 +65,7 @@ fn is_optin(name: &str) -> bool {
     name.starts_with("hypersparse.radix.")
         || name.starts_with("hypersparse.spill.")
         || name.starts_with("anonymize.cache.")
+        || name.starts_with("assoc.bitset.")
         || name.starts_with("span.hypersparse.radix.")
         || name.starts_with("span.hypersparse.spill.")
         || name.starts_with("telescope.ingest.")
@@ -80,6 +89,28 @@ fn exercise_fast_paths() {
     let mut batch = vec![0x0A00_0001, 0x0A00_0001, 0x0A00_0002, 0xC0A8_0001];
     memo.anonymize_slice(&mut batch);
     assert_eq!(batch[0], batch[1]);
+}
+
+/// Drive the compressed-bitmap substrate through every `assoc.bitset.*`
+/// site with a deterministic footprint: even keys defeat run compression,
+/// so the builds land exactly where the hysteresis edges put them.
+fn exercise_bitset() {
+    // Array at the 4096-key ceiling; one more key promotes to a bitmap.
+    let mut s = BitSet::from_iter((0..4096u32).map(|k| 2 * k));
+    assert!(s.insert(1), "odd key must be new");
+    // Shrink below the 3840 demote floor: exactly one demotion fires.
+    for k in 0..258u32 {
+        assert!(s.remove(2 * k));
+    }
+    assert_eq!(s.len(), 3839);
+    // A contiguous range optimizes array → runs (1 run = 4 bytes).
+    let mut r = BitSet::from_iter(0..1024u32);
+    r.optimize();
+    // Two dense even-key chunks stay bitmaps; their overlap is one
+    // word-parallel pass over both 1024-word chunks.
+    let a = BitSet::from_iter((0..8192u32).map(|k| 2 * k));
+    let b = BitSet::from_iter((0..8192u32).map(|k| 2 * k + 2));
+    assert_eq!(a.overlap_count(&b), 8191);
 }
 
 /// Drive the out-of-core fold through every `hypersparse.spill.*` site
@@ -134,6 +165,7 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
     // Phase 1: flags off — the fast paths run silent.
     let before = obscor_obs::snapshot();
     exercise_fast_paths();
+    exercise_bitset();
     exercise_spilled_fold();
     exercise_streaming_ingest();
     let silent = obscor_obs::snapshot().delta_since(&before);
@@ -145,9 +177,11 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
     radix::enable_metrics();
     spill::enable_spill_metrics();
     memo::enable_cache_metrics();
+    bitset::enable_bitset_metrics();
     stream::enable_ingest_metrics();
     let before = obscor_obs::snapshot();
     exercise_fast_paths();
+    exercise_bitset();
     exercise_spilled_fold();
     exercise_streaming_ingest();
     let enabled = obscor_obs::snapshot().delta_since(&before);
@@ -162,6 +196,16 @@ fn fast_path_metrics_are_opt_in_with_a_pinned_name_set() {
     assert!(enabled.counters["anonymize.cache.prefix_hits_total"] >= 1);
     assert!(enabled.counters["anonymize.cache.batch_dup_hits_total"] >= 1);
     assert!(enabled.gauges["hypersparse.radix.crossover"] >= 1);
+    // The bitset drive lands exactly where the hysteresis edges put it:
+    // three array builds (ceiling set, demotion target, runs precursor),
+    // three bitmap builds (one promotion, two dense even-key sets), one
+    // runs conversion, and one word-parallel overlap over both chunks.
+    assert_eq!(enabled.counters["assoc.bitset.containers_array_total"], 3);
+    assert_eq!(enabled.counters["assoc.bitset.containers_bitmap_total"], 3);
+    assert_eq!(enabled.counters["assoc.bitset.containers_runs_total"], 1);
+    assert_eq!(enabled.counters["assoc.bitset.promotions_total"], 1);
+    assert_eq!(enabled.counters["assoc.bitset.demotions_total"], 1);
+    assert_eq!(enabled.counters["assoc.bitset.words_scanned_total"], 2048);
     assert_eq!(
         enabled.histograms["span.hypersparse.radix.digit_passes.ns"].count,
         enabled.counters["span.hypersparse.radix.digit_passes.calls_total"]
